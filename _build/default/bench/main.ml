@@ -1,0 +1,179 @@
+(* The benchmark harness.
+
+   Two layers, both in this executable:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per reproduced
+      table/figure. For Figure 5 these measure the *real* CPU cost of
+      this machine's hashing/signing (the calibration behind the
+      simulator's cost model); for the simulation figures each test
+      wraps a miniature deterministic run of that experiment's kernel,
+      so regressions in any experiment's machinery show up as timing
+      changes here.
+
+   2. The experiment harness (Fl_harness.Experiments) — regenerates
+      every table and figure of the paper's evaluation as aligned
+      text tables. `--full` runs the complete paper grid; default is
+      the quick grid.
+
+   Usage: dune exec bench/main.exe [-- --full] [-- --skip-micro]
+          dune exec bench/main.exe -- fig7          (one experiment) *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- micro kernels ---------- *)
+
+let payload_4k = String.init 4096 (fun i -> Char.chr (i land 0xff))
+
+let registry = Fl_crypto.Signature.create_registry ~seed:"bench" ~n:4
+
+let mini_flo ~n ~workers ~batch ~byzantine () =
+  let config =
+    { (Fl_fireledger.Config.default ~n) with
+      Fl_fireledger.Config.batch_size = batch;
+      tx_size = 128 }
+  in
+  let behavior i =
+    if byzantine && i = 1 then Fl_fireledger.Instance.Equivocator
+    else Fl_fireledger.Instance.Honest
+  in
+  let c = Fl_flo.Cluster.create ~seed:1 ~config ~behavior ~workers () in
+  Fl_flo.Cluster.start c;
+  Fl_flo.Cluster.run ~until:(Fl_sim.Time.ms 150) c
+
+let mini_geo () =
+  let config =
+    { (Fl_fireledger.Config.default ~n:4) with
+      Fl_fireledger.Config.batch_size = 10;
+      tx_size = 128 }
+  in
+  let c =
+    Fl_flo.Cluster.create ~seed:1 ~config ~workers:1
+      ~latency:(Fl_workload.Regions.latency ~n:4 ())
+      ()
+  in
+  Fl_flo.Cluster.start c;
+  Fl_flo.Cluster.run ~until:(Fl_sim.Time.s 1) c
+
+let mini_hotstuff () =
+  let hs = Fl_baselines.Hotstuff.create ~n:4 ~f:1 ~batch_size:10 ~tx_size:128 () in
+  Fl_baselines.Hotstuff.start hs;
+  Fl_baselines.Hotstuff.run ~until:(Fl_sim.Time.ms 300) hs
+
+let mini_pbft () =
+  let pb =
+    Fl_baselines.Pbft_cluster.create ~n:4 ~f:1 ~batch_size:10 ~tx_size:128 ()
+  in
+  Fl_baselines.Pbft_cluster.start pb;
+  Fl_baselines.Pbft_cluster.run ~until:(Fl_sim.Time.ms 200) pb
+
+let micro_tests =
+  [ (* Figure 5 calibration: the real crypto kernels. *)
+    Test.make ~name:"fig5/sha256-4KiB"
+      (Staged.stage (fun () -> Fl_crypto.Sha256.digest payload_4k));
+    Test.make ~name:"fig5/sign-header"
+      (Staged.stage (fun () ->
+           Fl_crypto.Signature.sign registry ~signer:0 payload_4k));
+    Test.make ~name:"fig5/hmac-64B"
+      (Staged.stage (fun () ->
+           Fl_crypto.Sha256.hmac ~key:"k" "calibration-message-64-bytes...."));
+    (* Substrate kernels. *)
+    Test.make ~name:"substrate/event-queue-10k"
+      (Staged.stage (fun () ->
+           let e = Fl_sim.Engine.create () in
+           for i = 0 to 9_999 do
+             ignore (Fl_sim.Engine.schedule e ~delay:(i * 7 mod 1000) ignore)
+           done;
+           Fl_sim.Engine.run e));
+    Test.make ~name:"substrate/merkle-1k-leaves"
+      (Staged.stage
+         (let leaves = List.init 1000 string_of_int in
+          fun () -> Fl_crypto.Merkle.root leaves));
+    (* One miniature kernel per simulated table/figure. *)
+    Test.make ~name:"table1/fireledger-round-kernel"
+      (Staged.stage (mini_flo ~n:4 ~workers:1 ~batch:10 ~byzantine:false));
+    Test.make ~name:"fig6-7-8-9/single-dc-kernel"
+      (Staged.stage (mini_flo ~n:4 ~workers:2 ~batch:100 ~byzantine:false));
+    Test.make ~name:"fig10/large-cluster-kernel"
+      (Staged.stage (mini_flo ~n:13 ~workers:1 ~batch:10 ~byzantine:false));
+    Test.make ~name:"fig11/crash-kernel"
+      (Staged.stage (fun () ->
+           let config =
+             { (Fl_fireledger.Config.default ~n:4) with
+               Fl_fireledger.Config.batch_size = 10;
+               tx_size = 128 }
+           in
+           let c = Fl_flo.Cluster.create ~seed:1 ~config ~workers:1 () in
+           Fl_flo.Cluster.start c;
+           Fl_flo.Cluster.run ~until:(Fl_sim.Time.ms 50) c;
+           Fl_flo.Cluster.crash c 3;
+           Fl_flo.Cluster.run ~until:(Fl_sim.Time.ms 400) c));
+    Test.make ~name:"fig12/byzantine-kernel"
+      (Staged.stage (mini_flo ~n:4 ~workers:1 ~batch:10 ~byzantine:true));
+    Test.make ~name:"fig13-14-15/geo-kernel" (Staged.stage mini_geo);
+    Test.make ~name:"fig16/hotstuff-kernel" (Staged.stage mini_hotstuff);
+    Test.make ~name:"fig17/pbft-kernel" (Staged.stage mini_pbft) ]
+
+let run_micro () =
+  print_endline "== Bechamel micro-benchmarks (one kernel per artifact) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let pretty =
+                if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+                else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+                else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+                else Printf.sprintf "%8.0f ns" est
+              in
+              Printf.printf "  %-34s %s/run\n%!" name pretty
+          | _ -> Printf.printf "  %-34s (no estimate)\n%!" name)
+        analysis)
+    micro_tests;
+  (* Translate the measured hash throughput into the Figure 5 axis. *)
+  let t0 = Unix.gettimeofday () in
+  let iters = 2000 in
+  for _ = 1 to iters do
+    ignore (Fl_crypto.Sha256.digest payload_4k)
+  done;
+  let ns_per_byte =
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (iters * 4096)
+  in
+  Printf.printf
+    "\n  measured SHA-256 throughput here: %.1f ns/byte (simulator's \
+     m5.xlarge model: %.1f ns/byte for the JVM stack)\n\n"
+    ns_per_byte
+    Fl_crypto.Cost_model.default.Fl_crypto.Cost_model.hash_ns_per_byte
+
+(* ---------- entry point ---------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let skip_micro = List.mem "--skip-micro" args in
+  let ids =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let mode =
+    if full then Fl_harness.Experiments.Full else Fl_harness.Experiments.Quick
+  in
+  if not skip_micro then run_micro ();
+  match ids with
+  | [] -> Fl_harness.Experiments.run_all mode
+  | ids ->
+      List.iter
+        (fun id ->
+          if not (Fl_harness.Experiments.run_by_id id mode) then
+            Printf.eprintf "unknown experiment %S\n" id)
+        ids

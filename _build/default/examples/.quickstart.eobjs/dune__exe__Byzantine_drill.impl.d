@@ -1,0 +1,1 @@
+examples/byzantine_drill.ml: Array Config Engine Fiber Fl_chain Fl_fireledger Fl_flo Fl_metrics Fl_sim Instance List Printf String Time

@@ -1,0 +1,1 @@
+examples/geo_ledger.ml: Array Config Fl_fireledger Fl_flo Fl_metrics Fl_sim Fl_workload Printf String Time

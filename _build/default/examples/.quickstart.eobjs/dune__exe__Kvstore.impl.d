@@ -1,0 +1,1 @@
+examples/kvstore.ml: Array Config Fiber Fl_app Fl_chain Fl_crypto Fl_fireledger Fl_flo Fl_metrics Fl_sim Instance List Option Printf String Time

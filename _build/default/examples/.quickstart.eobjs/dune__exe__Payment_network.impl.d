@@ -1,0 +1,1 @@
+examples/payment_network.ml: Array Config Fiber Fl_chain Fl_fireledger Fl_flo Fl_sim Hashtbl List Option Printf Rng String Time

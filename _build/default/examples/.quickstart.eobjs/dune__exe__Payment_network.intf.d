@@ -1,0 +1,1 @@
+examples/payment_network.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Fiber Fl_chain Fl_fireledger Fl_flo Fl_metrics Fl_sim Printf Time

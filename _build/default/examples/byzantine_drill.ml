@@ -1,0 +1,71 @@
+(* Byzantine drill: node 2 equivocates — it proposes a different block
+   to each half of the cluster (§7.4.2). Watch the chain's built-in
+   authentication expose it, the panic proof spread by reliable
+   broadcast, and the recovery procedure restore one agreed chain.
+
+   Run with: dune exec examples/byzantine_drill.exe *)
+
+open Fl_sim
+open Fl_fireledger
+
+let () =
+  let byzantine = 2 in
+  let config =
+    { (Config.default ~n:4) with Config.batch_size = 100; tx_size = 256 }
+  in
+  let cluster =
+    Fl_flo.Cluster.create ~seed:3 ~config ~workers:1
+      ~behavior:(fun i ->
+        if i = byzantine then Instance.Equivocator else Instance.Honest)
+      ()
+  in
+  let engine = cluster.Fl_flo.Cluster.engine in
+  let recorder = cluster.Fl_flo.Cluster.recorder in
+
+  (* Narrate the run: poll protocol counters every simulated 250 ms. *)
+  Fiber.spawn engine (fun () ->
+      let last = ref (0, 0, 0) in
+      while true do
+        Fiber.sleep engine (Time.ms 250);
+        let proofs = Fl_metrics.Recorder.counter recorder "proofs_generated" in
+        let recs = Fl_metrics.Recorder.counter recorder "recoveries" in
+        let resc = Fl_metrics.Recorder.counter recorder "blocks_rescinded" in
+        if (proofs, recs, resc) <> !last then begin
+          last := (proofs, recs, resc);
+          Printf.printf
+            "t=%5.2fs  proofs=%d  recoveries=%d  blocks rescinded=%d\n"
+            (Time.to_float_s (Engine.now engine))
+            proofs recs resc
+        end
+      done);
+
+  Fl_flo.Cluster.start cluster;
+  Fl_flo.Cluster.run ~until:(Time.s 3) cluster;
+
+  Printf.printf "\nafter 3 simulated seconds with node %d equivocating:\n"
+    byzantine;
+  Array.iteri
+    (fun i per_node ->
+      let inst = per_node.(0) in
+      Printf.printf
+        "  node %d: chain height %d, definite up to round %d%s\n" i
+        (Fl_chain.Store.length (Instance.store inst))
+        (Instance.definite_upto inst)
+        (if i = byzantine then "   <- Byzantine" else ""))
+    cluster.Fl_flo.Cluster.workers;
+  let honest = [ 0; 1; 3 ] in
+  let chains_equal =
+    let tip i =
+      Fl_chain.Store.last_hash
+        (Instance.store cluster.Fl_flo.Cluster.workers.(i).(0))
+    in
+    List.for_all (fun i -> String.equal (tip i) (tip 0)) honest
+  in
+  Printf.printf "honest nodes share one definite prefix: %b\n"
+    (Fl_flo.Cluster.delivery_agreement cluster);
+  Printf.printf "honest tips identical right now: %b\n" chains_equal;
+  Printf.printf
+    "throughput survived: %d blocks delivered at node 0 despite %d \
+     recoveries\n"
+    (Fl_flo.Node.delivered_blocks cluster.Fl_flo.Cluster.nodes.(0))
+    (Fl_metrics.Recorder.counter recorder "recoveries")

@@ -1,0 +1,115 @@
+(* Replicated key-value store: the full stack — clients with sessions,
+   FireLedger/FLO ordering with an application validity predicate, and
+   a deterministic state machine replayed identically at every node.
+   Node 3 is Byzantine (equivocates); state convergence must survive.
+
+   Run with: dune exec examples/kvstore.exe *)
+
+open Fl_sim
+open Fl_fireledger
+
+let () =
+  let n = 4 in
+  let config =
+    { (Config.default ~n) with
+      Config.batch_size = 64;
+      tx_size = 64;
+      fill_blocks = false }
+  in
+  let replicas = Array.init n (fun _ -> Fl_app.Replica.create ()) in
+  let cluster =
+    Fl_flo.Cluster.create ~seed:31 ~config ~workers:2
+      ~behavior:(fun i ->
+        if i = 3 then Instance.Equivocator else Instance.Honest)
+      ~valid:(fun b ->
+        Array.for_all Fl_app.Command.valid_tx b.Fl_chain.Block.txs)
+      ~on_deliver:(fun ~node d -> Fl_app.Replica.deliver replicas.(node) d)
+      ()
+  in
+  let engine = cluster.Fl_flo.Cluster.engine in
+
+  (* Three client sessions against different nodes; session 2 retries
+     (re-submits) some commands to demonstrate exactly-once. *)
+  let clients =
+    Array.init 3 (fun s ->
+        Fl_app.Replica.Client.create ~session:s
+          ~node:cluster.Fl_flo.Cluster.nodes.(s))
+  in
+  Fiber.spawn engine (fun () ->
+      for i = 0 to 199 do
+        let key = Printf.sprintf "k%02d" (i mod 40) in
+        ignore
+          (Fl_app.Replica.Client.submit clients.(0)
+             (Fl_app.Command.Put { key; value = Printf.sprintf "v%d" i }));
+        if i mod 3 = 0 then
+          (* last-writer-wins counter; a CAS chain would need session
+             commands to stay ordered, which FLO's per-worker routing
+             does not promise *)
+          ignore
+            (Fl_app.Replica.Client.submit clients.(1)
+               (Fl_app.Command.Put
+                  { key = "counter"; value = string_of_int (i / 3) }));
+        if i mod 10 = 0 then Fiber.sleep engine (Time.ms 4)
+      done;
+      (* a duplicate burst: same session re-submitting old seq numbers
+         is impossible through the client API; simulate a network-level
+         duplicate by submitting the same encoded tx twice *)
+      let env =
+        { Fl_app.Command.session = 2; seq = 0;
+          command = Fl_app.Command.Put { key = "dup"; value = "once" } }
+      in
+      ignore
+        (Fl_flo.Node.submit cluster.Fl_flo.Cluster.nodes.(2)
+           (Fl_app.Command.to_tx ~id:5_000_000 env));
+      ignore
+        (Fl_flo.Node.submit cluster.Fl_flo.Cluster.nodes.(2)
+           (Fl_app.Command.to_tx ~id:5_000_001 env)));
+
+  Fl_flo.Cluster.start cluster;
+  Fl_flo.Cluster.run ~until:(Time.s 2) cluster;
+
+  let correct = [ 0; 1; 2 ] in
+  Printf.printf "applied per replica: %s\n"
+    (String.concat " "
+       (List.map
+          (fun i -> string_of_int (Fl_app.Replica.applied replicas.(i)))
+          correct));
+  Printf.printf "replays skipped at node 0: %d (the duplicate burst)\n"
+    (Fl_app.Replica.skipped_replays replicas.(0));
+  Printf.printf "counter saw %s increments (last-writer-wins)\n"
+    (Option.value ~default:"<unset>"
+       (Fl_app.Replica.get replicas.(0) "counter"));
+  (* a deterministic CAS pair on a scratch store: the second must lose *)
+  let scratch = Fl_app.Kv.create () in
+  (match
+     ( Fl_app.Kv.apply scratch
+         (Fl_app.Command.Cas { key = "lock"; expect = None; value = "A" }),
+       Fl_app.Kv.apply scratch
+         (Fl_app.Command.Cas { key = "lock"; expect = None; value = "B" }) )
+   with
+  | Fl_app.Kv.Applied, Fl_app.Kv.Cas_failed ->
+      print_endline "cas semantics: first acquirer wins, second fails"
+  | _ -> print_endline "cas semantics: UNEXPECTED");
+  Printf.printf "dup key: %s\n"
+    (Option.value ~default:"<unset>" (Fl_app.Replica.get replicas.(0) "dup"));
+  let h0 = Fl_crypto.Hex.short (Fl_app.Replica.state_hash replicas.(0)) in
+  let converged =
+    List.for_all
+      (fun i ->
+        String.equal h0
+          (Fl_crypto.Hex.short (Fl_app.Replica.state_hash replicas.(i))))
+      correct
+  in
+  Printf.printf "state hash %s identical at honest replicas: %b\n" h0
+    converged;
+  (* With the application validity predicate installed, this
+     equivocator never gets a block accepted at all: its fabricated
+     payloads fail [Command.valid_tx], honest nodes vote 0, and the
+     attack dies before it can fork the chain — zero recoveries needed
+     (compare examples/byzantine_drill.exe, which runs without an app
+     predicate and must recover). *)
+  Printf.printf
+    "byzantine node neutralised by the validity predicate: %d recoveries, \
+     %d rounds voted down\n"
+    (Fl_metrics.Recorder.counter cluster.Fl_flo.Cluster.recorder "recoveries")
+    (Fl_metrics.Recorder.counter cluster.Fl_flo.Cluster.recorder "wrb_nil")

@@ -1,0 +1,58 @@
+(* Quickstart: stand up a 4-node FLO cluster, submit transactions from
+   a client, and watch them come out of the totally-ordered ledger.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Fl_sim
+open Fl_fireledger
+
+let () =
+  (* 1. Configure: 4 nodes tolerate f = 1 Byzantine node. Blocks carry
+     up to 100 transactions; we disable the benchmark-only padding so
+     blocks contain exactly what clients submit. *)
+  let config =
+    { (Config.default ~n:4) with
+      Config.batch_size = 100;
+      tx_size = 256;
+      fill_blocks = false }
+  in
+  (* 2. Build the cluster: 2 FireLedger workers per node, delivered
+     transactions kept in a readable log. *)
+  let cluster =
+    Fl_flo.Cluster.create ~seed:7 ~config ~workers:2 ~keep_log:true ()
+  in
+  let engine = cluster.Fl_flo.Cluster.engine in
+  let node0 = cluster.Fl_flo.Cluster.nodes.(0) in
+
+  (* 3. A client submits 500 transactions to node 0's client manager
+     (which spreads them over the workers). *)
+  Fiber.spawn engine (fun () ->
+      for i = 0 to 499 do
+        let payload = Printf.sprintf "transfer #%d: alice -> bob" i in
+        let tx = Fl_chain.Tx.create_payload ~id:i payload in
+        ignore (Fl_flo.Node.submit node0 tx);
+        if i mod 25 = 0 then Fiber.sleep engine (Time.ms 2)
+      done);
+
+  (* 4. Run one simulated second. *)
+  Fl_flo.Cluster.start cluster;
+  Fl_flo.Cluster.run ~until:(Time.s 1) cluster;
+
+  (* 5. Read the ledger back — the same order at every node. *)
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Fl_flo.Node.read node0 !count with
+    | Some _ -> incr count
+    | None -> continue := false
+  done;
+  Printf.printf "delivered %d transactions in the merged order\n" !count;
+  (match Fl_flo.Node.read node0 0 with
+  | Some tx -> Printf.printf "first delivered payload: %S\n" tx.Fl_chain.Tx.payload
+  | None -> ());
+  Printf.printf "blocks delivered at node 0: %d\n"
+    (Fl_flo.Node.delivered_blocks node0);
+  Printf.printf "all nodes agree on every definite prefix: %b\n"
+    (Fl_flo.Cluster.delivery_agreement cluster);
+  Printf.printf "recoveries needed: %d (no Byzantine nodes here)\n"
+    (Fl_metrics.Recorder.counter cluster.Fl_flo.Cluster.recorder "recoveries")

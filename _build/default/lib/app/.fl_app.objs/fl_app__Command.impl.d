@@ -1,0 +1,1 @@
+lib/app/command.ml: Codec Fl_chain Fl_wire Format Option

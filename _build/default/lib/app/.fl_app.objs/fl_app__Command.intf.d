@@ -1,0 +1,1 @@
+lib/app/command.mli: Fl_chain Format

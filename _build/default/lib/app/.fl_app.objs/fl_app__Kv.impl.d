@@ -1,0 +1,1 @@
+lib/app/kv.ml: Codec Command Fl_crypto Fl_wire Hashtbl List Printf String

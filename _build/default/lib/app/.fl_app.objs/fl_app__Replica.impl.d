@@ -1,0 +1,1 @@
+lib/app/replica.ml: Array Command Fl_chain Fl_flo Hashtbl Kv

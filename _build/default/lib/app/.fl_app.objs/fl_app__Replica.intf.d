@@ -1,0 +1,1 @@
+lib/app/replica.mli: Command Fl_flo Kv

@@ -1,0 +1,92 @@
+open Fl_wire
+
+type t =
+  | Put of { key : string; value : string }
+  | Del of { key : string }
+  | Cas of { key : string; expect : string option; value : string }
+  | Noop
+
+type envelope = { session : int; seq : int; command : t }
+
+let magic = 0xA5
+
+let encode { session; seq; command } =
+  let w = Codec.Writer.create ~capacity:64 () in
+  Codec.Writer.u8 w magic;
+  Codec.Writer.varint w session;
+  Codec.Writer.varint w seq;
+  (match command with
+  | Put { key; value } ->
+      Codec.Writer.u8 w 0;
+      Codec.Writer.bytes w key;
+      Codec.Writer.bytes w value
+  | Del { key } ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.bytes w key
+  | Cas { key; expect; value } ->
+      Codec.Writer.u8 w 2;
+      Codec.Writer.bytes w key;
+      (match expect with
+      | None -> Codec.Writer.u8 w 0
+      | Some e ->
+          Codec.Writer.u8 w 1;
+          Codec.Writer.bytes w e);
+      Codec.Writer.bytes w value
+  | Noop -> Codec.Writer.u8 w 3);
+  Codec.Writer.contents w
+
+let decode s =
+  match
+    let r = Codec.Reader.of_string s in
+    if Codec.Reader.u8 r <> magic then None
+    else begin
+      let session = Codec.Reader.varint r in
+      let seq = Codec.Reader.varint r in
+      let command =
+        match Codec.Reader.u8 r with
+        | 0 ->
+            let key = Codec.Reader.bytes r in
+            let value = Codec.Reader.bytes r in
+            Some (Put { key; value })
+        | 1 -> Some (Del { key = Codec.Reader.bytes r })
+        | 2 ->
+            let key = Codec.Reader.bytes r in
+            let expect =
+              match Codec.Reader.u8 r with
+              | 0 -> None
+              | _ -> Some (Codec.Reader.bytes r)
+            in
+            let value = Codec.Reader.bytes r in
+            Some (Cas { key; expect; value })
+        | 3 -> Some Noop
+        | _ -> None
+      in
+      match command with
+      | Some command when Codec.Reader.at_end r ->
+          Some { session; seq; command }
+      | _ -> None
+    end
+  with
+  | result -> result
+  | exception Codec.Reader.Underflow -> None
+
+let to_tx ~id env = Fl_chain.Tx.create_payload ~id (encode env)
+let of_tx tx = decode tx.Fl_chain.Tx.payload
+let valid_tx tx = of_tx tx <> None
+
+let equal a b =
+  match (a, b) with
+  | Put a, Put b -> a.key = b.key && a.value = b.value
+  | Del a, Del b -> a.key = b.key
+  | Cas a, Cas b -> a.key = b.key && a.expect = b.expect && a.value = b.value
+  | Noop, Noop -> true
+  | (Put _ | Del _ | Cas _ | Noop), _ -> false
+
+let pp fmt = function
+  | Put { key; value } -> Format.fprintf fmt "put %s=%s" key value
+  | Del { key } -> Format.fprintf fmt "del %s" key
+  | Cas { key; expect; value } ->
+      Format.fprintf fmt "cas %s: %s -> %s" key
+        (Option.value ~default:"<absent>" expect)
+        value
+  | Noop -> Format.fprintf fmt "noop"

@@ -1,0 +1,34 @@
+(** Application commands — what the ledger's transactions carry when
+    FireLedger is used as a replicated state machine.
+
+    Commands serialize canonically into transaction payloads, tagged
+    with a client session and per-session sequence number so retried
+    submissions are applied exactly once ({!Replica}). *)
+
+type t =
+  | Put of { key : string; value : string }
+  | Del of { key : string }
+  | Cas of { key : string; expect : string option; value : string }
+      (** compare-and-set: applies only if the key's current value
+          equals [expect] ([None] = absent) *)
+  | Noop
+
+type envelope = { session : int; seq : int; command : t }
+(** [seq] increments per session; a replica applies each (session,
+    seq) at most once. *)
+
+val encode : envelope -> string
+
+val decode : string -> envelope option
+(** [None] on malformed payloads — a Byzantine proposer can put
+    arbitrary bytes in a block; replicas skip them deterministically. *)
+
+val to_tx : id:int -> envelope -> Fl_chain.Tx.t
+val of_tx : Fl_chain.Tx.t -> envelope option
+
+val valid_tx : Fl_chain.Tx.t -> bool
+(** Usable as FireLedger's external [valid] predicate: the payload
+    parses as a command envelope. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

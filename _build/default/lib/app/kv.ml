@@ -1,0 +1,72 @@
+open Fl_wire
+
+type t = { table : (string, string) Hashtbl.t }
+
+type outcome = Applied | Cas_failed | No_effect
+
+let create () = { table = Hashtbl.create 64 }
+
+let apply t = function
+  | Command.Put { key; value } ->
+      Hashtbl.replace t.table key value;
+      Applied
+  | Command.Del { key } ->
+      if Hashtbl.mem t.table key then begin
+        Hashtbl.remove t.table key;
+        Applied
+      end
+      else No_effect
+  | Command.Cas { key; expect; value } ->
+      if Hashtbl.find_opt t.table key = expect then begin
+        Hashtbl.replace t.table key value;
+        Applied
+      end
+      else Cas_failed
+  | Command.Noop -> No_effect
+
+let get t key = Hashtbl.find_opt t.table key
+let size t = Hashtbl.length t.table
+
+let bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let state_hash t =
+  let ctx = Fl_crypto.Sha256.init () in
+  List.iter
+    (fun (k, v) ->
+      Fl_crypto.Sha256.feed_string ctx (Printf.sprintf "%d:%s=%s;"
+        (String.length k) k v))
+    (bindings t);
+  Fl_crypto.Sha256.finalize ctx
+
+let snapshot t =
+  let w = Codec.Writer.create ~capacity:256 () in
+  Codec.Writer.raw w "FLKV1";
+  let bs = bindings t in
+  Codec.Writer.varint w (List.length bs);
+  List.iter
+    (fun (k, v) ->
+      Codec.Writer.bytes w k;
+      Codec.Writer.bytes w v)
+    bs;
+  Codec.Writer.contents w
+
+let restore s =
+  match
+    let r = Codec.Reader.of_string s in
+    if not (String.equal (Codec.Reader.raw r 5) "FLKV1") then
+      Error "bad magic"
+    else begin
+      let t = create () in
+      let n = Codec.Reader.varint r in
+      for _ = 1 to n do
+        let k = Codec.Reader.bytes r in
+        let v = Codec.Reader.bytes r in
+        Hashtbl.replace t.table k v
+      done;
+      if Codec.Reader.at_end r then Ok t else Error "trailing bytes"
+    end
+  with
+  | result -> result
+  | exception Codec.Reader.Underflow -> Error "truncated snapshot"

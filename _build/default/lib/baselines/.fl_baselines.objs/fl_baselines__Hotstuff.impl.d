@@ -1,0 +1,1 @@
+lib/baselines/hotstuff.ml: Array Block Cpu Engine Fiber Fl_chain Fl_crypto Fl_metrics Fl_net Fl_sim Hashtbl Latency List Mailbox Net Nic Printf Rng String Time Tx

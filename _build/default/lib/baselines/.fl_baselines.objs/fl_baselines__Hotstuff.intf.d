@@ -1,0 +1,1 @@
+lib/baselines/hotstuff.mli: Engine Fl_crypto Fl_metrics Fl_net Fl_sim Time

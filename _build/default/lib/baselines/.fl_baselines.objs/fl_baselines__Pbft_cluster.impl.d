@@ -1,0 +1,1 @@
+lib/baselines/pbft_cluster.ml: Array Channel Cpu Engine Fiber Fl_chain Fl_consensus Fl_crypto Fl_metrics Fl_net Fl_sim Fun Hashtbl Hub Latency Net Nic Pbft Rng Time Tx

@@ -1,0 +1,1 @@
+lib/baselines/pbft_cluster.mli: Engine Fl_crypto Fl_metrics Fl_net Fl_sim Time

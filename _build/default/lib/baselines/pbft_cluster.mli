@@ -1,0 +1,47 @@
+(** BFT-SMaRt-like baseline deployment (Figure 17): the
+    {!Fl_consensus.Pbft} replication engine under a closed-loop
+    transaction load.
+
+    Every node keeps up to a window of its own transactions in flight;
+    the view leader batches them (β per PRE-PREPARE) and the three-
+    phase O(n²) protocol orders them. Metrics use the same recorder
+    series as FLO ("txs_delivered", "latency_e2e"), so the harness can
+    print them side by side. *)
+
+open Fl_sim
+
+type node
+
+type t = {
+  engine : Engine.t;
+  recorder : Fl_metrics.Recorder.t;
+  n : int;
+  f : int;
+  nodes_ : node option array;  (** [None] = crashed from start *)
+  window : int;
+  tx_size : int;
+}
+
+val create :
+  ?seed:int ->
+  ?latency:Fl_net.Latency.t ->
+  ?cost:Fl_crypto.Cost_model.t ->
+  ?cores:int ->
+  ?bandwidth_bps:float ->
+  ?crashed:(int -> bool) ->
+  ?inflight_per_node:int ->
+  n:int ->
+  f:int ->
+  batch_size:int ->
+  tx_size:int ->
+  unit ->
+  t
+(** [inflight_per_node] is the closed-loop window (default β: one
+    batch per node, so measured latency reflects the protocol rather
+    than queueing). *)
+
+val start : t -> unit
+val run : ?until:Time.t -> t -> unit
+
+val delivered : t -> int
+(** Transactions executed at the first live replica. *)

@@ -1,0 +1,1 @@
+lib/broadcast/atomic.ml: Fl_consensus Pbft

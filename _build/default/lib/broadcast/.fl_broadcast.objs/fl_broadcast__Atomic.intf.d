@@ -1,0 +1,1 @@
+lib/broadcast/atomic.mli: Channel Cpu Engine Fl_consensus Fl_metrics Fl_net Fl_sim

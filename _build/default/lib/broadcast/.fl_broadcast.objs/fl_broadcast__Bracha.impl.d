@@ -1,0 +1,1 @@
+lib/broadcast/bracha.ml: Channel Engine Fiber Fl_metrics Fl_net Fl_sim Hashtbl

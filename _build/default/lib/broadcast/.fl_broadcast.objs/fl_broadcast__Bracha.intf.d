@@ -1,0 +1,1 @@
+lib/broadcast/bracha.mli: Channel Engine Fl_metrics Fl_net Fl_sim

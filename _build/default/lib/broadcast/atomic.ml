@@ -1,0 +1,15 @@
+open Fl_consensus
+
+type 'a t = { pbft : 'a Pbft.t }
+
+let create engine ~recorder ~channel ~cpu ~payload_size ~payload_digest
+    ~deliver =
+  let config = Pbft.default_config ~payload_size ~payload_digest in
+  let pbft =
+    Pbft.create engine ~recorder ~channel ~cpu ~config
+      ~deliver:(fun ~seq:_ payload -> deliver payload)
+  in
+  { pbft }
+
+let broadcast t payload = Pbft.submit t.pbft payload
+let stop t = Pbft.stop t.pbft

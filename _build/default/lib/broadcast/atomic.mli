@@ -1,0 +1,28 @@
+(** Atomic broadcast — RB plus total order (the paper's §3.2 AB
+    primitive, used by the recovery procedure, Algorithm 3).
+
+    Implemented, as in the paper's artifact, on top of the BFT
+    replication engine ({!Fl_consensus.Pbft} in place of BFT-SMaRt):
+    a broadcast is a submission to the replicated log, and delivery
+    follows the log's execution order, which is identical at all
+    correct nodes. *)
+
+open Fl_sim
+open Fl_net
+
+type 'a t
+
+val create :
+  Engine.t ->
+  recorder:Fl_metrics.Recorder.t ->
+  channel:'a Fl_consensus.Pbft.msg Channel.t ->
+  cpu:Cpu.t ->
+  payload_size:('a -> int) ->
+  payload_digest:('a -> string) ->
+  deliver:('a -> unit) ->
+  'a t
+(** Start this node's AB endpoint; [deliver] observes the same
+    sequence at every correct node. *)
+
+val broadcast : 'a t -> 'a -> unit
+val stop : 'a t -> unit

@@ -1,0 +1,151 @@
+open Fl_sim
+open Fl_net
+
+type 'a msg =
+  | Send of { origin : int; tag : int; payload : 'a }
+  | Echo of { origin : int; tag : int; payload : 'a }
+  | Ready of { origin : int; tag : int; payload : 'a }
+  | Stop
+
+(* Per (origin, tag) instance. Votes are keyed by payload digest so an
+   equivocating origin cannot assemble a quorum across payloads. *)
+type 'a instance = {
+  mutable echoed : bool;
+  mutable readied : bool;
+  mutable delivered : bool;
+  echoes : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  readies : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  payloads : (string, 'a) Hashtbl.t;
+}
+
+type 'a t = {
+  engine : Engine.t;
+  recorder : Fl_metrics.Recorder.t;
+  channel : 'a msg Channel.t;
+  payload_size : 'a -> int;
+  payload_digest : 'a -> string;
+  deliver : origin:int -> tag:int -> 'a -> unit;
+  instances : (int * int, 'a instance) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let instance t key =
+  match Hashtbl.find_opt t.instances key with
+  | Some i -> i
+  | None ->
+      let i =
+        { echoed = false;
+          readied = false;
+          delivered = false;
+          echoes = Hashtbl.create 4;
+          readies = Hashtbl.create 4;
+          payloads = Hashtbl.create 2 }
+      in
+      Hashtbl.add t.instances key i;
+      i
+
+let add_vote tbl digest src =
+  let s =
+    match Hashtbl.find_opt tbl digest with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.add tbl digest s;
+        s
+  in
+  if Hashtbl.mem s src then false
+  else begin
+    Hashtbl.add s src ();
+    true
+  end
+
+let vote_count tbl digest =
+  match Hashtbl.find_opt tbl digest with
+  | Some s -> Hashtbl.length s
+  | None -> 0
+
+let msg_wire_size t = function
+  | Send { payload; _ } | Echo { payload; _ } | Ready { payload; _ } ->
+      t.payload_size payload + 16
+  | Stop -> 0
+
+let bcast t m = t.channel.Channel.bcast ~size:(msg_wire_size t m) m
+
+let send_ready t key i payload digest =
+  if not i.readied then begin
+    i.readied <- true;
+    let origin, tag = key in
+    Hashtbl.replace i.payloads digest payload;
+    bcast t (Ready { origin; tag; payload })
+  end
+
+let try_deliver t key i digest =
+  let f = t.channel.Channel.f in
+  (match Hashtbl.find_opt i.payloads digest with
+  | Some payload when vote_count i.readies digest >= f + 1 ->
+      (* Ready amplification: f+1 READYs imply a correct READY. *)
+      send_ready t key i payload digest
+  | _ -> ());
+  if (not i.delivered) && vote_count i.readies digest >= (2 * f) + 1 then
+    match Hashtbl.find_opt i.payloads digest with
+    | Some payload ->
+        i.delivered <- true;
+        Fl_metrics.Recorder.incr t.recorder "rb_deliveries";
+        let origin, tag = key in
+        t.deliver ~origin ~tag payload
+    | None -> ()
+
+let handle t (src, msg) =
+  match msg with
+  | Stop -> t.stopped <- true
+  | Send { origin; tag; payload } ->
+      if src = origin then begin
+        let i = instance t (origin, tag) in
+        if not i.echoed then begin
+          i.echoed <- true;
+          Hashtbl.replace i.payloads (t.payload_digest payload) payload;
+          bcast t (Echo { origin; tag; payload })
+        end
+      end
+  | Echo { origin; tag; payload } ->
+      let i = instance t (origin, tag) in
+      let digest = t.payload_digest payload in
+      if add_vote i.echoes digest src then begin
+        Hashtbl.replace i.payloads digest payload;
+        if vote_count i.echoes digest >= (2 * t.channel.Channel.f) + 1 then
+          send_ready t (origin, tag) i payload digest;
+        try_deliver t (origin, tag) i digest
+      end
+  | Ready { origin; tag; payload } ->
+      let i = instance t (origin, tag) in
+      let digest = t.payload_digest payload in
+      if add_vote i.readies digest src then begin
+        Hashtbl.replace i.payloads digest payload;
+        try_deliver t (origin, tag) i digest
+      end
+
+let create engine ~recorder ~channel ~payload_size ~payload_digest ~deliver =
+  let t =
+    { engine;
+      recorder;
+      channel;
+      payload_size;
+      payload_digest;
+      deliver;
+      instances = Hashtbl.create 16;
+      stopped = false }
+  in
+  Fiber.spawn engine (fun () ->
+      while not t.stopped do
+        handle t (t.channel.Channel.recv ())
+      done;
+      t.channel.Channel.close ());
+  t
+
+let broadcast t ~tag payload =
+  Fl_metrics.Recorder.incr t.recorder "rb_broadcasts";
+  bcast t (Send { origin = t.channel.Channel.self; tag; payload })
+
+let stop t =
+  if not t.stopped then
+    t.channel.Channel.send ~dst:t.channel.Channel.self ~size:0 Stop

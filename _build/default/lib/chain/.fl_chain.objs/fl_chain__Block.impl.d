@@ -1,0 +1,1 @@
+lib/chain/block.ml: Array Bytes Fl_crypto Header Int64 String Tx

@@ -1,0 +1,1 @@
+lib/chain/block.mli: Format Header Tx

@@ -1,0 +1,1 @@
+lib/chain/header.ml: Codec Fl_crypto Fl_wire Format String

@@ -1,0 +1,1 @@
+lib/chain/header.mli: Format

@@ -1,0 +1,1 @@
+lib/chain/mempool.ml: Array Queue Tx

@@ -1,0 +1,1 @@
+lib/chain/serial.ml: Array Block Codec Fl_wire Format Fun Header Printf Store String Tx

@@ -1,0 +1,1 @@
+lib/chain/serial.mli: Block Fl_wire Store Tx

@@ -1,0 +1,1 @@
+lib/chain/store.ml: Array Block Format Header String

@@ -1,0 +1,1 @@
+lib/chain/tx.ml: Bytes Fl_crypto Format Int64 String

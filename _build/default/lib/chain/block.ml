@@ -1,0 +1,47 @@
+type t = { header : Header.t; txs : Tx.t array }
+
+let genesis_hash = Fl_crypto.Sha256.digest "fireledger-genesis"
+
+let body_hash txs =
+  let ctx = Fl_crypto.Sha256.init () in
+  let buf = Bytes.create 16 in
+  Array.iter
+    (fun tx ->
+      if tx.Tx.payload = "" then begin
+        (* synthetic commitment packed in place: id + size *)
+        Bytes.set_int64_le buf 0 (Int64.of_int tx.Tx.id);
+        Bytes.set_int64_le buf 8 (Int64.of_int tx.Tx.size);
+        Fl_crypto.Sha256.feed_bytes ctx buf
+      end
+      else Fl_crypto.Sha256.feed_string ctx (Tx.digest tx))
+    txs;
+  Fl_crypto.Sha256.finalize ctx
+
+let create ~round ~proposer ~prev_hash txs =
+  let body_size = Array.fold_left (fun acc tx -> acc + tx.Tx.size) 0 txs in
+  { header =
+      { Header.round;
+        proposer;
+        prev_hash;
+        body_hash = body_hash txs;
+        tx_count = Array.length txs;
+        body_size };
+    txs }
+
+let hash t = Header.hash t.header
+
+let body_matches t =
+  t.header.Header.tx_count = Array.length t.txs
+  && String.equal t.header.Header.body_hash (body_hash t.txs)
+
+let body_wire_size t =
+  Array.fold_left (fun acc tx -> acc + Tx.wire_size tx) 16 t.txs
+
+let wire_size t = Header.wire_size + body_wire_size t
+
+let equal a b =
+  Header.equal a.header b.header
+  && Array.length a.txs = Array.length b.txs
+  && Array.for_all2 Tx.equal a.txs b.txs
+
+let pp fmt t = Header.pp fmt t.header

@@ -1,0 +1,38 @@
+open Fl_wire
+
+type t = {
+  round : int;
+  proposer : int;
+  prev_hash : string;
+  body_hash : string;
+  tx_count : int;
+  body_size : int;
+}
+
+let encode t =
+  let w = Codec.Writer.create ~capacity:96 () in
+  Codec.Writer.u64 w t.round;
+  Codec.Writer.u32 w t.proposer;
+  Codec.Writer.raw w t.prev_hash;
+  Codec.Writer.raw w t.body_hash;
+  Codec.Writer.u32 w t.tx_count;
+  Codec.Writer.u64 w t.body_size;
+  Codec.Writer.contents w
+
+let hash t = Fl_crypto.Sha256.digest (encode t)
+
+(* round(8) + proposer(4) + two digests(64) + tx_count(4) + size(8) *)
+let wire_size = 88
+
+let equal a b =
+  a.round = b.round && a.proposer = b.proposer
+  && String.equal a.prev_hash b.prev_hash
+  && String.equal a.body_hash b.body_hash
+  && a.tx_count = b.tx_count && a.body_size = b.body_size
+
+let pp fmt t =
+  Format.fprintf fmt "header{r=%d p=%d prev=%s body=%s txs=%d}" t.round
+    t.proposer
+    (Fl_crypto.Hex.short t.prev_hash)
+    (Fl_crypto.Hex.short t.body_hash)
+    t.tx_count

@@ -1,0 +1,31 @@
+(** Block headers — the part of a block that travels through the
+    consensus path.
+
+    A header cryptographically commits to its entire ancestry
+    ([prev_hash]) and to its block body ([body_hash]); this is the
+    "authentication data" FireLedger exploits to detect Byzantine
+    equivocation without extra messages: a correct proposer's header at
+    round r pins down everyone's view of rounds < r. *)
+
+type t = {
+  round : int;            (** chain position, 0-based *)
+  proposer : int;         (** node identity that created the block *)
+  prev_hash : string;     (** hash of the round r−1 header *)
+  body_hash : string;     (** commitment to the transaction list *)
+  tx_count : int;
+  body_size : int;        (** sum of transaction payload bytes *)
+}
+
+val encode : t -> string
+(** Canonical byte encoding — the exact string that is hashed and
+    signed. *)
+
+val hash : t -> string
+(** SHA-256 of [encode]. *)
+
+val wire_size : int
+(** Fixed wire footprint of a header (canonical encoding is
+    near-constant; varint variance is below NIC-model resolution). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = {
+  capacity : int;
+  queue : Tx.t Queue.t;
+  mutable bytes : int;
+  mutable submitted : int;
+  mutable rejected : int;
+}
+
+let create ?(capacity = 1_000_000) () =
+  if capacity <= 0 then invalid_arg "Mempool.create: capacity";
+  { capacity; queue = Queue.create (); bytes = 0; submitted = 0; rejected = 0 }
+
+let submit t tx =
+  if Queue.length t.queue >= t.capacity then begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
+  else begin
+    Queue.push tx t.queue;
+    t.bytes <- t.bytes + tx.Tx.size;
+    t.submitted <- t.submitted + 1;
+    true
+  end
+
+let take_batch t ~max:max_txs =
+  let available = Queue.length t.queue in
+  let count = min max_txs available in
+  Array.init count (fun _ ->
+      let tx = Queue.pop t.queue in
+      t.bytes <- t.bytes - tx.Tx.size;
+      tx)
+
+let size t = Queue.length t.queue
+let pending_bytes t = t.bytes
+let submitted_total t = t.submitted
+let rejected_total t = t.rejected

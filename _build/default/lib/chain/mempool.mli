@@ -1,0 +1,22 @@
+(** Transaction pool (the paper's "TX pool").
+
+    Clients submit; proposers drain FIFO batches when building blocks.
+    Bounded: beyond [capacity] pending transactions, [submit] applies
+    backpressure by rejecting — the flow-control behaviour §7.2
+    mentions. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1_000_000 transactions. *)
+
+val submit : t -> Tx.t -> bool
+(** [false] when the pool is full (client should retry). *)
+
+val take_batch : t -> max:int -> Tx.t array
+(** Remove and return up to [max] transactions, FIFO order. *)
+
+val size : t -> int
+val pending_bytes : t -> int
+val submitted_total : t -> int
+val rejected_total : t -> int

@@ -1,0 +1,125 @@
+open Fl_wire
+
+let magic = "FLCHAIN1"
+
+let encode_tx w (tx : Tx.t) =
+  Codec.Writer.u64 w tx.Tx.id;
+  Codec.Writer.u32 w tx.Tx.size;
+  Codec.Writer.bytes w tx.Tx.payload
+
+let decode_tx r =
+  let id = Codec.Reader.u64 r in
+  let size = Codec.Reader.u32 r in
+  let payload = Codec.Reader.bytes r in
+  if payload = "" then Tx.create ~id ~size
+  else begin
+    let tx = Tx.create_payload ~id payload in
+    if tx.Tx.size <> size then raise Codec.Reader.Underflow;
+    tx
+  end
+
+let encode_header w (h : Header.t) =
+  Codec.Writer.u64 w h.Header.round;
+  Codec.Writer.u32 w h.Header.proposer;
+  Codec.Writer.raw w h.Header.prev_hash;
+  Codec.Writer.raw w h.Header.body_hash;
+  Codec.Writer.u32 w h.Header.tx_count;
+  Codec.Writer.u64 w h.Header.body_size
+
+let decode_header r =
+  let round = Codec.Reader.u64 r in
+  let proposer = Codec.Reader.u32 r in
+  let prev_hash = Codec.Reader.raw r 32 in
+  let body_hash = Codec.Reader.raw r 32 in
+  let tx_count = Codec.Reader.u32 r in
+  let body_size = Codec.Reader.u64 r in
+  { Header.round; proposer; prev_hash; body_hash; tx_count; body_size }
+
+let encode_block w (b : Block.t) =
+  encode_header w b.Block.header;
+  Codec.Writer.u32 w (Array.length b.Block.txs);
+  Array.iter (encode_tx w) b.Block.txs
+
+let decode_block r =
+  match
+    let header = decode_header r in
+    let count = Codec.Reader.u32 r in
+    if count > 10_000_000 then Error "implausible transaction count"
+    else
+      let txs = Array.init count (fun _ -> decode_tx r) in
+      let b = { Block.header; txs } in
+      if Array.length txs > 0 || header.Header.tx_count = 0 then
+        if Block.body_matches b then Ok b else Error "body commitment mismatch"
+      else Ok b (* pruned body: header-only *)
+  with
+  | result -> result
+  | exception Codec.Reader.Underflow -> Error "truncated block"
+
+let block_to_string b =
+  let w = Codec.Writer.create ~capacity:(Block.wire_size b + 64) () in
+  encode_block w b;
+  Codec.Writer.contents w
+
+let block_of_string s =
+  let r = Codec.Reader.of_string s in
+  match decode_block r with
+  | Ok b when Codec.Reader.at_end r -> Ok b
+  | Ok _ -> Error "trailing bytes"
+  | Error e -> Error e
+
+let encode_chain store =
+  let w = Codec.Writer.create ~capacity:4096 () in
+  Codec.Writer.raw w magic;
+  Codec.Writer.varint w (Store.length store);
+  Codec.Writer.varint w (Store.pruned_below store);
+  Store.iter store (fun b -> encode_block w b);
+  Codec.Writer.contents w
+
+let decode_chain s =
+  let r = Codec.Reader.of_string s in
+  match
+    if not (String.equal (Codec.Reader.raw r 8) magic) then
+      Error "bad magic"
+    else begin
+      let len = Codec.Reader.varint r in
+      let pruned_below = Codec.Reader.varint r in
+      let store = Store.create () in
+      let rec go i =
+        if i >= len then
+          if Codec.Reader.at_end r then Ok store else Error "trailing bytes"
+        else
+          match decode_block r with
+          | Error e -> Error (Printf.sprintf "block %d: %s" i e)
+          | Ok b -> (
+              (* Pruned bodies cannot be re-checked; links always are. *)
+              let check_body = i >= pruned_below in
+              match Store.append ~check_body store b with
+              | Ok () -> go (i + 1)
+              | Error e ->
+                  Error (Format.asprintf "block %d: %a" i Store.pp_error e))
+      in
+      match go 0 with
+      | Ok store ->
+          Store.prune store ~keep_from:pruned_below;
+          Ok store
+      | Error e -> Error e
+    end
+  with
+  | result -> result
+  | exception Codec.Reader.Underflow -> Error "truncated chain"
+
+let save store ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode_chain store))
+
+let load ~path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          decode_chain (really_input_string ic len))

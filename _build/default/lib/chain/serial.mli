@@ -1,0 +1,29 @@
+(** Canonical serialization of chain data — the wire/disk format.
+
+    Blocks and whole chains round-trip through the {!Fl_wire.Codec}
+    format; [save]/[load] persist a node's ledger to disk so a
+    restarted node resumes from its last definite prefix instead of
+    replaying the network's history. The format is versioned and
+    self-describing enough to reject corrupt or truncated files. *)
+
+val encode_tx : Fl_wire.Codec.Writer.t -> Tx.t -> unit
+val decode_tx : Fl_wire.Codec.Reader.t -> Tx.t
+
+val encode_block : Fl_wire.Codec.Writer.t -> Block.t -> unit
+
+val decode_block : Fl_wire.Codec.Reader.t -> (Block.t, string) result
+(** Structural decode plus commitment re-check: the decoded body must
+    match the header's [body_hash]. *)
+
+val block_to_string : Block.t -> string
+val block_of_string : string -> (Block.t, string) result
+
+val encode_chain : Store.t -> string
+(** The whole store (pruned bodies encode as empty; their headers are
+    marked so integrity checks stay meaningful after reload). *)
+
+val decode_chain : string -> (Store.t, string) result
+(** Rebuild a store, re-validating every hash link. *)
+
+val save : Store.t -> path:string -> unit
+val load : path:string -> (Store.t, string) result

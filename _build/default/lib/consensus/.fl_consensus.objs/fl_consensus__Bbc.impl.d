@@ -1,0 +1,1 @@
+lib/consensus/bbc.ml: Channel Coin Engine Fiber Fl_metrics Fl_net Fl_sim Hashtbl Ivar List Race Time

@@ -1,0 +1,1 @@
+lib/consensus/coin.ml: Char Int64 String

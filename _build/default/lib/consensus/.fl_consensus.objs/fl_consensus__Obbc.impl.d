@@ -1,0 +1,1 @@
+lib/consensus/obbc.ml: Bbc Channel Coin Engine Fiber Fl_metrics Fl_net Fl_sim Hashtbl Ivar Mailbox Race String Time

@@ -1,0 +1,1 @@
+lib/consensus/obbc.mli: Bbc Channel Coin Engine Fl_metrics Fl_net Fl_sim Ivar

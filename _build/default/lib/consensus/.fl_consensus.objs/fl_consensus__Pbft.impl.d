@@ -1,0 +1,1 @@
+lib/consensus/pbft.ml: Channel Cpu Engine Fiber Fl_crypto Fl_metrics Fl_net Fl_sim Hashtbl List Queue Time

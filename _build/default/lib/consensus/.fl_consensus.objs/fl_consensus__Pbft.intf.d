@@ -1,0 +1,1 @@
+lib/consensus/pbft.mli: Channel Cpu Engine Fl_metrics Fl_net Fl_sim Time

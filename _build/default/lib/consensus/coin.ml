@@ -1,0 +1,19 @@
+type t = { base : int64 }
+
+let fnv_string h s =
+  String.fold_left
+    (fun acc c -> Int64.(add (mul acc 1099511628211L) (of_int (Char.code c))))
+    h s
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let make ~seed ~instance =
+  { base = fnv_string (mix (Int64.of_int seed)) instance }
+
+let flip t ~round =
+  let v = mix (Int64.add t.base (Int64.of_int (round * 2654435761))) in
+  Int64.logand v 1L = 1L

@@ -1,0 +1,20 @@
+(** Common-coin oracle for the randomized binary consensus.
+
+    The MMR binary consensus (Mostéfaoui–Moumen–Raynal, JACM 2015 —
+    the paper's reference [61]) circumvents FLP with a common coin:
+    in each round every correct node obtains the same unpredictable
+    bit. Production systems derive it from threshold signatures; in a
+    closed simulation a seeded pseudo-random function indexed by
+    (instance, round) gives the same per-round common bit to every
+    node — the oracle abstraction of [46]. Because our modeled
+    adversary fixes its behaviour before the run, coin predictability
+    is not exploited; this is noted as a substitution in DESIGN.md. *)
+
+type t
+
+val make : seed:int -> instance:string -> t
+(** Coin source for one consensus instance. Same [(seed, instance)]
+    at every node yields the same flips. *)
+
+val flip : t -> round:int -> bool
+(** The common bit of a round (pure: repeated calls agree). *)

@@ -1,0 +1,202 @@
+open Fl_sim
+open Fl_net
+
+
+type 'p msg =
+  | Vote of { value : bool; pgd : 'p option }
+  | Ev_req
+  | Ev of string option
+  | Fallback of Bbc.msg
+  | Close
+
+type 'p t = {
+  engine : Engine.t;
+  recorder : Fl_metrics.Recorder.t;
+  coin : Coin.t;
+  channel : 'p msg Channel.t;
+  validate_evidence : string -> bool;
+  my_evidence : unit -> string option;
+  on_pgd : src:int -> 'p -> unit;
+  pgd_size : 'p -> int;
+  votes : (int, bool) Hashtbl.t;
+  votes_outcome : [ `Fast | `Slow ] Ivar.t;
+  evidences : (int, unit) Hashtbl.t;
+  mutable valid_evidence : string option;
+  ev_threshold : unit Ivar.t;
+  decision : bool Ivar.t;
+  bbc_box : (int * Bbc.msg) Mailbox.t;
+  mutable bbc_started : bool;
+  mutable closed : bool;
+  pgd_seen : (int, unit) Hashtbl.t;
+}
+
+let vote_size t pgd =
+  2 + match pgd with Some p -> t.pgd_size p | None -> 0
+
+let ev_size = function Some e -> String.length e + 4 | None -> 1
+
+let bbc_channel t =
+  { Channel.self = t.channel.Channel.self;
+    n = t.channel.Channel.n;
+    f = t.channel.Channel.f;
+    bcast =
+      (fun ~size m ->
+        t.channel.Channel.bcast ~size:(size + 1) (Fallback m));
+    send =
+      (fun ~dst ~size m ->
+        t.channel.Channel.send ~dst ~size:(size + 1) (Fallback m));
+    recv = (fun () -> Mailbox.recv t.bbc_box);
+    recv_timeout = (fun ~timeout -> Mailbox.recv_timeout t.bbc_box ~timeout);
+    close = (fun () -> ()) }
+
+(* Start the fallback with a given proposal, exactly once per node. *)
+let start_fallback t proposal =
+  t.bbc_started <- true;
+  Fl_metrics.Recorder.incr t.recorder "obbc_fallbacks";
+  Bbc.start t.engine ~recorder:t.recorder ~coin:t.coin
+    ~channel:(bbc_channel t) proposal
+
+(* A fast-decided node that observes fallback traffic joins the
+   fallback proposing its decided value (paper lines OB26–OB27). *)
+let maybe_join_fallback t =
+  if not t.bbc_started then
+    match Ivar.peek t.decision with
+    | Some v ->
+        let d = start_fallback t v in
+        Ivar.on_fill d (fun v' ->
+            if not (Ivar.try_fill t.decision v') then
+              if Ivar.peek t.decision <> Some v' then
+                Fl_metrics.Recorder.incr t.recorder
+                  "obbc_agreement_violations")
+    | None -> ()
+
+let settle_decision t v =
+  if not (Ivar.try_fill t.decision v) then
+    if Ivar.peek t.decision <> Some v then
+      Fl_metrics.Recorder.incr t.recorder "obbc_agreement_violations"
+
+let handle t (src, msg) =
+  match msg with
+  | Close ->
+      t.closed <- true;
+      t.channel.Channel.close ();
+      Mailbox.send t.bbc_box (t.channel.Channel.self, Bbc.Stop)
+  | Vote { value; pgd } ->
+      (match pgd with
+      | Some p when not (Hashtbl.mem t.pgd_seen src) ->
+          Hashtbl.add t.pgd_seen src ();
+          t.on_pgd ~src p
+      | _ -> ());
+      if not (Hashtbl.mem t.votes src) then begin
+        Hashtbl.add t.votes src value;
+        let quorum = t.channel.Channel.n - t.channel.Channel.f in
+        if Hashtbl.length t.votes = quorum then begin
+          let all_one = Hashtbl.fold (fun _ v acc -> acc && v) t.votes true in
+          if all_one then begin
+            settle_decision t true;
+            Fl_metrics.Recorder.incr t.recorder "obbc_fast_decisions";
+            ignore (Ivar.try_fill t.votes_outcome `Fast)
+          end
+          else ignore (Ivar.try_fill t.votes_outcome `Slow)
+        end
+      end
+  | Ev_req ->
+      let e = t.my_evidence () in
+      t.channel.Channel.send ~dst:src ~size:(ev_size e) (Ev e)
+  | Ev e ->
+      if not (Hashtbl.mem t.evidences src) then begin
+        Hashtbl.add t.evidences src ();
+        (match e with
+        | Some ev when t.valid_evidence = None && t.validate_evidence ev ->
+            t.valid_evidence <- Some ev
+        | _ -> ());
+        let quorum = t.channel.Channel.n - t.channel.Channel.f in
+        if Hashtbl.length t.evidences >= quorum then
+          ignore (Ivar.try_fill t.ev_threshold ())
+      end
+  | Fallback b ->
+      maybe_join_fallback t;
+      Mailbox.send t.bbc_box (src, b)
+
+let create engine ~recorder ~coin ~channel ~validate_evidence ~my_evidence
+    ~on_pgd ~pgd_size =
+  let t =
+    { engine;
+      recorder;
+      coin;
+      channel;
+      validate_evidence;
+      my_evidence;
+      on_pgd;
+      pgd_size;
+      votes = Hashtbl.create 16;
+      votes_outcome = Ivar.create engine;
+      evidences = Hashtbl.create 16;
+      valid_evidence = None;
+      ev_threshold = Ivar.create engine;
+      decision = Ivar.create engine;
+      bbc_box = Mailbox.create engine;
+      bbc_started = false;
+      closed = false;
+      pgd_seen = Hashtbl.create 8 }
+  in
+  Fiber.spawn engine (fun () ->
+      while not t.closed do
+        handle t (t.channel.Channel.recv ())
+      done);
+  t
+
+let resend_interval = Time.ms 150
+
+(* The §3.1 model builds reliable links from retransmission; a vote
+   lost to a transient fault would otherwise stall the instance
+   forever (quorums are exact). Re-broadcast our vote with backoff
+   until the instance settles. *)
+let spawn_resend t m size =
+  Fiber.spawn t.engine (fun () ->
+      let rec loop delay =
+        Fiber.sleep t.engine delay;
+        if (not t.closed) && not (Ivar.is_filled t.decision) then begin
+          t.channel.Channel.bcast ~size m;
+          loop (min (Time.s 2) (2 * delay))
+        end
+      in
+      loop resend_interval)
+
+let propose t ?abort ~vote ~pgd () =
+  let m = Vote { value = vote; pgd } in
+  t.channel.Channel.bcast ~size:(vote_size t pgd) m;
+  spawn_resend t m (vote_size t pgd);
+  match Race.read t.votes_outcome ~abort with
+  | `Fast -> true
+  | `Slow -> (
+      Fl_metrics.Recorder.incr t.recorder "obbc_slow_paths";
+      t.channel.Channel.bcast ~size:2 Ev_req;
+      Fiber.spawn t.engine (fun () ->
+          let rec loop delay =
+            Fiber.sleep t.engine delay;
+            if (not t.closed) && not (Ivar.is_filled t.ev_threshold) then begin
+              t.channel.Channel.bcast ~size:2 Ev_req;
+              loop (min (Time.s 2) (2 * delay))
+            end
+          in
+          loop resend_interval);
+      ignore (Race.read t.ev_threshold ~abort);
+      let new_v = if t.valid_evidence <> None then true else vote in
+      if t.bbc_started then
+        (* The service fiber joined the fallback after our fast
+           decision raced with slow-path traffic; just await it. *)
+        Race.read t.decision ~abort
+      else begin
+        let d = start_fallback t new_v in
+        let v = Race.read d ~abort in
+        settle_decision t v;
+        v
+      end)
+
+let decision t = t.decision
+let evidence_received t = t.valid_evidence
+
+let close t =
+  if not t.closed then
+    t.channel.Channel.send ~dst:t.channel.Channel.self ~size:0 Close

@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Array Printf Sha256 String

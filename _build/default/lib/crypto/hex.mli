@@ -1,0 +1,11 @@
+(** Hexadecimal encoding of binary strings (digests, signatures). *)
+
+val encode : string -> string
+(** Lowercase hex of every byte. *)
+
+val decode : string -> string
+(** Inverse of [encode]. Raises [Invalid_argument] on odd length or
+    non-hex characters. *)
+
+val short : ?n:int -> string -> string
+(** First [n] (default 8) hex characters — convenient for logs. *)

@@ -1,0 +1,54 @@
+let leaf_hash payload = Sha256.digest ("\x00" ^ payload)
+let node_hash l r = Sha256.digest ("\x01" ^ l ^ r)
+
+(* One level up: combine adjacent pairs, duplicating a trailing odd
+   element. *)
+let level hashes =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | [ x ] -> List.rev (node_hash x x :: acc)
+    | x :: y :: rest -> go (node_hash x y :: acc) rest
+  in
+  go [] hashes
+
+let root payloads =
+  match List.map leaf_hash payloads with
+  | [] -> Sha256.digest ""
+  | hashes ->
+      let rec reduce = function
+        | [ h ] -> h
+        | hs -> reduce (level hs)
+      in
+      reduce hashes
+
+type proof = (string * [ `Left | `Right ]) list
+
+let proof payloads index =
+  let n = List.length payloads in
+  if index < 0 || index >= n then invalid_arg "Merkle.proof: index";
+  let rec go hashes idx acc =
+    match hashes with
+    | [ _ ] -> List.rev acc
+    | hs ->
+        let arr = Array.of_list hs in
+        let len = Array.length arr in
+        let sibling_idx = if idx mod 2 = 0 then idx + 1 else idx - 1 in
+        let sibling =
+          if sibling_idx >= len then arr.(idx) (* odd node paired with itself *)
+          else arr.(sibling_idx)
+        in
+        let side = if idx mod 2 = 0 then `Right else `Left in
+        go (level hs) (idx / 2) ((sibling, side) :: acc)
+  in
+  go (List.map leaf_hash payloads) index []
+
+let verify ~root:expected ~leaf prf =
+  let h =
+    List.fold_left
+      (fun h (sibling, side) ->
+        match side with
+        | `Right -> node_hash h sibling
+        | `Left -> node_hash sibling h)
+      (leaf_hash leaf) prf
+  in
+  String.equal h expected

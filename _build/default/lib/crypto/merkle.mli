@@ -1,0 +1,22 @@
+(** Merkle trees over SHA-256, used to commit a block's transaction
+    list inside the block header.
+
+    Leaves are hashed with a [\x00] domain-separation prefix and
+    internal nodes with [\x01], preventing second-preimage attacks that
+    confuse leaves with internal nodes. An odd node at any level is
+    paired with itself (Bitcoin-style duplication). The root of an
+    empty list is [Sha256.digest ""]. *)
+
+val root : string list -> string
+(** Merkle root of the leaf payloads (payloads, not hashes). *)
+
+type proof = (string * [ `Left | `Right ]) list
+(** Sibling hashes bottom-up; the tag says on which side the sibling
+    sits relative to the running hash. *)
+
+val proof : string list -> int -> proof
+(** Inclusion proof for the leaf at the given index.
+    Raises [Invalid_argument] if the index is out of bounds. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+(** Check that [leaf]'s payload is committed under [root]. *)

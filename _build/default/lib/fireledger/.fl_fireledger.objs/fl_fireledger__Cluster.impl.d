@@ -1,0 +1,1 @@
+lib/fireledger/cluster.ml: Array Config Cpu Engine Env Fl_chain Fl_crypto Fl_metrics Fl_net Fl_sim Hashtbl Hub Instance Latency Msg Net Nic Printf Rng String

@@ -1,0 +1,1 @@
+lib/fireledger/cluster.mli: Config Cpu Engine Fl_chain Fl_crypto Fl_metrics Fl_net Fl_sim Hashtbl Instance Latency Msg Net Nic Rng Time Trace

@@ -1,0 +1,1 @@
+lib/fireledger/config.ml: Fl_sim Time

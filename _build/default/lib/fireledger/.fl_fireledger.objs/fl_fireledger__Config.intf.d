@@ -1,0 +1,1 @@
+lib/fireledger/config.mli: Fl_sim Time

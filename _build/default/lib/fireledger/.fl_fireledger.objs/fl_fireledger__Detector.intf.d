@@ -1,0 +1,1 @@
+lib/fireledger/detector.mli: Config

@@ -1,0 +1,1 @@
+lib/fireledger/env.ml: Channel Cpu Engine Fl_crypto Fl_metrics Fl_net Fl_sim Fun Hub Msg Net Rng Trace

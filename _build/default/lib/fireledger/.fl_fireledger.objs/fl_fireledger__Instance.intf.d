@@ -1,0 +1,1 @@
+lib/fireledger/instance.mli: Block Config Env Fl_chain Fl_sim Mempool Store Time

@@ -1,0 +1,1 @@
+lib/fireledger/msg.ml: Fl_broadcast Fl_chain Fl_consensus Obbc Pbft Printf Tx Types

@@ -1,0 +1,1 @@
+lib/fireledger/rotation.ml: Array Config Fl_sim Fun List Rng

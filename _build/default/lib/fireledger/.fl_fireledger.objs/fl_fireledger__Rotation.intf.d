@@ -1,0 +1,1 @@
+lib/fireledger/rotation.mli: Config

@@ -1,0 +1,1 @@
+lib/fireledger/timer.ml: Config Fl_sim Time

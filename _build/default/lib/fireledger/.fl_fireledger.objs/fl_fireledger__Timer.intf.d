@@ -1,0 +1,1 @@
+lib/fireledger/timer.mli: Config Fl_sim Time

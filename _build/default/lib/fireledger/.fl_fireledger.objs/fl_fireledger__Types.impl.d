@@ -1,0 +1,1 @@
+lib/fireledger/types.ml: Array Block Codec Fl_chain Fl_crypto Fl_wire Hashtbl Header List Printf String Tx

@@ -1,0 +1,1 @@
+lib/fireledger/types.mli: Block Fl_chain Fl_crypto Header Tx

@@ -1,0 +1,92 @@
+open Fl_sim
+open Fl_net
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  recorder : Fl_metrics.Recorder.t;
+  registry : Fl_crypto.Signature.registry;
+  nics : Nic.t array;
+  cpus : Cpu.t array;
+  net : Msg.t Net.t;
+  instances : Instance.t array;
+  crashed : (int, unit) Hashtbl.t;
+}
+
+let create ?(seed = 42) ?(latency = Latency.single_dc)
+    ?(cost = Fl_crypto.Cost_model.default) ?(cores = 4)
+    ?(bandwidth_bps = Nic.ten_gbps) ?(behavior = fun _ -> Instance.Honest)
+    ?valid ?trace ?(output = fun _ -> Instance.null_output) ~config () =
+  Config.validate config;
+  let n = config.Config.n in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let recorder = Fl_metrics.Recorder.create () in
+  let registry =
+    Fl_crypto.Signature.create_registry
+      ~seed:(Printf.sprintf "cluster-%d" seed)
+      ~n
+  in
+  let nics = Array.init n (fun _ -> Nic.create ~bandwidth_bps) in
+  let cpus = Array.init n (fun _ -> Cpu.create engine ~cores) in
+  let net = Net.create engine (Rng.named_split rng "net") ~nics ~latency in
+  let crashed = Hashtbl.create 4 in
+  let instances =
+    Array.init n (fun i ->
+        let hub = Hub.create engine ~inbox:(Net.inbox net i) ~key:Msg.key in
+        let env =
+          { Env.engine;
+            rng = Rng.named_split rng (Printf.sprintf "node-%d" i);
+            recorder;
+            registry;
+            cost;
+            cpu = cpus.(i);
+            net;
+            hub;
+            me = i;
+            f = config.Config.f;
+            seed;
+            label = "w0";
+            trace }
+        in
+        Instance.create env ~config ~behavior:(behavior i) ?valid
+          ~output:(output i) ())
+  in
+  { engine; rng; recorder; registry; nics; cpus; net; instances; crashed }
+
+let start t = Array.iter Instance.start t.instances
+
+let crash t i =
+  Hashtbl.replace t.crashed i ();
+  Net.set_filter t.net
+    (Some
+       (fun ~src ~dst ->
+         (not (Hashtbl.mem t.crashed src)) && not (Hashtbl.mem t.crashed dst)))
+
+let run ?until t = Engine.run ?until t.engine
+
+let definite_prefix_agreement t =
+  let ok = ref true in
+  let n = Array.length t.instances in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        (not (Hashtbl.mem t.crashed i)) && not (Hashtbl.mem t.crashed j)
+      then begin
+        let a = t.instances.(i) and b = t.instances.(j) in
+        let upto = min (Instance.definite_upto a) (Instance.definite_upto b) in
+        for r = 0 to upto do
+          match (Fl_chain.Store.get (Instance.store a) r, Fl_chain.Store.get (Instance.store b) r)
+          with
+          | Some ba, Some bb ->
+              if
+                not
+                  (String.equal (Fl_chain.Block.hash ba)
+                     (Fl_chain.Block.hash bb))
+              then ok := false
+          | _ -> ok := false
+        done
+      end
+    done
+  done;
+  !ok

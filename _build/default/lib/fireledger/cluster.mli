@@ -1,0 +1,50 @@
+(** A standalone FireLedger deployment: n nodes, one instance each,
+    a shared simulated network, per-node NICs and CPUs. This is the
+    single-worker building block; {!Fl_flo} stacks ω of these per node.
+
+    Crash faults are injected at the network (a crashed node's traffic
+    is silently dropped in both directions — exactly what a peer can
+    observe of a crash); Byzantine behaviour is selected per node. *)
+
+open Fl_sim
+open Fl_net
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  recorder : Fl_metrics.Recorder.t;
+  registry : Fl_crypto.Signature.registry;
+  nics : Nic.t array;
+  cpus : Cpu.t array;
+  net : Msg.t Net.t;
+  instances : Instance.t array;
+  crashed : (int, unit) Hashtbl.t;
+}
+
+val create :
+  ?seed:int ->
+  ?latency:Latency.t ->
+  ?cost:Fl_crypto.Cost_model.t ->
+  ?cores:int ->
+  ?bandwidth_bps:float ->
+  ?behavior:(int -> Instance.behavior) ->
+  ?valid:(Fl_chain.Block.t -> bool) ->
+  ?trace:Trace.t ->
+  ?output:(int -> Instance.output) ->
+  config:Config.t ->
+  unit ->
+  t
+(** Build (but do not start) a cluster. [behavior]/[output] map a node
+    id to its behaviour/event sink. *)
+
+val start : t -> unit
+(** Start every instance's fibers. *)
+
+val crash : t -> int -> unit
+(** Drop all traffic from/to a node from now on. *)
+
+val run : ?until:Time.t -> t -> unit
+
+val definite_prefix_agreement : t -> bool
+(** Safety oracle for tests: over non-crashed nodes, every pair agrees
+    on all blocks both consider definite. *)

@@ -1,0 +1,31 @@
+(** Benign failure detector (§6.1.1).
+
+    Without it, a crashed node costs a full WRB timeout every time the
+    rotation reaches it. The detector suspects up to f nodes whose
+    proposing rounds have repeatedly timed out; a suspected proposer's
+    round is voted against immediately, without waiting. The suspect
+    list is invalidated whenever the rotation skips a node among the
+    last f proposers and whenever Byzantine activity is detected, so
+    at least one correct node always remains unsuspected by correct
+    nodes (the paper's liveness argument). *)
+
+type t
+
+val create : Config.t -> t
+
+val suspected : t -> int -> bool
+(** Should WRB skip waiting for this proposer? Always false when the
+    detector is disabled. *)
+
+val record_timeout : t -> proposer:int -> unit
+(** The proposer's round timed out at us. *)
+
+val record_delivery : t -> proposer:int -> unit
+(** We received a valid proposal from this node: clear its strikes
+    and any suspicion of it. *)
+
+val invalidate : t -> unit
+(** Drop all suspicions (rotation skipped a recent proposer, or a
+    Byzantine proof appeared). *)
+
+val suspect_count : t -> int

@@ -1,0 +1,1188 @@
+open Fl_sim
+open Fl_net
+open Fl_chain
+open Fl_consensus
+
+type behavior = Honest | Equivocator
+
+type block_times = { a : Time.t; b : Time.t; c : Time.t; d : Time.t }
+
+type output = {
+  on_tentative : round:int -> Block.t -> unit;
+  on_definite : round:int -> Block.t -> times:block_times -> unit;
+  on_recovery : round:int -> rescinded:int -> unit;
+}
+
+let null_output =
+  { on_tentative = (fun ~round:_ _ -> ());
+    on_definite = (fun ~round:_ _ ~times:_ -> ());
+    on_recovery = (fun ~round:_ ~rescinded:_ -> ()) }
+
+type pending_times = { pt_a : Time.t; pt_b : Time.t; pt_c : Time.t }
+
+type t = {
+  env : Env.t;
+  config : Config.t;
+  behavior : behavior;
+  valid : Block.t -> bool;
+  output : output;
+  store : Store.t;
+  mempool : Mempool.t;
+  timer : Timer.t;
+  detector : Detector.t;
+  rotation : Rotation.t;
+  (* dissemination state *)
+  bodies : (string, Tx.t array) Hashtbl.t;
+  body_arrival : (string, Time.t) Hashtbl.t;
+  stash : (int, Types.proposal * Time.t) Hashtbl.t;  (* per proposer *)
+  fetched : (int, Types.signed_header * Tx.t array) Hashtbl.t;
+      (* pull replies keyed by round — feeds the catch-up sync *)
+  signed_headers : (int, Types.signed_header) Hashtbl.t;  (* per round *)
+  mutable pulse : unit Ivar.t;  (* wakes WRB waits on any arrival *)
+  prepared : (Tx.t array * string * Time.t) Queue.t;
+      (* bodies built (and shipped) ahead of our proposing turns; the
+         head is the next block we will propose *)
+  own_in_flight : (string, unit) Hashtbl.t;  (* flow control (§7.2) *)
+  (* round state *)
+  mutable round : int;
+  mutable attempt : int;
+  mutable era : int;  (* completed recoveries *)
+  mutable proposer : int;
+  mutable full_mode : bool;
+  mutable definite_upto : int;
+  open_obbcs : (int * int * int, Msg.ob_payload Obbc.t) Hashtbl.t;
+  times : (int, pending_times) Hashtbl.t;
+  (* panic and recovery *)
+  mutable abort : unit Ivar.t;
+  mutable pending_proofs : Types.proof list;
+  handled_recoveries : (int, unit) Hashtbl.t;
+  version_boxes : (int, Types.version Mailbox.t) Hashtbl.t;
+  mutable rb : Types.proof Fl_broadcast.Bracha.t option;
+  mutable ab : Types.version Pbft.t option;
+  mutable rb_tag : int;
+  (* workload *)
+  mutable next_tx_id : int;
+  halves : int list * int list;  (* equivocation split *)
+  mutable stopped : bool;
+}
+
+(* ---------- small helpers ---------- *)
+
+let n_of t = t.config.Config.n
+let f_of t = t.config.Config.f
+let me t = t.env.Env.me
+let engine t = t.env.Env.engine
+let recorder t = t.env.Env.recorder
+let now t = Engine.now (engine t)
+let incr_c t name = Fl_metrics.Recorder.incr (recorder t) name
+
+let trace t ~category fmt =
+  Printf.ksprintf
+    (fun detail ->
+      Trace.emit t.env.Env.trace (engine t) ~category
+        (Printf.sprintf "%s/n%d %s" t.env.Env.label (me t) detail))
+    fmt
+
+let charge_hash t ~bytes =
+  Cpu.charge t.env.Env.cpu
+    (Fl_crypto.Cost_model.hash_cost t.env.Env.cost ~bytes)
+
+let charge_sign t =
+  Cpu.charge t.env.Env.cpu
+    (int_of_float t.env.Env.cost.Fl_crypto.Cost_model.sign_const_ns)
+
+let charge_verify t =
+  Cpu.charge t.env.Env.cpu
+    (int_of_float t.env.Env.cost.Fl_crypto.Cost_model.verify_const_ns)
+
+let body_bytes txs = Array.fold_left (fun acc tx -> acc + tx.Tx.size) 0 txs
+
+let body_msg_size txs =
+  Array.fold_left (fun acc tx -> acc + Tx.wire_size tx) 48 txs
+
+let send t ~dst ~size m = Net.send t.env.Env.net ~src:(me t) ~dst ~size m
+let bcast t ~size m = Net.broadcast t.env.Env.net ~src:(me t) ~size m
+
+let pulse_fill t = ignore (Ivar.try_fill t.pulse ())
+
+(* Last [count] proposers of the stored chain, oldest first. *)
+let recent_proposers t count =
+  let len = Store.length t.store in
+  let rec go r acc =
+    if r >= len then List.rev acc
+    else
+      match Store.get t.store r with
+      | Some b -> go (r + 1) (b.Block.header.Header.proposer :: acc)
+      | None -> List.rev acc
+  in
+  go (max 0 (len - count)) []
+
+(* The proposer of round r+1, assuming round r is decided by [k]:
+   used for the piggyback decision (Algorithm 2, lines 12–14, with the
+   b1–b3 skip rule applied predictively). *)
+let predicted_next t ~k =
+  let f = f_of t in
+  let recent =
+    let prior = recent_proposers t (max 0 (f - 1)) in
+    prior @ [ k ]
+  in
+  let next_round = t.round + 1 in
+  Rotation.eligible t.rotation ~round:next_round ~recent
+    (Rotation.successor t.rotation ~round:next_round k)
+
+(* ---------- bodies ---------- *)
+
+let store_body t txs ~at =
+  let bytes = body_bytes txs in
+  charge_hash t ~bytes;
+  let bh = Block.body_hash txs in
+  if not (Hashtbl.mem t.bodies bh) then begin
+    Hashtbl.replace t.bodies bh txs;
+    Hashtbl.replace t.body_arrival bh at;
+    pulse_fill t
+  end;
+  bh
+
+let synth_tx t =
+  let id = (me t * 1_000_000_007) + t.next_tx_id in
+  t.next_tx_id <- t.next_tx_id + 1;
+  Tx.create ~id ~size:t.config.Config.tx_size
+
+(* Assemble a block body: drain the mempool, pad to β with synthetic
+   transactions under the paper's full-load mode. *)
+let build_body t =
+  let batch = Mempool.take_batch t.mempool ~max:t.config.Config.batch_size in
+  let txs =
+    if
+      t.config.Config.fill_blocks
+      && Array.length batch < t.config.Config.batch_size
+    then
+      Array.append batch
+        (Array.init
+           (t.config.Config.batch_size - Array.length batch)
+           (fun _ -> synth_tx t))
+    else batch
+  in
+  let at = now t in
+  let bh = store_body t txs ~at in
+  (txs, bh, at)
+
+(* Sample [fanout] distinct peers (never self). *)
+let gossip_peers t fanout =
+  let n = n_of t in
+  let picked = Hashtbl.create fanout in
+  let rec go acc remaining guard =
+    if remaining = 0 || guard = 0 then acc
+    else
+      let p = Rng.int t.env.Env.rng n in
+      if p = me t || Hashtbl.mem picked p then go acc remaining (guard - 1)
+      else begin
+        Hashtbl.add picked p ();
+        go (p :: acc) (remaining - 1) (guard - 1)
+      end
+  in
+  go [] (min fanout (n - 1)) (8 * n)
+
+let gossip_ttl t fanout =
+  (* enough hops for coverage w.h.p.: ceil(log_fanout n) + 1 *)
+  let n = float_of_int (n_of t) in
+  let f = float_of_int (max 2 fanout) in
+  int_of_float (ceil (log n /. log f)) + 1
+
+let send_body t txs ~bh =
+  match t.config.Config.dissemination with
+  | Config.Clique ->
+      bcast t ~size:(body_msg_size txs)
+        (Msg.Body { body_hash = bh; txs; ttl = 0 })
+  | Config.Gossip fanout ->
+      let ttl = gossip_ttl t fanout in
+      Net.multicast t.env.Env.net ~src:(me t) ~dsts:(gossip_peers t fanout)
+        ~size:(body_msg_size txs)
+        (Msg.Body { body_hash = bh; txs; ttl = ttl - 1 })
+
+let broadcast_body t txs ~bh =
+  Hashtbl.replace t.own_in_flight bh ();
+  send_body t txs ~bh
+
+(* Pre-disseminate upcoming block bodies as soon as we expect to be
+   the next proposer (§6.1.1: "a node broadcasts a block as soon as
+   the block is ready"). With [pipeline_depth] > 1 several bodies are
+   shipped ahead, overlapping their dissemination with earlier
+   rounds — the effect §7.2.1 credits for larger clusters' tps. *)
+let pre_disseminate t =
+  while
+    Queue.length t.prepared < t.config.Config.pipeline_depth
+    && Hashtbl.length t.own_in_flight < t.config.Config.max_outstanding
+  do
+    let txs, bh, at = build_body t in
+    Queue.push (txs, bh, at) t.prepared;
+    if t.config.Config.separate_bodies then broadcast_body t txs ~bh
+  done
+
+let take_prepared t =
+  match Queue.peek_opt t.prepared with
+  | Some p -> p
+  | None ->
+      let txs, bh, at = build_body t in
+      Queue.push (txs, bh, at) t.prepared;
+      if t.config.Config.separate_bodies then broadcast_body t txs ~bh;
+      (txs, bh, at)
+
+(* Build and sign our proposal for a round on top of [prev_hash]. The
+   body is kept in [prepared] until the block is actually appended, so
+   a failed round re-proposes the same transactions. A body that fails
+   our own external-validity check (a faulty client slipped garbage
+   into the pool) is discarded — re-proposing it would make us look
+   Byzantine and waste a round per rotation. *)
+let make_proposal t ~round ~prev_hash =
+  let rec pick tries =
+    let txs, bh, at = take_prepared t in
+    let header =
+      { Header.round;
+        proposer = me t;
+        prev_hash;
+        body_hash = bh;
+        tx_count = Array.length txs;
+        body_size = body_bytes txs }
+    in
+    if tries > 0 && not (t.valid { Block.header = header; txs }) then begin
+      incr_c t "own_invalid_bodies_discarded";
+      (match Queue.peek_opt t.prepared with
+      | Some (_, bh', _) when String.equal bh' bh ->
+          ignore (Queue.pop t.prepared);
+          Hashtbl.remove t.own_in_flight bh
+      | _ -> ());
+      pick (tries - 1)
+    end
+    else (txs, bh, at, header)
+  in
+  let txs, _bh, _at, header = pick 8 in
+  charge_sign t;
+  incr_c t "signatures";
+  let sh = Types.sign_header t.env.Env.registry ~signer:(me t) header in
+  let body = if t.config.Config.separate_bodies then None else Some txs in
+  { Types.sh; body }
+
+(* ---------- proposal stash ---------- *)
+
+let best_stash t ~k ~r =
+  match Hashtbl.find_opt t.stash k with
+  | Some (p, at) when p.Types.sh.Types.header.Header.round = r -> Some (p, at)
+  | _ -> None
+
+(* Does a stashed proposal extend our chain tip? Proposals that do are
+   delivered eagerly; a proposal that does not is held until the timer
+   expires — it is either a stale re-proposal about to be superseded
+   by a fresh one, or genuine Byzantine equivocation fallout that the
+   b4 path must see (so we cannot simply drop it). *)
+let stash_extends_tip t (p : Types.proposal) =
+  String.equal p.Types.sh.Types.header.Header.prev_hash
+    (Store.last_hash t.store)
+
+(* The full vote-1 condition for a stashed proposal: body in hand and
+   matching, external validity satisfied. Used both for voting and for
+   answering evidence requests — evidence(1) certifies "a valid
+   message was received", not merely "a signed header exists", or a
+   slow path could launder an externally-invalid block through
+   evidence adoption. *)
+let deliverable_body t (p : Types.proposal) =
+  let h = p.Types.sh.Types.header in
+  match
+    if String.equal h.Header.body_hash (Block.body_hash [||]) then Some [||]
+    else Hashtbl.find_opt t.bodies h.Header.body_hash
+  with
+  | Some txs
+    when h.Header.tx_count = Array.length txs
+         && t.valid { Block.header = h; txs } ->
+      Some txs
+  | _ -> None
+
+let note_proposal t ~src (p : Types.proposal) =
+  ignore src;
+  (* The stash is keyed by the header's proposer, not the transport
+     sender: pull replies legitimately relay other proposers' signed
+     headers, and the signature (checked below) is the authority on
+     who authored the proposal. *)
+  let h = p.Types.sh.Types.header in
+  let owner = h.Header.proposer in
+  if owner >= 0 && owner < n_of t && h.Header.round >= t.round then begin
+    (* Accept same-round replacements: a proposer whose earlier
+       attempt was rejected re-signs its proposal on top of the block
+       that actually decided, and the fresh version must supersede the
+       stale one. *)
+    let fresh =
+      match Hashtbl.find_opt t.stash owner with
+      | Some (old, _) ->
+          let old_h = old.Types.sh.Types.header in
+          old_h.Header.round < h.Header.round
+          || (old_h.Header.round = h.Header.round
+             && not (Header.equal old_h h))
+      | None -> true
+    in
+    if fresh then begin
+      charge_verify t;
+      incr_c t "verifications";
+      if Types.signed_header_valid t.env.Env.registry p.Types.sh then begin
+        Hashtbl.replace t.stash owner (p, now t);
+        (match p.Types.body with
+        | Some txs -> ignore (store_body t txs ~at:(now t))
+        | None -> ());
+        pulse_fill t
+      end
+    end
+  end
+
+(* ---------- abortable waits ---------- *)
+
+let wait_chunk = Time.ms 5
+
+(* Wait for the next arrival pulse, bounded by [deadline]. Returns
+   false once the deadline passed. Raises [Race.Aborted] on panic. *)
+let wait_pulse t ~deadline ~abort =
+  Race.check ~abort;
+  let current = now t in
+  if current >= deadline then false
+  else begin
+    if Ivar.is_filled t.pulse then t.pulse <- Ivar.create (engine t);
+    let timeout = min wait_chunk (deadline - current) in
+    ignore (Ivar.read_timeout t.pulse ~timeout);
+    Race.check ~abort;
+    true
+  end
+
+let rec obtain_proposal t ~k ~r ~deadline ~abort =
+  match best_stash t ~k ~r with
+  | Some (p, _) as x when stash_extends_tip t p || now t >= deadline -> x
+  | _ ->
+      if wait_pulse t ~deadline ~abort then
+        obtain_proposal t ~k ~r ~deadline ~abort
+      else best_stash t ~k ~r
+
+(* Empty blocks all commit to the same body hash; synthesising the
+   empty body instead of tracking it in [bodies] avoids the shared
+   entry being dropped when one of the identical blocks is appended.
+   Non-empty bodies are unique (transaction ids are node-prefixed). *)
+let empty_body_hash = Block.body_hash [||]
+
+let find_body t hash =
+  if String.equal hash empty_body_hash then Some [||]
+  else Hashtbl.find_opt t.bodies hash
+
+let rec obtain_body t ~hash ~deadline ~abort =
+  match find_body t hash with
+  | Some txs -> Some txs
+  | None ->
+      if wait_pulse t ~deadline ~abort then obtain_body t ~hash ~deadline ~abort
+      else None
+
+(* ---------- OBBC wiring ---------- *)
+
+let obbc_key t ~r ~attempt = (t.era, r, attempt)
+
+let obbc_for t ~r ~attempt ~k =
+  let key = obbc_key t ~r ~attempt in
+  match Hashtbl.find_opt t.open_obbcs key with
+  | Some o -> o
+  | None ->
+      let era = t.era in
+      let skey = Printf.sprintf "ob:%d:%d:%d" era r attempt in
+      let channel =
+        Channel.of_hub t.env.Env.hub ~key:skey ~net:t.env.Env.net
+          ~self:(me t) ~f:(f_of t)
+          ~inj:(fun m -> Msg.Ob { era; round = r; attempt; m })
+          ~prj:(function
+            | Msg.Ob { m; _ } -> m
+            | _ -> assert false)
+      in
+      let coin =
+        Coin.make ~seed:t.env.Env.seed
+          ~instance:(Printf.sprintf "%s/%s" t.env.Env.label skey)
+      in
+      let o =
+        Obbc.create (engine t) ~recorder:(recorder t) ~coin ~channel
+          ~validate_evidence:(fun ev ->
+            match Types.decode_signed_header ev with
+            | Some sh ->
+                sh.Types.header.Header.round = r
+                && sh.Types.header.Header.proposer = k
+                && Types.signed_header_valid t.env.Env.registry sh
+            | None -> false)
+          ~my_evidence:(fun () ->
+            match best_stash t ~k ~r with
+            | Some (p, _) when deliverable_body t p <> None ->
+                Some (Types.encode_signed_header p.Types.sh)
+            | _ -> None)
+          ~on_pgd:(fun ~src p -> note_proposal t ~src p)
+          ~pgd_size:Types.proposal_size
+      in
+      Hashtbl.replace t.open_obbcs key o;
+      o
+
+(* ---------- pull phase (Algorithm 1, lines 22–27) ---------- *)
+
+(* The decision was 1 but we miss the header and/or body: first try
+   the evidence OBBC collected (it carries the signed header), then
+   pull from peers until a valid reply arrives. *)
+let recover_delivery t ~k ~r ~obbc ~abort =
+  (match Obbc.evidence_received obbc with
+  | Some ev -> (
+      match Types.decode_signed_header ev with
+      | Some sh
+        when sh.Types.header.Header.round = r
+             && sh.Types.header.Header.proposer = k ->
+          note_proposal t ~src:k { Types.sh; body = None }
+      | _ -> ())
+  | None -> ());
+  let rec loop () =
+    Race.check ~abort;
+    match best_stash t ~k ~r with
+    | Some (p, at)
+      when find_body t p.Types.sh.Types.header.Header.body_hash <> None -> (
+        match find_body t p.Types.sh.Types.header.Header.body_hash with
+        | Some txs -> (p, txs, at)
+        | None -> assert false)
+    | _ ->
+        incr_c t "pulls";
+        bcast t ~size:12 (Msg.Req { round = r });
+        let deadline = now t + Timer.current t.timer in
+        let rec wait () =
+          if wait_pulse t ~deadline ~abort then
+            match best_stash t ~k ~r with
+            | Some (p, _)
+              when find_body t p.Types.sh.Types.header.Header.body_hash
+                   <> None ->
+                ()
+            | _ -> wait ()
+        in
+        wait ();
+        loop ()
+  in
+  loop ()
+
+(* ---------- WRB delivery (Algorithm 1) ---------- *)
+
+let should_piggyback t ~k =
+  t.config.Config.piggyback && t.behavior = Honest
+  && predicted_next t ~k = me t
+
+let wrb_deliver t ~k =
+  let r = t.round in
+  let abort = Some t.abort in
+  let start = now t in
+  let deadline = start + Timer.current t.timer in
+  let prop =
+    if Detector.suspected t.detector k then None
+    else obtain_proposal t ~k ~r ~deadline ~abort
+  in
+  let ready =
+    match prop with
+    | None -> None
+    | Some (p, arr) -> (
+        let h = p.Types.sh.Types.header in
+        match obtain_body t ~hash:h.Header.body_hash ~deadline ~abort with
+        | Some txs
+          when h.Header.tx_count = Array.length txs
+               && t.valid { Block.header = h; txs } ->
+            Some (p, txs, arr)
+        | _ -> None)
+  in
+  (* Timer tuning tracks time-to-readiness (header AND body), not just
+     the header: with piggybacked headers the header delay is ~0 while
+     the body is still on the wire, and an EMA of the header delay
+     alone would shrink the timeout below the dissemination time. *)
+  let ready_at = now t in
+  let vote = ready <> None in
+  let pgd =
+    match ready with
+    | Some (p, _, _) when should_piggyback t ~k ->
+        Some
+          (make_proposal t ~round:(r + 1)
+             ~prev_hash:(Header.hash p.Types.sh.Types.header))
+    | _ -> None
+  in
+  let obbc = obbc_for t ~r ~attempt:t.attempt ~k in
+  Cpu.charge t.env.Env.cpu (n_of t * t.config.Config.vote_cpu);
+  let decision = Obbc.propose obbc ?abort ~vote ~pgd () in
+  if not decision then begin
+    Timer.on_timeout t.timer;
+    None
+  end
+  else begin
+    let p, txs, arr =
+      match ready with
+      | Some x -> x
+      | None -> recover_delivery t ~k ~r ~obbc ~abort
+    in
+    Timer.on_success t.timer ~delay:(max 0 (ready_at - start));
+    Some (p, txs, arr)
+  end
+
+(* ---------- definite decisions, pruning, GC ---------- *)
+
+let mark_definite t =
+  let tip = Store.length t.store - 1 in
+  let limit = tip - (f_of t + 2) in
+  while t.definite_upto < limit do
+    let r = t.definite_upto + 1 in
+    t.definite_upto <- r;
+    match Store.get t.store r with
+    | Some b ->
+        let pt =
+          match Hashtbl.find_opt t.times r with
+          | Some pt -> pt
+          | None ->
+              (* adopted via recovery: only the adoption time is known *)
+              { pt_a = now t; pt_b = now t; pt_c = now t }
+        in
+        Hashtbl.remove t.times r;
+        let d = now t in
+        let times = { a = pt.pt_a; b = pt.pt_b; c = pt.pt_c; d } in
+        Fl_metrics.Recorder.observe (recorder t) "ev_cd" (d - pt.pt_c);
+        Fl_metrics.Recorder.mark (recorder t) "blocks_definite" ~now:d 1;
+        Fl_metrics.Recorder.mark (recorder t) "txs_definite" ~now:d
+          b.Block.header.Header.tx_count;
+        if b.Block.header.Header.proposer = me t then
+          Hashtbl.remove t.own_in_flight b.Block.header.Header.body_hash;
+        t.output.on_definite ~round:r b ~times
+    | None -> ()
+  done
+
+let gc t =
+  let cutoff = t.round - t.config.Config.gc_window in
+  if cutoff > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun ((_, r, _) as key) o acc ->
+          if r < cutoff then (key, o) :: acc else acc)
+        t.open_obbcs []
+    in
+    List.iter
+      (fun (key, o) ->
+        Obbc.close o;
+        Hashtbl.remove t.open_obbcs key)
+      stale;
+    let prune_cut = t.round - t.config.Config.prune_window in
+    if prune_cut > 0 then begin
+      Store.prune t.store ~keep_from:prune_cut;
+      Hashtbl.iter
+        (fun r _ -> if r < prune_cut then Hashtbl.remove t.signed_headers r)
+        (Hashtbl.copy t.signed_headers)
+    end
+  end
+
+let accept_block t (p : Types.proposal) txs ~header_at =
+  let h = p.Types.sh.Types.header in
+  let r = h.Header.round in
+  let block = { Block.header = h; txs } in
+  (* The body was verified when it entered the content-addressed table
+     (store_body keys by the computed hash), so skip the re-hash. *)
+  (match Store.append ~check_body:false t.store block with
+  | Ok () -> ()
+  | Error e ->
+      Fmt.failwith "instance %d: append round %d: %a" (me t) r Store.pp_error
+        e);
+  Hashtbl.replace t.signed_headers r p.Types.sh;
+  let a =
+    match Hashtbl.find_opt t.body_arrival h.Header.body_hash with
+    | Some at -> at
+    | None -> header_at
+  in
+  let c = now t in
+  Hashtbl.replace t.times r { pt_a = a; pt_b = header_at; pt_c = c };
+  Fl_metrics.Recorder.observe (recorder t) "ev_ab" (max 0 (header_at - a));
+  Fl_metrics.Recorder.observe (recorder t) "ev_bc" (max 0 (c - header_at));
+  Fl_metrics.Recorder.mark (recorder t) "blocks_tentative" ~now:c 1;
+  trace t ~category:"tentative" "r=%d by=%d %s" r h.Header.proposer
+    (Fl_crypto.Hex.short (Block.hash block));
+  t.output.on_tentative ~round:r block;
+  if h.Header.proposer = me t then begin
+    (match Queue.peek_opt t.prepared with
+    | Some (_, bh, _) when String.equal bh h.Header.body_hash ->
+        ignore (Queue.pop t.prepared)
+    | _ -> ());
+    Hashtbl.remove t.own_in_flight h.Header.body_hash
+  end;
+  Hashtbl.remove t.bodies h.Header.body_hash;
+  Hashtbl.remove t.body_arrival h.Header.body_hash;
+  mark_definite t;
+  t.attempt <- 0;
+  t.proposer <- Rotation.successor t.rotation ~round:r t.proposer;
+  t.round <- r + 1;
+  if r land 63 = 0 then gc t
+
+(* ---------- recovery (Algorithm 3) ---------- *)
+
+let version_box t r =
+  match Hashtbl.find_opt t.version_boxes r with
+  | Some b -> b
+  | None ->
+      let b = Mailbox.create (engine t) in
+      Hashtbl.add t.version_boxes r b;
+      b
+
+let own_version t r =
+  let f = f_of t in
+  let s = max 0 (r - (f + 1)) in
+  if t.round < r - 1 then
+    { Types.recovery_round = r; origin = me t; blocks = [] }
+  else
+    let blocks =
+      Store.sub t.store ~from:s
+      |> List.filter_map (fun b ->
+             match
+               Hashtbl.find_opt t.signed_headers b.Block.header.Header.round
+             with
+             | Some sh -> Some (b, sh.Types.signature)
+             | None -> None)
+    in
+    { Types.recovery_round = r; origin = me t; blocks }
+
+let recovery t r =
+  incr_c t "recoveries";
+  trace t ~category:"recovery" "start r=%d era=%d" r t.era;
+  Fl_metrics.Recorder.mark (recorder t) "recoveries" ~now:(now t) 1;
+  Detector.invalidate t.detector;
+  let f = f_of t in
+  let v = own_version t r in
+  (match t.ab with Some ab -> Pbft.submit ab v | None -> assert false);
+  let box = version_box t r in
+  let anchor round =
+    if round < 0 then Some Block.genesis_hash
+    else
+      match Store.get t.store round with
+      | Some b -> Some (Block.hash b)
+      | None -> None
+  in
+  let seen = Hashtbl.create 8 in
+  let collected = ref [] in
+  let count = ref 0 in
+  while !count < n_of t - f do
+    let vj = Mailbox.recv box in
+    if not (Hashtbl.mem seen vj.Types.origin) then begin
+      Hashtbl.add seen vj.Types.origin ();
+      (* price of authenticating a received version (Table 1's
+         (n−f)·chain-size signature checks) *)
+      List.iter
+        (fun (b, _) ->
+          charge_verify t;
+          charge_hash t ~bytes:b.Block.header.Header.body_size)
+        vj.Types.blocks;
+      match
+        Types.validate_version t.env.Env.registry ~f ~n:(n_of t) ~anchor vj
+      with
+      | Types.Adoptable ->
+          collected := vj :: !collected;
+          incr count
+      | Types.Unanchored ->
+          (* counts toward the quorum but cannot be adopted here *)
+          incr count
+      | Types.Invalid -> incr_c t "invalid_versions"
+    end
+  done;
+  let adoptable = List.rev !collected in
+  let best =
+    List.fold_left
+      (fun best v ->
+        if v.Types.blocks = [] then best
+        else
+          match best with
+          | Some b when Types.version_tip b >= Types.version_tip v -> best
+          | _ -> Some v)
+      None adoptable
+  in
+  let rescinded = ref 0 in
+  (match best with
+  | None -> ()
+  | Some v -> (
+      let first_round =
+        match v.Types.blocks with
+        | (b, _) :: _ -> b.Block.header.Header.round
+        | [] -> assert false
+      in
+      (* count rounds whose block changes *)
+      List.iter
+        (fun (b, _) ->
+          match Store.get t.store b.Block.header.Header.round with
+          | Some old when not (String.equal (Block.hash old) (Block.hash b))
+            ->
+              incr rescinded
+          | _ -> ())
+        v.Types.blocks;
+      let old_len = Store.length t.store in
+      let new_tip = Types.version_tip v in
+      if new_tip + 1 < old_len then rescinded := !rescinded + (old_len - new_tip - 1);
+      match
+        Store.replace_suffix t.store ~from:first_round
+          (List.map fst v.Types.blocks)
+      with
+      | Ok () ->
+          List.iter
+            (fun (b, s) ->
+              Hashtbl.replace t.signed_headers b.Block.header.Header.round
+                { Types.header = b.Block.header; signature = s };
+              Hashtbl.remove t.times b.Block.header.Header.round)
+            v.Types.blocks
+      | Error e ->
+          (* validated beforehand; never expected *)
+          Logs.err (fun m ->
+              m "instance %d: recovery adoption failed: %a" (me t)
+                Store.pp_error e)));
+  t.output.on_recovery ~round:r ~rescinded:!rescinded;
+  Fl_metrics.Recorder.add (recorder t) "blocks_rescinded" !rescinded;
+  Hashtbl.remove t.version_boxes r;
+  t.era <- t.era + 1;
+  t.round <- Store.length t.store;
+  t.attempt <- 0;
+  t.full_mode <- true;
+  let recent = recent_proposers t f in
+  let candidate =
+    match Store.last t.store with
+    | Some b ->
+        Rotation.successor t.rotation ~round:t.round
+          b.Block.header.Header.proposer
+    | None -> 0
+  in
+  t.proposer <- Rotation.eligible t.rotation ~round:t.round ~recent candidate;
+  trace t ~category:"recovery" "done r=%d rescinded=%d new-round=%d" r
+    !rescinded t.round;
+  mark_definite t
+
+let enqueue_proof t proof =
+  let r = Types.proof_round proof in
+  if
+    (not (Hashtbl.mem t.handled_recoveries r))
+    && (not (List.exists (fun p -> Types.proof_round p = r) t.pending_proofs))
+    && Types.proof_valid t.env.Env.registry proof
+  then begin
+    t.pending_proofs <- proof :: t.pending_proofs;
+    ignore (Ivar.try_fill t.abort ())
+  end
+
+let handle_panics t =
+  t.abort <- Ivar.create (engine t);
+  let rec drain () =
+    match
+      List.sort
+        (fun a b -> compare (Types.proof_round a) (Types.proof_round b))
+        t.pending_proofs
+    with
+    | [] -> ()
+    | proof :: rest ->
+        t.pending_proofs <- rest;
+        let r = Types.proof_round proof in
+        if not (Hashtbl.mem t.handled_recoveries r) then begin
+          Hashtbl.add t.handled_recoveries r ();
+          recovery t r
+        end;
+        drain ()
+  in
+  drain ()
+
+(* ---------- Byzantine equivocation (§7.4.2) ---------- *)
+
+let equivocate_push t =
+  let r = t.round in
+  let prev_hash = Store.last_hash t.store in
+  let variant targets =
+    let txs, bh, _ = build_body t in
+    (* Two empty bodies would be the *same* block — no equivocation at
+       all; a real attacker makes the variants differ. *)
+    let txs, bh =
+      if Array.length txs = 0 then begin
+        let txs = [| synth_tx t |] in
+        (txs, store_body t txs ~at:(now t))
+      end
+      else (txs, bh)
+    in
+    Queue.clear t.prepared;
+    let header =
+      { Header.round = r;
+        proposer = me t;
+        prev_hash;
+        body_hash = bh;
+        tx_count = Array.length txs;
+        body_size = body_bytes txs }
+    in
+    charge_sign t;
+    let sh = Types.sign_header t.env.Env.registry ~signer:(me t) header in
+    let body = if t.config.Config.separate_bodies then None else Some txs in
+    let p = { Types.sh; body } in
+    if t.config.Config.separate_bodies then
+      Net.multicast t.env.Env.net ~src:(me t) ~dsts:targets
+        ~size:(body_msg_size txs)
+        (Msg.Body { body_hash = bh; txs; ttl = 0 });
+    Net.multicast t.env.Env.net ~src:(me t) ~dsts:targets
+      ~size:(Types.proposal_size p + 8)
+      (Msg.Push { proposal = p })
+  in
+  let half_a, half_b = t.halves in
+  incr_c t "equivocations";
+  variant half_a;
+  variant half_b
+
+(* ---------- the main loop (Algorithm 2) ---------- *)
+
+let nil_path t ~k =
+  incr_c t "wrb_nil";
+  trace t ~category:"nil" "r=%d proposer=%d" t.round k;
+  Detector.record_timeout t.detector ~proposer:k;
+  t.full_mode <- true;
+  t.attempt <- t.attempt + 1;
+  t.proposer <- Rotation.successor t.rotation ~round:t.round t.proposer
+
+(* Highest round any stashed (signed) proposal claims. *)
+let max_stash_round t =
+  Hashtbl.fold
+    (fun _ (p, _) acc -> max acc p.Types.sh.Types.header.Header.round)
+    t.stash (-1)
+
+(* Catch-up sync: a node that was isolated past its peers' live
+   protocol window (their per-round OBBC state is garbage-collected)
+   can no longer complete old rounds by consensus. Signed proposals in
+   the stash reveal how far ahead the cluster is; blocks at depth
+   > f+1 below that are definite-agreed, so we pull them wholesale
+   (Req/Reply), validate signatures, hash links and bodies, and append
+   without re-running consensus. The paper leaves state transfer to
+   future work; this covers laggards within the peers' prune window. *)
+let maybe_catch_up t =
+  let target = max_stash_round t - (f_of t + 2) in
+  if target >= t.round + f_of t + 4 then begin
+    incr_c t "catch_ups";
+    trace t ~category:"catchup" "from=%d target=%d" t.round target;
+    let abort = Some t.abort in
+    let pull_timeout = min (Timer.current t.timer) (Time.ms 200) in
+    (* [stalls] counts consecutive rounds where pulling produced no
+       usable block; any progress resets it, so a reachable window is
+       drained completely while an unreachable one (peers pruned past
+       us) is abandoned quickly. *)
+    let stalls = ref 0 in
+    while t.round <= target && !stalls < 10 do
+      Race.check ~abort;
+      let r = t.round in
+      match Hashtbl.find_opt t.fetched r with
+      | Some (sh, txs)
+        when String.equal sh.Types.header.Header.prev_hash
+               (Store.last_hash t.store)
+             && sh.Types.header.Header.tx_count = Array.length txs
+             && String.equal (Block.body_hash txs)
+                  sh.Types.header.Header.body_hash
+             && t.valid { Block.header = sh.Types.header; txs } ->
+          Hashtbl.remove t.fetched r;
+          charge_verify t;
+          charge_hash t ~bytes:(body_bytes txs);
+          accept_block t { Types.sh; body = None } txs ~header_at:(now t);
+          stalls := 0
+      | found ->
+          if found <> None then Hashtbl.remove t.fetched r;
+          bcast t ~size:12 (Msg.Req { round = r });
+          let deadline = now t + pull_timeout in
+          let rec wait () =
+            if
+              (not (Hashtbl.mem t.fetched r))
+              && wait_pulse t ~deadline ~abort
+            then wait ()
+          in
+          wait ();
+          if not (Hashtbl.mem t.fetched r) then incr stalls
+    done;
+    (* The long absence inflated the WRB timer; rebase it on a normal
+       delivery delay before resuming rounds. *)
+    Timer.on_success t.timer ~delay:pull_timeout;
+    t.full_mode <- true;
+    t.attempt <- 0;
+    let recent = recent_proposers t (f_of t) in
+    let candidate =
+      match Store.last t.store with
+      | Some b ->
+          Rotation.successor t.rotation ~round:t.round
+            b.Block.header.Header.proposer
+      | None -> 0
+    in
+    t.proposer <- Rotation.eligible t.rotation ~round:t.round ~recent candidate;
+    trace t ~category:"catchup" "done at=%d" t.round
+  end
+
+let round_step t =
+  maybe_catch_up t;
+  (* lines b1–b3: skip proposers of the last f tentative blocks *)
+  let recent = recent_proposers t (f_of t) in
+  let chosen =
+    Rotation.eligible t.rotation ~round:t.round ~recent t.proposer
+  in
+  if chosen <> t.proposer then begin
+    t.proposer <- chosen;
+    Detector.invalidate t.detector
+  end;
+  let k = t.proposer in
+  (* proposer duties at round start *)
+  if k = me t then begin
+    match t.behavior with
+    | Equivocator -> equivocate_push t
+    | Honest ->
+        if t.full_mode then begin
+          (* lines 6–11: the previous attempt failed — push directly *)
+          let p =
+            make_proposal t ~round:t.round ~prev_hash:(Store.last_hash t.store)
+          in
+          (match
+             (Queue.peek_opt t.prepared, t.config.Config.separate_bodies)
+           with
+          | Some (txs, bh, _), true -> broadcast_body t txs ~bh
+          | _ -> ());
+          bcast t ~size:(Types.proposal_size p + 8) (Msg.Push { proposal = p })
+        end
+  end
+  else if predicted_next t ~k = me t && t.behavior = Honest
+          && t.config.Config.piggyback && t.config.Config.separate_bodies
+  then
+    (* start shipping the next body early; the header follows on the
+       OBBC vote *)
+    pre_disseminate t;
+  match wrb_deliver t ~k with
+  | None -> nil_path t ~k
+  | Some (p, txs, header_at) ->
+      t.full_mode <- false;
+      Detector.record_delivery t.detector ~proposer:k;
+      if not (t.valid { Block.header = p.Types.sh.Types.header; txs }) then begin
+        (* Delivered (weak agreement) but externally invalid — every
+           correct node evaluates the same deterministic predicate on
+           the same content, so all reject together (BBFC-Validity). *)
+        incr_c t "externally_invalid_blocks";
+        nil_path t ~k
+      end
+      else if String.equal p.Types.sh.Types.header.Header.prev_hash
+                (Store.last_hash t.store)
+      then accept_block t p txs ~header_at
+      else begin
+        (* lines b4–b10: provable chain inconsistency *)
+        match Hashtbl.find_opt t.signed_headers (t.round - 1) with
+        | Some earlier
+          when not
+                 (Hashtbl.mem t.handled_recoveries
+                    p.Types.sh.Types.header.Header.round) ->
+            let proof = { Types.later = p.Types.sh; earlier } in
+            incr_c t "proofs_generated";
+            trace t ~category:"proof" "r=%d against=%d" t.round
+              p.Types.sh.Types.header.Header.proposer;
+            t.rb_tag <- t.rb_tag + 1;
+            (match t.rb with
+            | Some rb -> Fl_broadcast.Bracha.broadcast rb ~tag:t.rb_tag proof
+            | None -> assert false);
+            enqueue_proof t proof;
+            handle_panics t
+        | _ ->
+            (* stale equivocation remnant or unprovable: failed round *)
+            nil_path t ~k
+      end
+
+let main_loop t =
+  while not t.stopped do
+    match round_step t with
+    | () -> ()
+    | exception Race.Aborted -> handle_panics t
+  done
+
+(* ---------- service fibers ---------- *)
+
+let spawn_push_fiber t =
+  Fiber.spawn (engine t) (fun () ->
+      let box = Hub.box t.env.Env.hub "push" in
+      while true do
+        match Mailbox.recv box with
+        | src, Msg.Push { proposal } -> note_proposal t ~src proposal
+        | _ -> ()
+      done)
+
+let spawn_body_fiber t =
+  Fiber.spawn (engine t) (fun () ->
+      let box = Hub.box t.env.Env.hub "body" in
+      while true do
+        match Mailbox.recv box with
+        | _src, Msg.Body { txs; ttl; _ } ->
+            let fresh = not (Hashtbl.mem t.bodies (Block.body_hash txs)) in
+            let bh = store_body t txs ~at:(now t) in
+            (match t.config.Config.dissemination with
+            | Config.Gossip fanout when fresh && ttl > 0 ->
+                Net.multicast t.env.Env.net ~src:(me t)
+                  ~dsts:(gossip_peers t fanout)
+                  ~size:(body_msg_size txs)
+                  (Msg.Body { body_hash = bh; txs; ttl = ttl - 1 })
+            | _ -> ())
+        | _ -> ()
+      done)
+
+let spawn_reply_fiber t =
+  Fiber.spawn (engine t) (fun () ->
+      let box = Hub.box t.env.Env.hub "reply" in
+      while true do
+        match Mailbox.recv box with
+        | src, Msg.Reply { round; proposal; txs } ->
+            ignore (store_body t txs ~at:(now t));
+            note_proposal t ~src proposal;
+            (* Remember whole fetched blocks for the catch-up sync. *)
+            let h = proposal.Types.sh.Types.header in
+            if
+              round = h.Header.round
+              && round >= t.round
+              && (not (Hashtbl.mem t.fetched round))
+              && Types.signed_header_valid t.env.Env.registry proposal.Types.sh
+            then begin
+              Hashtbl.replace t.fetched round (proposal.Types.sh, txs);
+              pulse_fill t
+            end
+        | _ -> ()
+      done)
+
+let spawn_service_fiber t =
+  Fiber.spawn (engine t) (fun () ->
+      let box = Hub.box t.env.Env.hub "svc" in
+      while true do
+        match Mailbox.recv box with
+        | src, Msg.Req { round = r } -> (
+            let answer =
+              match (Store.get t.store r, Hashtbl.find_opt t.signed_headers r) with
+              | Some b, Some sh
+                when Array.length b.Block.txs = b.Block.header.Header.tx_count
+                ->
+                  Some (sh, b.Block.txs)
+              | _ ->
+                  (* not appended yet: serve from the stash *)
+                  Hashtbl.fold
+                    (fun _src (p, _) acc ->
+                      match acc with
+                      | Some _ -> acc
+                      | None ->
+                          let h = p.Types.sh.Types.header in
+                          if h.Header.round = r then
+                            match find_body t h.Header.body_hash with
+                            | Some txs -> Some (p.Types.sh, txs)
+                            | None -> None
+                          else None)
+                    t.stash None
+            in
+            match answer with
+            | Some (sh, txs) ->
+                send t ~dst:src
+                  ~size:(Types.signed_header_size + body_msg_size txs + 16)
+                  (Msg.Reply
+                     { round = r;
+                       proposal = { Types.sh; body = None };
+                       txs })
+            | None -> ())
+        | _ -> ()
+      done)
+
+(* ---------- construction ---------- *)
+
+let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ~output
+    () =
+  Config.validate config;
+  let engine = env.Env.engine in
+  let halves =
+    let nodes = Array.init config.Config.n Fun.id in
+    Rng.shuffle env.Env.rng nodes;
+    let l = Array.to_list nodes in
+    let rec split i acc = function
+      | [] -> (List.rev acc, [])
+      | rest when i = 0 -> (List.rev acc, rest)
+      | x :: rest -> split (i - 1) (x :: acc) rest
+    in
+    split (config.Config.n / 2) [] l
+  in
+  { env;
+    config;
+    behavior;
+    valid;
+    output;
+    store = Store.create ();
+    mempool = Mempool.create ();
+    timer = Timer.create config;
+    detector = Detector.create config;
+    rotation = Rotation.create config ~seed:env.Env.seed;
+    bodies = Hashtbl.create 64;
+    body_arrival = Hashtbl.create 64;
+    stash = Hashtbl.create 16;
+    fetched = Hashtbl.create 64;
+    signed_headers = Hashtbl.create 1024;
+    pulse = Ivar.create engine;
+    prepared = Queue.create ();
+    own_in_flight = Hashtbl.create 8;
+    round = 0;
+    attempt = 0;
+    era = 0;
+    proposer = 0;
+    full_mode = true;
+    definite_upto = -1;
+    open_obbcs = Hashtbl.create 64;
+    times = Hashtbl.create 64;
+    abort = Ivar.create engine;
+    pending_proofs = [];
+    handled_recoveries = Hashtbl.create 8;
+    version_boxes = Hashtbl.create 4;
+    rb = None;
+    ab = None;
+    rb_tag = 0;
+    next_tx_id = 0;
+    halves;
+    stopped = false }
+
+let start t =
+  let engine = engine t in
+  (* Panic layer: reliable broadcast of proofs. *)
+  let rb_channel =
+    Channel.of_hub t.env.Env.hub ~key:"rb" ~net:t.env.Env.net ~self:(me t)
+      ~f:(f_of t)
+      ~inj:(fun m -> Msg.Rb m)
+      ~prj:(function Msg.Rb m -> m | _ -> assert false)
+  in
+  t.rb <-
+    Some
+      (Fl_broadcast.Bracha.create engine ~recorder:(recorder t)
+         ~channel:rb_channel
+         ~payload_size:(fun _ -> Types.proof_size)
+         ~payload_digest:Types.proof_digest
+         ~deliver:(fun ~origin:_ ~tag:_ proof -> enqueue_proof t proof));
+  (* Recovery layer: atomic broadcast of versions. *)
+  let ab_channel =
+    Channel.of_hub t.env.Env.hub ~key:"ab" ~net:t.env.Env.net ~self:(me t)
+      ~f:(f_of t)
+      ~inj:(fun m -> Msg.Ab m)
+      ~prj:(function Msg.Ab m -> m | _ -> assert false)
+  in
+  let ab_config =
+    { (Pbft.default_config ~payload_size:Types.version_size
+         ~payload_digest:Types.version_digest)
+      with
+      Pbft.max_batch = 4;
+      window = 4;
+      base_timeout = Time.ms 500 }
+  in
+  t.ab <-
+    Some
+      (Pbft.create engine ~recorder:(recorder t) ~channel:ab_channel
+         ~cpu:t.env.Env.cpu ~config:ab_config
+         ~deliver:(fun ~seq:_ v ->
+           Mailbox.send (version_box t v.Types.recovery_round) v));
+  spawn_push_fiber t;
+  spawn_body_fiber t;
+  spawn_reply_fiber t;
+  spawn_service_fiber t;
+  (* Staleness watchdog: the main fiber may be parked in a round the
+     rest of the cluster abandoned long ago (e.g. after a long
+     isolation) — no quorum will ever form there. When stashed signed
+     proposals show the cluster far ahead, abort the wait so the loop
+     falls into the catch-up sync. *)
+  Fiber.spawn engine (fun () ->
+      while not t.stopped do
+        Fiber.sleep engine (Time.ms 250);
+        if max_stash_round t - (f_of t + 2) >= t.round + f_of t + 4 then
+          ignore (Ivar.try_fill t.abort ())
+      done);
+  Fiber.spawn engine (fun () -> main_loop t)
+
+let stop t = t.stopped <- true
+let store t = t.store
+let mempool t = t.mempool
+let round t = t.round
+let definite_upto t = t.definite_upto
+let recoveries t = Fl_metrics.Recorder.counter (recorder t) "recoveries"

@@ -1,0 +1,67 @@
+(** One FireLedger instance — the protocol of the paper's Algorithms
+    1 (WRB), 2 (main loop) and 3 (recovery) with the §6.1.1
+    optimizations, running as a set of fibers on the simulated node.
+
+    Per round, the instance: selects the proposer by rotation with the
+    b1–b3 skip rule; WRB-delivers the proposer's header (bodies travel
+    out-of-band); votes through OBBC₁, piggybacking its own next
+    proposal on the vote when it is the next proposer — so in the
+    fault-free synchronous case one block is decided per
+    communication step; appends the block tentatively; and marks the
+    block of f+2 rounds ago definite. A chain inconsistency yields a
+    transferable proof, reliably broadcast, and a recovery that
+    atomically agrees on the last f+1 blocks.
+
+    FLO ({!Fl_flo}) runs ω of these per node. *)
+
+open Fl_sim
+open Fl_chain
+
+type behavior =
+  | Honest
+  | Equivocator
+      (** splits the cluster in two random halves and proposes a
+          different block to each — the Byzantine behaviour of the
+          paper's §7.4.2 evaluation *)
+
+type block_times = {
+  a : Time.t;  (** block body available (proposal, event A of §7.2.2) *)
+  b : Time.t;  (** header received (event B) *)
+  c : Time.t;  (** tentative decision (event C) *)
+  d : Time.t;  (** definite decision (event D) *)
+}
+
+type output = {
+  on_tentative : round:int -> Block.t -> unit;
+  on_definite : round:int -> Block.t -> times:block_times -> unit;
+      (** fires exactly once per round, in round order *)
+  on_recovery : round:int -> rescinded:int -> unit;
+}
+
+val null_output : output
+
+type t
+
+val create :
+  Env.t ->
+  config:Config.t ->
+  ?behavior:behavior ->
+  ?valid:(Block.t -> bool) ->
+  output:output ->
+  unit ->
+  t
+(** Build the instance state. [valid] is the external validity
+    predicate of VPBC (default: accept). *)
+
+val start : t -> unit
+(** Spawn the instance's fibers (main loop, dissemination and service
+    fibers, RB and AB endpoints). *)
+
+val stop : t -> unit
+(** Stop proposing/advancing after the current round. *)
+
+val store : t -> Store.t
+val mempool : t -> Mempool.t
+val round : t -> int
+val definite_upto : t -> int
+val recoveries : t -> int

@@ -1,0 +1,36 @@
+(* Wire messages of one FireLedger instance (worker). Channel keys
+   demultiplex per-round, per-attempt protocol state; [era] counts
+   completed recoveries so post-recovery rounds never collide with
+   abandoned pre-recovery instances of the same round number. *)
+
+open Fl_chain
+open Fl_consensus
+
+type t =
+  | Body of { body_hash : string; txs : Tx.t array; ttl : int }
+      (** background block-body dissemination (§6.1.1); [ttl] > 0
+          asks receivers to keep gossiping the body *)
+  | Push of { proposal : Types.proposal }
+      (** WRB direct broadcast (Algorithm 1, line 3) *)
+  | Ob of { era : int; round : int; attempt : int; m : ob_payload Obbc.msg }
+      (** OBBC traffic of one WRB delivery attempt *)
+  | Req of { round : int }
+      (** WRB pull phase (Algorithm 1, line 22) *)
+  | Reply of { round : int; proposal : Types.proposal; txs : Tx.t array }
+  | Rb of Types.proof Fl_broadcast.Bracha.msg
+      (** panic proofs (Algorithm 2, lines b7/b12) *)
+  | Ab of Types.version Pbft.msg
+      (** recovery versions (Algorithm 3) *)
+
+and ob_payload = Types.proposal
+(** OBBC piggyback: the next round's proposal (§5.1). *)
+
+let key = function
+  | Body _ -> "body"
+  | Push _ -> "push"
+  | Ob { era; round; attempt; _ } ->
+      Printf.sprintf "ob:%d:%d:%d" era round attempt
+  | Req _ -> "svc"
+  | Reply _ -> "reply"
+  | Rb _ -> "rb"
+  | Ab _ -> "ab"

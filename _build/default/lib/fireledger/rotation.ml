@@ -1,0 +1,47 @@
+open Fl_sim
+
+type t = {
+  n : int;
+  permute : bool;
+  period : int;
+  seed : int;
+  mutable cache : (int * int array * int array) option;
+      (* epoch, permutation, inverse *)
+}
+
+let create (config : Config.t) ~seed =
+  { n = config.Config.n;
+    permute = config.Config.permute_proposers;
+    period = config.Config.permute_period;
+    seed;
+    cache = None }
+
+let tables t epoch =
+  match t.cache with
+  | Some (e, perm, inv) when e = epoch -> (perm, inv)
+  | _ ->
+      let perm = Array.init t.n Fun.id in
+      if t.permute && epoch > 0 then begin
+        (* All nodes derive the same permutation from shared seed
+           material (standing in for the paper's VRF over a definite
+           block hash). *)
+        let rng = Rng.create ((t.seed * 1_000_003) + epoch) in
+        Rng.shuffle rng perm
+      end;
+      let inv = Array.make t.n 0 in
+      Array.iteri (fun i x -> inv.(x) <- i) perm;
+      t.cache <- Some (epoch, perm, inv);
+      (perm, inv)
+
+let successor t ~round x =
+  let epoch = if t.permute then round / t.period else 0 in
+  let perm, inv = tables t epoch in
+  perm.((inv.(x) + 1) mod t.n)
+
+let eligible t ~round ~recent candidate =
+  let rec go c steps =
+    if steps >= t.n then c (* degenerate: everyone recent; keep c *)
+    else if List.mem c recent then go (successor t ~round c) (steps + 1)
+    else c
+  in
+  go candidate 0

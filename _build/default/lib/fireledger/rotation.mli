@@ -1,0 +1,22 @@
+(** Proposer rotation.
+
+    Round-robin by default, skipping any candidate that already
+    proposed one of the last f tentatively-decided blocks (Algorithm
+    2, lines b1–b3) — this is what guarantees a correct proposer in
+    every window of f+1 blocks. Optionally (§6.1.1 "Consecutive
+    Byzantine Proposers") the rotation order is a pseudo-random
+    permutation re-drawn every epoch from seed material all nodes
+    share, so an adversary cannot park its nodes in consecutive
+    rotation slots. *)
+
+type t
+
+val create : Config.t -> seed:int -> t
+
+val successor : t -> round:int -> int -> int
+(** Next node after the given one in the rotation order in effect at
+    [round]. *)
+
+val eligible : t -> round:int -> recent:int list -> int -> int
+(** Starting from a candidate, skip nodes in [recent] (the proposers
+    of the last f blocks) along the rotation order. *)

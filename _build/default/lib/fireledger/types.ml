@@ -1,0 +1,172 @@
+open Fl_chain
+open Fl_wire
+
+type signed_header = { header : Header.t; signature : string }
+
+let sign_header registry ~signer header =
+  { header;
+    signature =
+      Fl_crypto.Signature.sign registry ~signer (Header.encode header) }
+
+let signed_header_valid registry sh =
+  Fl_crypto.Signature.verify registry ~signer:sh.header.Header.proposer
+    ~msg:(Header.encode sh.header) sh.signature
+
+let encode_signed_header sh =
+  let w = Codec.Writer.create ~capacity:160 () in
+  Codec.Writer.bytes w (Header.encode sh.header);
+  Codec.Writer.bytes w sh.signature;
+  Codec.Writer.contents w
+
+let decode_header r =
+  let s = Codec.Reader.of_string r in
+  (* Bind sequentially: record-field evaluation order is unspecified
+     and must not drive the read order. *)
+  let round = Codec.Reader.u64 s in
+  let proposer = Codec.Reader.u32 s in
+  let prev_hash = Codec.Reader.raw s 32 in
+  let body_hash = Codec.Reader.raw s 32 in
+  let tx_count = Codec.Reader.u32 s in
+  let body_size = Codec.Reader.u64 s in
+  { Header.round; proposer; prev_hash; body_hash; tx_count; body_size }
+
+let decode_signed_header s =
+  match
+    let r = Codec.Reader.of_string s in
+    let henc = Codec.Reader.bytes r in
+    let signature = Codec.Reader.bytes r in
+    ({ header = decode_header henc; signature }, Codec.Reader.at_end r)
+  with
+  | sh, true -> Some sh
+  | _, false -> None
+  | exception Codec.Reader.Underflow -> None
+
+let signed_header_size =
+  Header.wire_size + Fl_crypto.Signature.signature_size + 4
+
+type proposal = { sh : signed_header; body : Tx.t array option }
+
+let proposal_size p =
+  signed_header_size
+  +
+  match p.body with
+  | None -> 0
+  | Some txs -> Array.fold_left (fun acc tx -> acc + Tx.wire_size tx) 8 txs
+
+type proof = { later : signed_header; earlier : signed_header }
+
+let proof_round p = p.later.header.Header.round
+
+let proof_valid registry p =
+  p.later.header.Header.round = p.earlier.header.Header.round + 1
+  && signed_header_valid registry p.later
+  && signed_header_valid registry p.earlier
+  && not
+       (String.equal p.later.header.Header.prev_hash
+          (Header.hash p.earlier.header))
+
+let proof_size = (2 * signed_header_size) + 8
+
+let proof_digest p =
+  Fl_crypto.Sha256.digest
+    (encode_signed_header p.later ^ encode_signed_header p.earlier)
+
+type version = {
+  recovery_round : int;
+  origin : int;
+  blocks : (Block.t * string) list;
+}
+
+let version_tip v =
+  match List.rev v.blocks with
+  | [] -> -1
+  | (b, _) :: _ -> b.Block.header.Header.round
+
+let version_size v =
+  List.fold_left
+    (fun acc (b, _) ->
+      acc + Block.wire_size b + Fl_crypto.Signature.signature_size)
+    24 v.blocks
+
+let version_digest v =
+  let ctx = Fl_crypto.Sha256.init () in
+  Fl_crypto.Sha256.feed_string ctx (Printf.sprintf "v:%d:%d" v.recovery_round v.origin);
+  List.iter
+    (fun (b, s) ->
+      Fl_crypto.Sha256.feed_string ctx (Block.hash b);
+      Fl_crypto.Sha256.feed_string ctx s)
+    v.blocks;
+  Fl_crypto.Sha256.finalize ctx
+
+type version_check = Adoptable | Unanchored | Invalid
+
+(* Any window of f+1 consecutive blocks must show f+1 distinct
+   proposers (Lemma 5.3.2). *)
+let rotation_ok ~f blocks =
+  let proposers =
+    List.map (fun (b, _) -> b.Block.header.Header.proposer) blocks
+  in
+  let arr = Array.of_list proposers in
+  let len = Array.length arr in
+  let window = f + 1 in
+  let ok = ref true in
+  for start = 0 to len - window do
+    let seen = Hashtbl.create window in
+    for j = start to start + window - 1 do
+      Hashtbl.replace seen arr.(j) ()
+    done;
+    if Hashtbl.length seen < window then ok := false
+  done;
+  !ok
+
+let validate_version registry ~f ~n ~anchor v =
+  if v.blocks = [] then Adoptable
+  else begin
+    let expected_start = max 0 (v.recovery_round - (f + 1)) in
+    let rec structure prev_round acc = function
+      | [] -> Some (List.rev acc)
+      | (b, s) :: rest ->
+          let h = b.Block.header in
+          if
+            h.Header.round = prev_round + 1
+            && h.Header.proposer >= 0
+            && h.Header.proposer < n
+            && Block.body_matches b
+            && Fl_crypto.Signature.verify registry ~signer:h.Header.proposer
+                 ~msg:(Header.encode h) s
+          then structure h.Header.round ((b, s) :: acc) rest
+          else None
+    in
+    match v.blocks with
+    | (first, _) :: _ when first.Block.header.Header.round = expected_start
+      -> (
+        match structure (expected_start - 1) [] v.blocks with
+        | None -> Invalid
+        | Some blocks ->
+            (* Internal hash links. *)
+            let linked =
+              let rec go prev_hash = function
+                | [] -> true
+                | (b, _) :: rest ->
+                    (match prev_hash with
+                    | None -> true
+                    | Some ph ->
+                        String.equal b.Block.header.Header.prev_hash ph)
+                    && go (Some (Block.hash b)) rest
+              in
+              go None blocks
+            in
+            if not (linked && rotation_ok ~f blocks) then Invalid
+            else
+              (* Anchor the first block to our agreed prefix. *)
+              let first_block, _ = List.hd blocks in
+              match anchor (expected_start - 1) with
+              | None -> Unanchored
+              | Some prev_hash ->
+                  if
+                    String.equal first_block.Block.header.Header.prev_hash
+                      prev_hash
+                  then Adoptable
+                  else Invalid)
+    | _ -> Invalid
+  end

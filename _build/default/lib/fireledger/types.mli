@@ -1,0 +1,76 @@
+(** FireLedger wire-level data: signed headers, proposals, panic
+    proofs and recovery versions. *)
+
+open Fl_chain
+
+type signed_header = { header : Header.t; signature : string }
+(** A header and its proposer's signature over [Header.encode]. *)
+
+val sign_header :
+  Fl_crypto.Signature.registry -> signer:int -> Header.t -> signed_header
+
+val signed_header_valid :
+  Fl_crypto.Signature.registry -> signed_header -> bool
+(** The signature is by [header.proposer] over the canonical header
+    encoding. *)
+
+val encode_signed_header : signed_header -> string
+(** Canonical bytes — this string is WRB's transferable evidence(1). *)
+
+val decode_signed_header : string -> signed_header option
+
+val signed_header_size : int
+
+type proposal = { sh : signed_header; body : Tx.t array option }
+(** What WRB carries for a round: the signed header, plus the body
+    inline when block/header separation is disabled (ablation). *)
+
+val proposal_size : proposal -> int
+
+type proof = { later : signed_header; earlier : signed_header }
+(** Evidence of chain inconsistency: two properly signed headers at
+    consecutive rounds where [later.prev_hash] does not extend
+    [earlier] (Algorithm 2, line b6). Anyone can check it; its
+    existence convicts one of the two proposers. *)
+
+val proof_round : proof -> int
+(** The disputed round (the later header's round). *)
+
+val proof_valid : Fl_crypto.Signature.registry -> proof -> bool
+
+val proof_size : int
+
+val proof_digest : proof -> string
+
+type version = {
+  recovery_round : int;
+  origin : int;
+  blocks : (Block.t * string) list;  (** oldest first, each signed *)
+}
+(** A node's candidate suffix for the recovery procedure (Algorithm 3):
+    its blocks from round [recovery_round − (f+1)] to its tip. An
+    empty [blocks] is the "empty version" of a lagging node. *)
+
+val version_tip : version -> int
+(** Round of the version's last block; −1 when empty. *)
+
+val version_size : version -> int
+val version_digest : version -> string
+
+type version_check = Adoptable | Unanchored | Invalid
+
+val validate_version :
+  Fl_crypto.Signature.registry ->
+  f:int ->
+  n:int ->
+  anchor:(int -> string option) ->
+  version ->
+  version_check
+(** Check a received version against Lemma 5.3.6: every block signed
+    by its in-range proposer, bodies matching their commitments,
+    hash-linked internally, any f+1 consecutive blocks from f+1
+    distinct proposers, and the first block anchored to our agreed
+    prefix ([anchor r] returns the hash of our round-r block, or the
+    genesis hash for r = −1). [Unanchored] means internally consistent
+    but starting beyond our chain (we lag too far to verify or adopt
+    it). Empty versions are [Adoptable]. *)

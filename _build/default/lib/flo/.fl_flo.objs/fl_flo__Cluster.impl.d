@@ -1,0 +1,1 @@
+lib/flo/cluster.ml: Array Config Cpu Engine Env Fl_chain Fl_crypto Fl_fireledger Fl_metrics Fl_net Fl_sim Hashtbl Hub Instance Latency Msg Net Nic Node Printf Rng String

@@ -1,0 +1,1 @@
+lib/flo/cluster.mli: Cpu Engine Fl_chain Fl_crypto Fl_fireledger Fl_metrics Fl_net Fl_sim Hashtbl Latency Net Nic Node Rng Time

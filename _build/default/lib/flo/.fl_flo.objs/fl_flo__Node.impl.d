@@ -1,0 +1,1 @@
+lib/flo/node.ml: Array Block Engine Fl_chain Fl_fireledger Fl_metrics Fl_sim Header Mempool Queue Time Tx

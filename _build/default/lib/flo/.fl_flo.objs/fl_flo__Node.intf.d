@@ -1,0 +1,1 @@
+lib/flo/node.mli: Block Engine Fl_chain Fl_fireledger Fl_metrics Fl_sim Time Tx

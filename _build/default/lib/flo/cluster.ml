@@ -1,0 +1,128 @@
+open Fl_sim
+open Fl_net
+open Fl_fireledger
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  recorder : Fl_metrics.Recorder.t;
+  registry : Fl_crypto.Signature.registry;
+  nics : Nic.t array;
+  cpus : Cpu.t array;
+  nets : Msg.t Net.t array;
+  nodes : Node.t array;
+  workers : Instance.t array array;
+  crashed : (int, unit) Hashtbl.t;
+}
+
+let create ?(seed = 42) ?(latency = Latency.single_dc)
+    ?(cost = Fl_crypto.Cost_model.default) ?(cores = 4)
+    ?(bandwidth_bps = Nic.ten_gbps) ?(behavior = fun _ -> Instance.Honest)
+    ?valid ?trace ?(keep_log = false) ?(on_deliver = fun ~node:_ _ -> ())
+    ~config ~workers () =
+  Config.validate config;
+  if workers <= 0 then invalid_arg "Flo.Cluster.create: workers";
+  let n = config.Config.n in
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let recorder = Fl_metrics.Recorder.create () in
+  let registry =
+    Fl_crypto.Signature.create_registry
+      ~seed:(Printf.sprintf "flo-%d" seed)
+      ~n
+  in
+  let nics = Array.init n (fun _ -> Nic.create ~bandwidth_bps) in
+  let cpus = Array.init n (fun _ -> Cpu.create engine ~cores) in
+  let nets =
+    Array.init workers (fun w ->
+        Net.create engine
+          (Rng.named_split rng (Printf.sprintf "net-%d" w))
+          ~nics ~latency)
+  in
+  let nodes =
+    Array.init n (fun i ->
+        Node.create ~engine ~recorder ~node_id:i ~n_workers:workers ~keep_log
+          ~on_deliver:(fun d -> on_deliver ~node:i d)
+          ())
+  in
+  let workers_arr =
+    Array.init n (fun i ->
+        Array.init workers (fun w ->
+            let hub =
+              Hub.create engine ~inbox:(Net.inbox nets.(w) i) ~key:Msg.key
+            in
+            let env =
+              { Env.engine;
+                rng = Rng.named_split rng (Printf.sprintf "node-%d-%d" i w);
+                recorder;
+                registry;
+                cost;
+                cpu = cpus.(i);
+                net = nets.(w);
+                hub;
+                me = i;
+                f = config.Config.f;
+                seed = seed + (1_000_003 * w);
+                label = Printf.sprintf "w%d" w;
+                trace }
+            in
+            Instance.create env ~config ~behavior:(behavior i) ?valid
+              ~output:(Node.output_for nodes.(i) ~worker:w)
+              ()))
+  in
+  Array.iteri (fun i node -> Node.attach_workers node workers_arr.(i)) nodes;
+  { engine;
+    rng;
+    recorder;
+    registry;
+    nics;
+    cpus;
+    nets;
+    nodes;
+    workers = workers_arr;
+    crashed = Hashtbl.create 4 }
+
+let start t =
+  Array.iter (fun per_node -> Array.iter Instance.start per_node) t.workers
+
+let crash t i =
+  Hashtbl.replace t.crashed i ();
+  let filter ~src ~dst =
+    (not (Hashtbl.mem t.crashed src)) && not (Hashtbl.mem t.crashed dst)
+  in
+  Array.iter (fun net -> Net.set_filter net (Some filter)) t.nets
+
+let run ?until t = Engine.run ?until t.engine
+
+let delivery_agreement t =
+  let n = Array.length t.nodes in
+  let ok = ref true in
+  Array.iteri
+    (fun w _net ->
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if
+            (not (Hashtbl.mem t.crashed i)) && not (Hashtbl.mem t.crashed j)
+          then begin
+            let a = t.workers.(i).(w) and b = t.workers.(j).(w) in
+            let upto =
+              min (Instance.definite_upto a) (Instance.definite_upto b)
+            in
+            for r = 0 to upto do
+              match
+                ( Fl_chain.Store.get (Instance.store a) r,
+                  Fl_chain.Store.get (Instance.store b) r )
+              with
+              | Some ba, Some bb ->
+                  if
+                    not
+                      (String.equal (Fl_chain.Block.hash ba)
+                         (Fl_chain.Block.hash bb))
+                  then ok := false
+              | _ -> ok := false
+            done
+          end
+        done
+      done)
+    t.nets;
+  !ok

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Fl_crypto Fl_fireledger Fl_metrics Fl_sim Fun List Printf Settings String Table Time Unix

@@ -1,0 +1,1 @@
+lib/harness/settings.ml: Array Engine Fl_baselines Fl_crypto Fl_fireledger Fl_flo Fl_metrics Fl_net Fl_sim Fl_workload Fun List Rng Time

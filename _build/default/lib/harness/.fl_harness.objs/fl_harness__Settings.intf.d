@@ -1,0 +1,1 @@
+lib/harness/settings.mli: Fl_crypto Fl_fireledger Fl_metrics Fl_sim Time

@@ -1,0 +1,525 @@
+open Fl_sim
+
+type mode = Quick | Full
+
+let warmup = Time.s 1
+let duration = function Quick -> Time.s 3 | Full -> Time.s 10
+
+let omega_sweep = function Quick -> [ 1; 4; 10 ] | Full -> [ 1; 2; 4; 6; 8; 10 ]
+let sizes = [ 512; 1024; 4096 ]
+let batches = [ 10; 100; 1000 ]
+let clusters = [ 4; 7; 10 ]
+
+let base mode ~n ~workers ~batch ~tx_size =
+  { (Settings.flo ~n ~workers ~batch ~tx_size) with
+    Settings.warmup;
+    duration = duration mode }
+
+let ktps r = r.Settings.tps /. 1000.0
+
+(* ---------- Table 1: per-mode protocol costs ---------- *)
+
+let table1 mode =
+  let n = 4 in
+  let run faults tweaks =
+    Settings.run_flo
+      { (base mode ~n ~workers:1 ~batch:100 ~tx_size:512) with
+        Settings.faults;
+        config_tweaks = tweaks }
+  in
+  let fault_free = run Settings.no_faults Fun.id in
+  let omission =
+    run { Settings.no_faults with Settings.loss = Some (1, 0.6) } Fun.id
+  in
+  let byz =
+    run { Settings.no_faults with Settings.byzantine = [ 2 ] } Fun.id
+  in
+  let t =
+    Table.create ~title:"Table 1: FireLedger cost per decided block"
+      ~columns:
+        [ "metric"; "fault-free"; "timing/omission"; "byzantine" ]
+  in
+  (* "blocks_delivered" marks fire at every node, so the distinct
+     block count is the windowed count divided by n. *)
+  let blocks r =
+    max 1
+      (Fl_metrics.Recorder.windowed_count r.Settings.recorder
+         "blocks_delivered"
+      / n)
+  in
+  let per_block r c = float_of_int c /. float_of_int (blocks r) in
+  let row name f =
+    Table.add_row t
+      [ name;
+        Table.cell_f ~dec:2 (f fault_free);
+        Table.cell_f ~dec:2 (f omission);
+        Table.cell_f ~dec:2 (f byz) ]
+  in
+  row "messages / block / node" (fun r ->
+      per_block r r.Settings.messages /. float_of_int n);
+  row "signatures / block" (fun r -> per_block r r.Settings.signatures);
+  row "verifications / block" (fun r ->
+      per_block r
+        (Fl_metrics.Recorder.counter r.Settings.recorder "verifications"));
+  row "OBBC slow paths / block" (fun r ->
+      per_block r r.Settings.slow_paths);
+  row "recoveries / s" (fun r -> r.Settings.rps);
+  row "finality latency (rounds)" (fun _ -> float_of_int (((n - 1) / 3) + 2));
+  Table.print t
+
+(* ---------- Figure 5: signature generation rate ---------- *)
+
+let fig5 _mode =
+  let t =
+    Table.create
+      ~title:
+        "Figure 5: signatures/s on one VM (cost model; see bench for the \
+         measured-hardware calibration)"
+      ~columns:[ "beta"; "sigma"; "w=1"; "w=2"; "w=4"; "w=8" ]
+  in
+  let cost = Settings.m5_xlarge.Settings.cost in
+  List.iter
+    (fun beta ->
+      List.iter
+        (fun sigma ->
+          let sps w =
+            (* ω worker threads on 4 vCPUs: parallelism caps at the
+               core count *)
+            Fl_crypto.Cost_model.signatures_per_second cost
+              ~payload_bytes:(beta * sigma)
+              ~cores:(min w Settings.m5_xlarge.Settings.cores)
+          in
+          Table.add_row t
+            [ Table.cell_i beta;
+              Table.cell_i sigma;
+              Table.cell_f (sps 1);
+              Table.cell_f (sps 2);
+              Table.cell_f (sps 4);
+              Table.cell_f (sps 8) ])
+        sizes)
+    batches;
+  Table.print t
+
+(* ---------- Figure 6: single-DC blocks/s ---------- *)
+
+let fig6 mode =
+  let t =
+    Table.create ~title:"Figure 6: FLO blocks/s, single DC (header-only load)"
+      ~columns:[ "workers"; "n=4"; "n=7"; "n=10" ]
+  in
+  List.iter
+    (fun w ->
+      let cell n =
+        let r = Settings.run_flo (base mode ~n ~workers:w ~batch:1 ~tx_size:1) in
+        Table.cell_f r.Settings.bps
+      in
+      Table.add_row t
+        [ Table.cell_i w; cell 4; cell 7; cell 10 ])
+    (omega_sweep mode);
+  Table.print t
+
+(* ---------- Figure 7: single-DC tps grid ---------- *)
+
+let tps_grid mode ~title ~net =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun beta ->
+          let t =
+            Table.create
+              ~title:(Printf.sprintf "%s  n=%d beta=%d" title n beta)
+              ~columns:[ "workers"; "sigma=512"; "sigma=1K"; "sigma=4K" ]
+          in
+          List.iter
+            (fun w ->
+              let cell sigma =
+                let r =
+                  Settings.run_flo
+                    { (base mode ~n ~workers:w ~batch:beta ~tx_size:sigma) with
+                      Settings.net }
+                in
+                Table.cell_f (ktps r)
+              in
+              Table.add_row t
+                [ Table.cell_i w; cell 512; cell 1024; cell 4096 ])
+            (omega_sweep mode);
+          Table.print t)
+        batches)
+    clusters
+
+let fig7 mode =
+  tps_grid mode ~title:"Figure 7: FLO ktps, single DC" ~net:Settings.Single_dc
+
+(* ---------- Figure 8: latency CDFs ---------- *)
+
+let fig8 mode =
+  let omegas = [ 1; 5; 10 ] in
+  List.iter
+    (fun n ->
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Figure 8: block delivery latency CDF (ms), sigma=512, n=%d" n)
+          ~columns:
+            [ "config"; "p10"; "p25"; "p50"; "p75"; "p90"; "p99" ]
+      in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun beta ->
+              let r =
+                Settings.run_flo (base mode ~n ~workers:w ~batch:beta ~tx_size:512)
+              in
+              let q p =
+                match
+                  Fl_metrics.Recorder.histogram r.Settings.recorder
+                    "latency_e2e"
+                with
+                | Some h ->
+                    Table.cell_f
+                      (float_of_int (Fl_metrics.Histogram.quantile h p)
+                      /. 1e6)
+                | None -> "-"
+              in
+              Table.add_row t
+                [ Printf.sprintf "w=%d b=%d" w beta;
+                  q 0.10; q 0.25; q 0.50; q 0.75; q 0.90; q 0.99 ])
+            (match mode with Quick -> [ 100; 1000 ] | Full -> batches))
+        (match mode with Quick -> [ 1; 10 ] | Full -> omegas);
+      Table.print t)
+    (match mode with Quick -> [ 4; 10 ] | Full -> clusters)
+
+(* ---------- Figure 9: event breakdown heatmap ---------- *)
+
+let fig9 mode =
+  let t =
+    Table.create
+      ~title:
+        "Figure 9: relative time between events A-E (percent of A->E), \
+         sigma=512"
+      ~columns:[ "config"; "A->B"; "B->C"; "C->D"; "D->E" ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun w ->
+          List.iter
+            (fun beta ->
+              let r =
+                Settings.run_flo (base mode ~n ~workers:w ~batch:beta ~tx_size:512)
+              in
+              let total =
+                r.Settings.ev_ab_ms +. r.Settings.ev_bc_ms
+                +. r.Settings.ev_cd_ms +. r.Settings.ev_de_ms
+              in
+              let pct v =
+                if total <= 0.0 then "-"
+                else Table.cell_f (100.0 *. v /. total) ^ "%"
+              in
+              Table.add_row t
+                [ Printf.sprintf "n=%d w=%d b=%d" n w beta;
+                  pct r.Settings.ev_ab_ms;
+                  pct r.Settings.ev_bc_ms;
+                  pct r.Settings.ev_cd_ms;
+                  pct r.Settings.ev_de_ms ])
+            (match mode with Quick -> [ 1000 ] | Full -> batches))
+        (match mode with Quick -> [ 1; 10 ] | Full -> [ 1; 5; 10 ]))
+    (match mode with Quick -> [ 4; 10 ] | Full -> clusters);
+  Table.print t
+
+(* ---------- Figure 10: scalability, n = 100 ---------- *)
+
+let fig10 mode =
+  let t =
+    Table.create ~title:"Figure 10: FLO ktps with n=100, sigma=512, single DC"
+      ~columns:[ "workers"; "beta=10"; "beta=100"; "beta=1000" ]
+  in
+  let dur = match mode with Quick -> Time.s 2 | Full -> Time.s 5 in
+  let omegas = match mode with Quick -> [ 1; 3 ] | Full -> [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun w ->
+      let cell beta =
+        let r =
+          Settings.run_flo
+            { (base mode ~n:100 ~workers:w ~batch:beta ~tx_size:512) with
+              Settings.duration = dur }
+        in
+        Table.cell_f (ktps r)
+      in
+      Table.add_row t
+        [ Table.cell_i w; cell 10; cell 100; cell 1000 ])
+    omegas;
+  Table.print t
+
+(* ---------- Figure 11: crash failures ---------- *)
+
+let fig11 mode =
+  let t =
+    Table.create
+      ~title:
+        "Figure 11: FLO ktps with f crashed nodes (crash at measurement \
+         start), sigma=512"
+      ~columns:[ "n(f)"; "workers"; "beta=10"; "beta=100"; "beta=1000" ]
+  in
+  List.iter
+    (fun n ->
+      let f = (n - 1) / 3 in
+      List.iter
+        (fun w ->
+          let cell beta =
+            let crash_list = List.init f (fun i -> (2 * i) + 1) in
+            let r =
+              Settings.run_flo
+                { (base mode ~n ~workers:w ~batch:beta ~tx_size:512) with
+                  Settings.faults =
+                    { Settings.no_faults with
+                      Settings.crash_at = Some (warmup / 2, crash_list) } }
+            in
+            Table.cell_f (ktps r)
+          in
+          Table.add_row t
+            [ Printf.sprintf "%d(%d)" n f;
+              Table.cell_i w;
+              cell 10; cell 100; cell 1000 ])
+        (match mode with Quick -> [ 1; 5 ] | Full -> [ 1; 3; 5; 8; 10 ]))
+    clusters;
+  Table.print t
+
+(* ---------- Figure 12: Byzantine failures ---------- *)
+
+let fig12 mode =
+  let t =
+    Table.create
+      ~title:
+        "Figure 12: FLO under Byzantine equivocation, sigma=512 (ktps and \
+         recoveries/s)"
+      ~columns:[ "n(f)"; "workers"; "beta"; "ktps"; "recoveries/s" ]
+  in
+  List.iter
+    (fun n ->
+      let f = (n - 1) / 3 in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun beta ->
+              let byz = List.init f (fun i -> (3 * i) + 1) in
+              let r =
+                Settings.run_flo
+                  { (base mode ~n ~workers:w ~batch:beta ~tx_size:512) with
+                    Settings.faults =
+                      { Settings.no_faults with Settings.byzantine = byz } }
+              in
+              Table.add_row t
+                [ Printf.sprintf "%d(%d)" n f;
+                  Table.cell_i w;
+                  Table.cell_i beta;
+                  Table.cell_f (ktps r);
+                  Table.cell_f ~dec:2 r.Settings.rps ])
+            (match mode with Quick -> [ 100; 1000 ] | Full -> batches))
+        (match mode with Quick -> [ 1; 3 ] | Full -> [ 1; 2; 3; 4; 5 ]))
+    clusters;
+  Table.print t
+
+(* ---------- Figures 13-15: multi data-center ---------- *)
+
+let fig13 mode =
+  let t =
+    Table.create ~title:"Figure 13: FLO blocks/s, multi DC (header-only load)"
+      ~columns:[ "workers"; "n=4"; "n=7"; "n=10" ]
+  in
+  List.iter
+    (fun w ->
+      let cell n =
+        let r =
+          Settings.run_flo
+            { (base mode ~n ~workers:w ~batch:1 ~tx_size:1) with
+              Settings.net = Settings.Geo }
+        in
+        Table.cell_f r.Settings.bps
+      in
+      Table.add_row t [ Table.cell_i w; cell 4; cell 7; cell 10 ])
+    (omega_sweep mode);
+  Table.print t
+
+let fig14 mode =
+  let t =
+    Table.create ~title:"Figure 14: FLO ktps, multi DC, sigma=512"
+      ~columns:[ "workers"; "config"; "beta=10"; "beta=100"; "beta=1000" ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun w ->
+          let cell beta =
+            let r =
+              Settings.run_flo
+                { (base mode ~n ~workers:w ~batch:beta ~tx_size:512) with
+                  Settings.net = Settings.Geo;
+                  duration =
+                    (match mode with Quick -> Time.s 6 | Full -> Time.s 15) }
+            in
+            Table.cell_f (ktps r)
+          in
+          Table.add_row t
+            [ Table.cell_i w;
+              Printf.sprintf "n=%d" n;
+              cell 10; cell 100; cell 1000 ])
+        (omega_sweep mode))
+    clusters;
+  Table.print t
+
+let fig15 mode =
+  let t =
+    Table.create
+      ~title:
+        "Figure 15: FLO latency (ms), multi DC, sigma=512 (mean with top 5% \
+         trimmed)"
+      ~columns:[ "config"; "beta=10"; "beta=100"; "beta=1000" ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun w ->
+          let cell beta =
+            let r =
+              Settings.run_flo
+                { (base mode ~n ~workers:w ~batch:beta ~tx_size:512) with
+                  Settings.net = Settings.Geo;
+                  duration =
+                    (match mode with Quick -> Time.s 6 | Full -> Time.s 15) }
+            in
+            Table.cell_f r.Settings.lat_trimmed_ms
+          in
+          Table.add_row t
+            [ Printf.sprintf "n=%d w=%d" n w; cell 10; cell 100; cell 1000 ])
+        (match mode with Quick -> [ 1; 10 ] | Full -> [ 1; 5; 10 ]))
+    clusters;
+  Table.print t
+
+(* ---------- Figures 16-17: FLO vs HotStuff / BFT-SMaRt ---------- *)
+
+let comparison mode ~title ~rival ~run_rival =
+  let t =
+    Table.create ~title
+      ~columns:
+        [ "n"; "sigma"; "FLO ktps"; rival ^ " ktps"; "FLO lat ms";
+          rival ^ " lat ms" ]
+  in
+  let ns = match mode with Quick -> [ 4; 10 ] | Full -> [ 4; 10; 16; 31 ] in
+  let ss = match mode with Quick -> [ 512 ] | Full -> [ 128; 512; 1024 ] in
+  List.iter
+    (fun n ->
+      let f = max 0 ((n / 3) - 1) in
+      List.iter
+        (fun sigma ->
+          let flo_r =
+            Settings.run_flo
+              { (base mode ~n ~workers:8 ~batch:1000 ~tx_size:sigma) with
+                Settings.f = Some f;
+                machine = Settings.c5_4xlarge }
+          in
+          let rival_r =
+            run_rival (Settings.baseline ~n ~f ~batch:1000 ~tx_size:sigma)
+          in
+          Table.add_row t
+            [ Table.cell_i n;
+              Table.cell_i sigma;
+              Table.cell_f (ktps flo_r);
+              Table.cell_f (ktps rival_r);
+              Table.cell_f flo_r.Settings.lat_mean_ms;
+              Table.cell_f rival_r.Settings.lat_mean_ms ])
+        ss)
+    ns;
+  Table.print t
+
+let fig16 mode =
+  comparison mode
+    ~title:
+      "Figure 16: FLO vs HotStuff (c5.4xlarge profile, beta=1000, w=8, \
+       f=floor(n/3)-1)"
+    ~rival:"HotStuff" ~run_rival:Settings.run_hotstuff
+
+let fig17 mode =
+  comparison mode
+    ~title:
+      "Figure 17: FLO vs BFT-SMaRt/PBFT (c5.4xlarge profile, beta=1000, w=8, \
+       f=floor(n/3)-1)"
+    ~rival:"PBFT" ~run_rival:Settings.run_pbft
+
+(* ---------- Ablations (DESIGN.md §4) ---------- *)
+
+let ablations mode =
+  let t =
+    Table.create
+      ~title:
+        "Ablations: design-choice contributions (n=4, beta=1000, sigma=512, \
+         w=4)"
+      ~columns:[ "variant"; "ktps"; "latency ms"; "notes" ]
+  in
+  let run ?(faults = Settings.no_faults) tweaks =
+    Settings.run_flo
+      { (base mode ~n:4 ~workers:4 ~batch:1000 ~tx_size:512) with
+        Settings.config_tweaks = tweaks;
+        faults }
+  in
+  let add name ?(notes = "") r =
+    Table.add_row t
+      [ name; Table.cell_f (ktps r); Table.cell_f r.Settings.lat_mean_ms;
+        notes ]
+  in
+  add "full FireLedger" (run Fun.id);
+  add "no piggyback (extra push step)"
+    (run (fun c -> { c with Fl_fireledger.Config.piggyback = false }));
+  add "no header/body separation"
+    (run (fun c -> { c with Fl_fireledger.Config.separate_bodies = false }));
+  let crash = { Settings.no_faults with Settings.crash_at = Some (warmup / 2, [ 1 ]) } in
+  add "crash f=1, FD on" ~notes:"vs paper 6.1.1"
+    (run ~faults:crash Fun.id);
+  add "crash f=1, FD off" ~notes:"each rotation hit pays a timeout"
+    (run ~faults:crash (fun c -> { c with Fl_fireledger.Config.fd_enabled = false }));
+  add "permuted rotation"
+    (run (fun c -> { c with Fl_fireledger.Config.permute_proposers = true }));
+  add "gossip dissemination (fanout 3)" ~notes:"redundant traffic, softer bursts"
+    (run (fun c ->
+         { c with Fl_fireledger.Config.dissemination = Fl_fireledger.Config.Gossip 3 }));
+  add "body pipeline depth 4" ~notes:"ships bodies ahead of turn"
+    (run (fun c ->
+         { c with
+           Fl_fireledger.Config.pipeline_depth = 4;
+           max_outstanding = 16 }));
+  Table.print t
+
+let all =
+  [ ("table1", "Table 1: per-mode protocol costs", table1);
+    ("fig5", "Figure 5: signature generation rate", fig5);
+    ("fig6", "Figure 6: single-DC blocks/s", fig6);
+    ("fig7", "Figure 7: single-DC tps grid", fig7);
+    ("fig8", "Figure 8: single-DC latency CDFs", fig8);
+    ("fig9", "Figure 9: event-gap breakdown", fig9);
+    ("fig10", "Figure 10: scalability n=100", fig10);
+    ("fig11", "Figure 11: crash failures", fig11);
+    ("fig12", "Figure 12: Byzantine failures", fig12);
+    ("fig13", "Figure 13: multi-DC blocks/s", fig13);
+    ("fig14", "Figure 14: multi-DC tps", fig14);
+    ("fig15", "Figure 15: multi-DC latency", fig15);
+    ("fig16", "Figure 16: FLO vs HotStuff", fig16);
+    ("fig17", "Figure 17: FLO vs BFT-SMaRt", fig17);
+    ("ablations", "Design-choice ablations", ablations) ]
+
+let run_by_id id mode =
+  match List.find_opt (fun (i, _, _) -> String.equal i id) all with
+  | Some (_, _, run) ->
+      run mode;
+      true
+  | None -> false
+
+let run_all mode =
+  List.iter
+    (fun (id, desc, run) ->
+      Printf.printf "\n###### %s — %s ######\n%!" id desc;
+      let t0 = Unix.gettimeofday () in
+      run mode;
+      Printf.printf "(%s finished in %.1fs wall)\n%!" id
+        (Unix.gettimeofday () -. t0))
+    all

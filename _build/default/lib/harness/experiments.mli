@@ -1,0 +1,17 @@
+(** One driver per table/figure of the paper's evaluation (§7).
+
+    Each driver sweeps the paper's parameter grid (Table 2), runs the
+    deterministic simulation per point, and prints the same rows or
+    series the paper plots. [Quick] shrinks sweeps and durations for
+    CI-style runs; [Full] covers the complete grid. *)
+
+type mode = Quick | Full
+
+val all : (string * string * (mode -> unit)) list
+(** [(id, description, run)] for every reproduced artifact, in paper
+    order: table1, fig5..fig17, plus the DESIGN.md ablations. *)
+
+val run_by_id : string -> mode -> bool
+(** Run one experiment; [false] if the id is unknown. *)
+
+val run_all : mode -> unit

@@ -1,0 +1,263 @@
+open Fl_sim
+
+type machine = {
+  m_name : string;
+  cores : int;
+  cost : Fl_crypto.Cost_model.t;
+  bandwidth_bps : float;
+}
+
+let m5_xlarge =
+  { m_name = "m5.xlarge";
+    cores = 4;
+    cost = Fl_crypto.Cost_model.default;
+    bandwidth_bps = Fl_net.Nic.ten_gbps }
+
+let c5_4xlarge =
+  { m_name = "c5.4xlarge";
+    cores = 16;
+    cost = Fl_crypto.Cost_model.c5_4xlarge;
+    bandwidth_bps = Fl_net.Nic.ten_gbps }
+
+type net_profile = Single_dc | Geo
+
+type faults = {
+  crash_at : (Time.t * int list) option;
+  byzantine : int list;
+  loss : (int * float) option;
+}
+
+let no_faults = { crash_at = None; byzantine = []; loss = None }
+
+type flo_setting = {
+  n : int;
+  f : int option;
+  workers : int;
+  batch : int;
+  tx_size : int;
+  net : net_profile;
+  machine : machine;
+  seed : int;
+  warmup : Time.t;
+  duration : Time.t;
+  faults : faults;
+  config_tweaks : Fl_fireledger.Config.t -> Fl_fireledger.Config.t;
+}
+
+let flo ~n ~workers ~batch ~tx_size =
+  { n;
+    f = None;
+    workers;
+    batch;
+    tx_size;
+    net = Single_dc;
+    machine = m5_xlarge;
+    seed = 42;
+    warmup = Time.s 1;
+    duration = Time.s 4;
+    faults = no_faults;
+    config_tweaks = Fun.id }
+
+type result = {
+  tps : float;
+  bps : float;
+  lat_mean_ms : float;
+  lat_p50_ms : float;
+  lat_p90_ms : float;
+  lat_p99_ms : float;
+  lat_trimmed_ms : float;
+  rps : float;
+  ev_ab_ms : float;
+  ev_bc_ms : float;
+  ev_cd_ms : float;
+  ev_de_ms : float;
+  cpu_util : float;
+  fast_decisions : int;
+  slow_paths : int;
+  signatures : int;
+  messages : int;
+  recorder : Fl_metrics.Recorder.t;
+}
+
+let latency_of ~net ~n =
+  match net with
+  | Single_dc -> Fl_net.Latency.single_dc
+  | Geo -> Fl_workload.Regions.latency ~n ()
+
+let histo_mean_ms recorder name =
+  match Fl_metrics.Recorder.histogram recorder name with
+  | Some h -> Fl_metrics.Histogram.mean h /. 1e6
+  | None -> 0.0
+
+let histo_q_ms recorder name q =
+  match Fl_metrics.Recorder.histogram recorder name with
+  | Some h -> float_of_int (Fl_metrics.Histogram.quantile h q) /. 1e6
+  | None -> 0.0
+
+let distil ~n ~recorder ~cpus ~nets ~engine =
+  let per_node rate = rate /. float_of_int n in
+  let messages =
+    Array.fold_left
+      (fun acc net -> acc + Fl_net.Net.messages_delivered net)
+      0 nets
+  in
+  let util =
+    let now = Engine.now engine in
+    if Array.length cpus = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc cpu -> acc +. Fl_sim.Cpu.utilization cpu ~now)
+        0.0 cpus
+      /. float_of_int (Array.length cpus)
+  in
+  let trimmed =
+    match Fl_metrics.Recorder.histogram recorder "latency_e2e" with
+    | Some h -> Fl_metrics.Histogram.trimmed_mean h ~drop_top:0.05 /. 1e6
+    | None -> 0.0
+  in
+  { tps = per_node (Fl_metrics.Recorder.rate_per_s recorder "txs_delivered");
+    bps = per_node (Fl_metrics.Recorder.rate_per_s recorder "blocks_delivered");
+    lat_mean_ms = histo_mean_ms recorder "latency_e2e";
+    lat_p50_ms = histo_q_ms recorder "latency_e2e" 0.50;
+    lat_p90_ms = histo_q_ms recorder "latency_e2e" 0.90;
+    lat_p99_ms = histo_q_ms recorder "latency_e2e" 0.99;
+    lat_trimmed_ms = trimmed;
+    rps = per_node (Fl_metrics.Recorder.rate_per_s recorder "recoveries");
+    ev_ab_ms = histo_mean_ms recorder "ev_ab";
+    ev_bc_ms = histo_mean_ms recorder "ev_bc";
+    ev_cd_ms = histo_mean_ms recorder "ev_cd";
+    ev_de_ms = histo_mean_ms recorder "ev_de";
+    cpu_util = util;
+    fast_decisions =
+      Fl_metrics.Recorder.counter recorder "obbc_fast_decisions";
+    slow_paths = Fl_metrics.Recorder.counter recorder "obbc_slow_paths";
+    signatures =
+      Fl_metrics.Recorder.counter recorder "signatures"
+      + Fl_metrics.Recorder.counter recorder "hs_signatures";
+    messages;
+    recorder }
+
+let build_flo s =
+  let f = match s.f with Some f -> f | None -> (s.n - 1) / 3 in
+  (* The WRB timer's lower bound must cover a full-push delivery: NIC
+     serialisation plus hashing of one whole block body — otherwise the
+     EMA, trained on near-zero piggyback readiness, causes spurious
+     timeouts whenever a block arrives by direct push. *)
+  let body_bytes = s.batch * s.tx_size in
+  let floor_timeout =
+    Time.ms 5
+    + (3 * Fl_crypto.Cost_model.hash_cost s.machine.cost ~bytes:body_bytes)
+    + int_of_float
+        (3.0 *. 8.0 *. float_of_int (body_bytes * (s.n - 1))
+        /. s.machine.bandwidth_bps *. 1e9)
+  in
+  let config =
+    s.config_tweaks
+      { (Fl_fireledger.Config.default ~n:s.n) with
+        Fl_fireledger.Config.f;
+        batch_size = s.batch;
+        tx_size = s.tx_size;
+        min_timeout = floor_timeout }
+  in
+  let behavior i =
+    if List.mem i s.faults.byzantine then Fl_fireledger.Instance.Equivocator
+    else Fl_fireledger.Instance.Honest
+  in
+  let cluster =
+    Fl_flo.Cluster.create ~seed:s.seed
+      ~latency:(latency_of ~net:s.net ~n:s.n)
+      ~cost:s.machine.cost ~cores:s.machine.cores
+      ~bandwidth_bps:s.machine.bandwidth_bps ~behavior ~config
+      ~workers:s.workers ()
+  in
+  Fl_metrics.Recorder.set_window cluster.Fl_flo.Cluster.recorder
+    ~start:s.warmup ~stop:(s.warmup + s.duration);
+  (* omission-failure injection: probabilistic outbound loss *)
+  (match s.faults.loss with
+  | None -> ()
+  | Some (victim, prob) ->
+      let rng = Rng.create (s.seed + 17) in
+      let filter ~src ~dst:_ =
+        not (src = victim && Rng.float rng 1.0 < prob)
+      in
+      Array.iter
+        (fun net -> Fl_net.Net.set_filter net (Some filter))
+        cluster.Fl_flo.Cluster.nets);
+  (match s.faults.crash_at with
+  | None -> ()
+  | Some (at, nodes) ->
+      ignore
+        (Engine.schedule cluster.Fl_flo.Cluster.engine ~delay:at (fun () ->
+             List.iter (Fl_flo.Cluster.crash cluster) nodes)));
+  cluster
+
+let run_cluster s cluster =
+  Fl_flo.Cluster.start cluster;
+  Fl_flo.Cluster.run ~until:(s.warmup + s.duration) cluster;
+  distil ~n:s.n ~recorder:cluster.Fl_flo.Cluster.recorder
+    ~cpus:cluster.Fl_flo.Cluster.cpus ~nets:cluster.Fl_flo.Cluster.nets
+    ~engine:cluster.Fl_flo.Cluster.engine
+
+let run_flo s = run_cluster s (build_flo s)
+
+let latency_cdf s ~points =
+  let r = run_flo s in
+  match Fl_metrics.Recorder.histogram r.recorder "latency_e2e" with
+  | None -> []
+  | Some h ->
+      List.map
+        (fun (v, q) -> (float_of_int v /. 1e6, q))
+        (Fl_metrics.Histogram.cdf h ~points)
+
+type baseline_setting = {
+  b_n : int;
+  b_f : int;
+  b_batch : int;
+  b_tx_size : int;
+  b_machine : machine;
+  b_net : net_profile;
+  b_seed : int;
+  b_warmup : Time.t;
+  b_duration : Time.t;
+}
+
+let baseline ~n ~f ~batch ~tx_size =
+  { b_n = n;
+    b_f = f;
+    b_batch = batch;
+    b_tx_size = tx_size;
+    b_machine = c5_4xlarge;
+    b_net = Single_dc;
+    b_seed = 42;
+    b_warmup = Time.s 1;
+    b_duration = Time.s 4 }
+
+let run_hotstuff s =
+  let hs =
+    Fl_baselines.Hotstuff.create ~seed:s.b_seed
+      ~latency:(latency_of ~net:s.b_net ~n:s.b_n)
+      ~cost:s.b_machine.cost ~cores:s.b_machine.cores
+      ~bandwidth_bps:s.b_machine.bandwidth_bps ~n:s.b_n ~f:s.b_f
+      ~batch_size:s.b_batch ~tx_size:s.b_tx_size ()
+  in
+  Fl_metrics.Recorder.set_window hs.Fl_baselines.Hotstuff.recorder
+    ~start:s.b_warmup ~stop:(s.b_warmup + s.b_duration);
+  Fl_baselines.Hotstuff.start hs;
+  Fl_baselines.Hotstuff.run ~until:(s.b_warmup + s.b_duration) hs;
+  distil ~n:s.b_n ~recorder:hs.Fl_baselines.Hotstuff.recorder ~cpus:[||]
+    ~nets:[||] ~engine:hs.Fl_baselines.Hotstuff.engine
+
+let run_pbft s =
+  let pb =
+    Fl_baselines.Pbft_cluster.create ~seed:s.b_seed
+      ~latency:(latency_of ~net:s.b_net ~n:s.b_n)
+      ~cost:s.b_machine.cost ~cores:s.b_machine.cores
+      ~bandwidth_bps:s.b_machine.bandwidth_bps ~n:s.b_n ~f:s.b_f
+      ~batch_size:s.b_batch ~tx_size:s.b_tx_size ()
+  in
+  Fl_metrics.Recorder.set_window pb.Fl_baselines.Pbft_cluster.recorder
+    ~start:s.b_warmup ~stop:(s.b_warmup + s.b_duration);
+  Fl_baselines.Pbft_cluster.start pb;
+  Fl_baselines.Pbft_cluster.run ~until:(s.b_warmup + s.b_duration) pb;
+  distil ~n:s.b_n ~recorder:pb.Fl_baselines.Pbft_cluster.recorder ~cpus:[||]
+    ~nets:[||] ~engine:pb.Fl_baselines.Pbft_cluster.engine

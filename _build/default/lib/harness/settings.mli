@@ -1,0 +1,100 @@
+(** Experiment settings and single-run drivers.
+
+    A setting describes one data point of one figure: cluster size,
+    worker count, workload (β, σ), machine profile, network profile,
+    fault schedule and measurement window. [run_flo] (and the baseline
+    runners) build a fresh deterministic simulation, run it, and
+    distil the recorder into a {!result}. *)
+
+open Fl_sim
+
+type machine = {
+  m_name : string;
+  cores : int;
+  cost : Fl_crypto.Cost_model.t;
+  bandwidth_bps : float;
+}
+
+val m5_xlarge : machine
+(** 4 vCPU, 10 Gb/s — the paper's default node (§7). *)
+
+val c5_4xlarge : machine
+(** 16 vCPU, 10 Gb/s — the paper's §7.6 comparison machines. *)
+
+type net_profile = Single_dc | Geo
+
+type faults = {
+  crash_at : (Time.t * int list) option;
+      (** crash these node ids at this time *)
+  byzantine : int list;  (** equivocators, from the start *)
+  loss : (int * float) option;
+      (** (victim, probability): drop this fraction of the victim's
+          outbound messages — omission-failure injection *)
+}
+
+val no_faults : faults
+
+type flo_setting = {
+  n : int;
+  f : int option;  (** default ⌊(n−1)/3⌋ *)
+  workers : int;
+  batch : int;  (** β *)
+  tx_size : int;  (** σ *)
+  net : net_profile;
+  machine : machine;
+  seed : int;
+  warmup : Time.t;
+  duration : Time.t;
+  faults : faults;
+  config_tweaks : Fl_fireledger.Config.t -> Fl_fireledger.Config.t;
+      (** applied last — ablation switches *)
+}
+
+val flo : n:int -> workers:int -> batch:int -> tx_size:int -> flo_setting
+(** A default single-DC fault-free setting (m5.xlarge, 1 s warmup,
+    4 s measurement). *)
+
+type result = {
+  tps : float;  (** transactions/s, per-node average *)
+  bps : float;  (** blocks/s, per-node average *)
+  lat_mean_ms : float;  (** end-to-end block latency (A→E) *)
+  lat_p50_ms : float;
+  lat_p90_ms : float;
+  lat_p99_ms : float;
+  lat_trimmed_ms : float;  (** mean after dropping the top 5% (§7.5.2) *)
+  rps : float;  (** recoveries/s, per-node average *)
+  ev_ab_ms : float;  (** §7.2.2 event-gap means *)
+  ev_bc_ms : float;
+  ev_cd_ms : float;
+  ev_de_ms : float;
+  cpu_util : float;
+  fast_decisions : int;
+  slow_paths : int;
+  signatures : int;
+  messages : int;
+  recorder : Fl_metrics.Recorder.t;
+}
+
+val run_flo : flo_setting -> result
+
+val latency_cdf : flo_setting -> points:int -> (float * float) list
+(** Run and return the end-to-end latency CDF [(ms, fraction)] —
+    Figure 8/15 series. *)
+
+type baseline_setting = {
+  b_n : int;
+  b_f : int;
+  b_batch : int;
+  b_tx_size : int;
+  b_machine : machine;
+  b_net : net_profile;
+  b_seed : int;
+  b_warmup : Time.t;
+  b_duration : Time.t;
+}
+
+val baseline :
+  n:int -> f:int -> batch:int -> tx_size:int -> baseline_setting
+
+val run_hotstuff : baseline_setting -> result
+val run_pbft : baseline_setting -> result

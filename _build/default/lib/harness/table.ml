@@ -1,0 +1,54 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let group_thousands s =
+  let neg = String.length s > 0 && s.[0] = '-' in
+  let digits = if neg then String.sub s 1 (String.length s - 1) else s in
+  let n = String.length digits in
+  let buf = Buffer.create (n + (n / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    digits;
+  (if neg then "-" else "") ^ Buffer.contents buf
+
+let cell_f ?(dec = 1) v =
+  let s = Printf.sprintf "%.*f" dec v in
+  match String.index_opt s '.' with
+  | Some i ->
+      group_thousands (String.sub s 0 i) ^ String.sub s i (String.length s - i)
+  | None -> group_thousands s
+
+let cell_i v = group_thousands (string_of_int v)
+
+let print t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length t.columns)
+      rows
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2
+         (fun w c -> c ^ String.make (w - String.length c) ' ')
+         widths cells)
+  in
+  Printf.printf "\n== %s ==\n" t.title;
+  print_endline (line t.columns);
+  print_endline
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (line row)) rows;
+  print_newline ()

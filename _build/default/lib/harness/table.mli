@@ -1,0 +1,14 @@
+(** Aligned plain-text tables — how the harness renders the paper's
+    figures and tables on stdout. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val print : t -> unit
+
+val cell_f : ?dec:int -> float -> string
+(** Format a float with [dec] (default 1) decimals, thousands-grouped
+    integer part. *)
+
+val cell_i : int -> string

@@ -1,0 +1,1 @@
+lib/metrics/recorder.ml: Fl_sim Hashtbl Histogram List Stdlib String Time

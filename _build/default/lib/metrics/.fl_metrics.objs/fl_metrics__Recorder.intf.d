@@ -1,0 +1,1 @@
+lib/metrics/recorder.mli: Fl_sim Histogram Time

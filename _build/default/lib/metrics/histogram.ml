@@ -1,0 +1,80 @@
+type t = {
+  mutable data : int array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = [||]; len = 0; sorted = true }
+
+let record t v =
+  if t.len = Array.length t.data then begin
+    let cap = max 256 (2 * Array.length t.data) in
+    let data = Array.make cap 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let view = Array.sub t.data 0 t.len in
+    Array.sort compare view;
+    Array.blit view 0 t.data 0 t.len;
+    t.sorted <- true
+  end
+
+let mean t =
+  if t.len = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. float_of_int t.data.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+let min_value t =
+  if t.len = 0 then 0
+  else begin
+    ensure_sorted t;
+    t.data.(0)
+  end
+
+let max_value t =
+  if t.len = 0 then 0
+  else begin
+    ensure_sorted t;
+    t.data.(t.len - 1)
+  end
+
+let quantile t q =
+  if t.len = 0 then 0
+  else begin
+    ensure_sorted t;
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let idx = int_of_float (q *. float_of_int (t.len - 1)) in
+    t.data.(idx)
+  end
+
+let cdf t ~points =
+  if t.len = 0 || points <= 0 then []
+  else
+    List.init points (fun i ->
+        let q = float_of_int (i + 1) /. float_of_int points in
+        (quantile t q, q))
+
+let trimmed_mean t ~drop_top =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let keep = max 1 (int_of_float (float_of_int t.len *. (1.0 -. drop_top))) in
+    let sum = ref 0.0 in
+    for i = 0 to keep - 1 do
+      sum := !sum +. float_of_int t.data.(i)
+    done;
+    !sum /. float_of_int keep
+  end

@@ -1,0 +1,26 @@
+(** Latency histograms with exact quantiles.
+
+    Samples (nanosecond values) are stored raw in a growable array —
+    experiments record per-block latencies (at most a few hundred
+    thousand samples), so exact sorting at query time is cheap and
+    avoids bucketing error in the reproduced CDFs (paper Figure 8). *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+val count : t -> int
+val mean : t -> float
+val min_value : t -> int
+val max_value : t -> int
+
+val quantile : t -> float -> int
+(** [quantile t q] with q in [0,1]; 0 on an empty histogram. *)
+
+val cdf : t -> points:int -> (int * float) list
+(** [(value, fraction <= value)] at [points] evenly spaced fractions —
+    the series plotted in the paper's CDF charts. *)
+
+val trimmed_mean : t -> drop_top:float -> float
+(** Mean after dropping the top fraction of samples (paper §7.5.2
+    drops the 5% most extreme results). *)

@@ -1,0 +1,71 @@
+open Fl_sim
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histos : (string, Histogram.t) Hashtbl.t;
+  marks : (string, int ref) Hashtbl.t;
+  mutable window_start : Time.t;
+  mutable window_stop : Time.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32;
+    histos = Hashtbl.create 32;
+    marks = Hashtbl.create 32;
+    window_start = 0;
+    window_stop = 0 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+let add t name k = counter_ref t name := !(counter_ref t name) + k
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.histos name with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create () in
+        Hashtbl.add t.histos name h;
+        h
+  in
+  Histogram.record h v
+
+let histogram t name = Hashtbl.find_opt t.histos name
+
+let set_window t ~start ~stop =
+  if stop <= start then invalid_arg "Recorder.set_window: empty window";
+  t.window_start <- start;
+  t.window_stop <- stop
+
+let mark t name ~now k =
+  if now >= t.window_start && now < t.window_stop && t.window_stop > 0 then begin
+    let r =
+      match Hashtbl.find_opt t.marks name with
+      | Some r -> r
+      | None ->
+          let r = ref 0 in
+          Hashtbl.add t.marks name r;
+          r
+    in
+    r := !r + k
+  end
+
+let windowed_count t name =
+  match Hashtbl.find_opt t.marks name with Some r -> !r | None -> 0
+
+let rate_per_s t name =
+  let span = t.window_stop - t.window_start in
+  if span <= 0 then 0.0
+  else float_of_int (windowed_count t name) /. Time.to_float_s span
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

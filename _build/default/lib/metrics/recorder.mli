@@ -1,0 +1,42 @@
+(** Per-experiment metrics sink.
+
+    One recorder is shared by all nodes of a run. Protocols bump named
+    counters (messages, signatures, recoveries, decided blocks/txs) and
+    observe named latency histograms; the harness reads them out to
+    print the paper's tables. A [warmup] boundary lets steady-state
+    rates exclude start-up transients. *)
+
+open Fl_sim
+
+type t
+
+val create : unit -> t
+
+(* Counters *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val counter : t -> string -> int
+
+(* Histograms (nanosecond samples) *)
+
+val observe : t -> string -> int -> unit
+val histogram : t -> string -> Histogram.t option
+
+(* Time-windowed rates *)
+
+val set_window : t -> start:Time.t -> stop:Time.t -> unit
+(** Declare the measurement window; [mark]s outside it are ignored. *)
+
+val mark : t -> string -> now:Time.t -> int -> unit
+(** Count [k] events at time [now] toward the windowed rate of a
+    named series (e.g. ["txs_delivered"]). *)
+
+val rate_per_s : t -> string -> float
+(** Windowed events/second for a [mark]ed series (0 before
+    [set_window]). *)
+
+val windowed_count : t -> string -> int
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name — for debugging dumps. *)

@@ -1,0 +1,1 @@
+lib/net/channel.ml: Fl_sim Hub Mailbox Net Time

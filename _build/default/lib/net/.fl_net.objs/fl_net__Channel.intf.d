@@ -1,0 +1,1 @@
+lib/net/channel.mli: Fl_sim Hub Net Time

@@ -1,0 +1,1 @@
+lib/net/hub.ml: Engine Fiber Fl_sim Hashtbl Mailbox

@@ -1,0 +1,1 @@
+lib/net/hub.mli: Engine Fl_sim Mailbox

@@ -1,0 +1,1 @@
+lib/net/latency.mli: Fl_sim Rng Time

@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Engine Fl_sim Latency List Mailbox Nic Rng

@@ -1,0 +1,1 @@
+lib/net/net.mli: Engine Fl_sim Latency Mailbox Nic Rng

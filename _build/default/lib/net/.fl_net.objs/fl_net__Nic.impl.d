@@ -1,0 +1,1 @@
+lib/net/nic.ml: Fl_sim Time

@@ -1,0 +1,30 @@
+open Fl_sim
+
+type 'a t = {
+  self : int;
+  n : int;
+  f : int;
+  bcast : size:int -> 'a -> unit;
+  send : dst:int -> size:int -> 'a -> unit;
+  recv : unit -> int * 'a;
+  recv_timeout : timeout:Time.t -> (int * 'a) option;
+  close : unit -> unit;
+}
+
+let of_hub hub ~key ~net ~self ~f ~inj ~prj =
+  let box () = Hub.box hub key in
+  { self;
+    n = Net.n net;
+    f;
+    bcast = (fun ~size m -> Net.broadcast net ~src:self ~size (inj m));
+    send = (fun ~dst ~size m -> Net.send net ~src:self ~dst ~size (inj m));
+    recv =
+      (fun () ->
+        let src, w = Mailbox.recv (box ()) in
+        (src, prj w));
+    recv_timeout =
+      (fun ~timeout ->
+        match Mailbox.recv_timeout (box ()) ~timeout with
+        | None -> None
+        | Some (src, w) -> Some (src, prj w));
+    close = (fun () -> Hub.remove hub key) }

@@ -1,0 +1,36 @@
+(** What a protocol instance sees of the network.
+
+    Sub-protocols (BBC, OBBC, WRB, recovery, PBFT…) are written
+    against this record instead of the raw {!Net} so that (i) each
+    instance gets its own demultiplexed message stream (a {!Hub}
+    channel) and (ii) the node layer can wrap [bcast]/[send] to embed
+    the sub-protocol's messages in the node's wire type and to count
+    wire traffic. [n]/[f] carry the system-model parameters every BFT
+    protocol needs. *)
+
+open Fl_sim
+
+type 'a t = {
+  self : int;
+  n : int;
+  f : int;
+  bcast : size:int -> 'a -> unit;  (** send to all, including self *)
+  send : dst:int -> size:int -> 'a -> unit;
+  recv : unit -> int * 'a;  (** blocking; (src, msg) *)
+  recv_timeout : timeout:Time.t -> (int * 'a) option;
+  close : unit -> unit;  (** release the underlying hub channel *)
+}
+
+val of_hub :
+  'w Hub.t ->
+  key:string ->
+  net:'w Net.t ->
+  self:int ->
+  f:int ->
+  inj:('m -> 'w) ->
+  prj:('w -> 'm) ->
+  'm t
+(** Standard wiring: channel [key] of a node's hub, embedding protocol
+    messages ['m] into the node wire type ['w]. [prj] may assume it
+    only sees messages routed to [key] (it should raise on others —
+    that would be a routing bug). *)

@@ -1,0 +1,29 @@
+open Fl_sim
+
+type 'm t = {
+  engine : Engine.t;
+  key : 'm -> string;
+  boxes : (string, (int * 'm) Mailbox.t) Hashtbl.t;
+}
+
+let box t k =
+  match Hashtbl.find_opt t.boxes k with
+  | Some b -> b
+  | None ->
+      let b = Mailbox.create t.engine in
+      Hashtbl.add t.boxes k b;
+      b
+
+let create engine ~inbox ~key =
+  let t = { engine; key; boxes = Hashtbl.create 64 } in
+  Fiber.spawn engine (fun () ->
+      let rec loop () =
+        let src, msg = Mailbox.recv inbox in
+        Mailbox.send (box t (key msg)) (src, msg);
+        loop ()
+      in
+      loop ());
+  t
+
+let remove t k = Hashtbl.remove t.boxes k
+let channels t = Hashtbl.length t.boxes

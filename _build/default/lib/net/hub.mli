@@ -1,0 +1,28 @@
+(** Demultiplexing of a node's inbox into per-channel mailboxes.
+
+    Consensus messages are naturally keyed — by round, by protocol
+    phase, by instance. A [Hub] runs a dispatcher fiber over the
+    node's inbox and routes each message to the mailbox of its channel
+    key, creating mailboxes on demand. Fibers block on
+    [box]/[recv_timeout] for the channels they care about; messages
+    for future rounds wait in their channel until the protocol
+    catches up. [remove] discards finished channels so memory stays
+    bounded over long runs. *)
+
+open Fl_sim
+
+type 'm t
+
+val create : Engine.t -> inbox:(int * 'm) Mailbox.t -> key:('m -> string) -> 'm t
+(** Spawns the dispatcher fiber immediately. *)
+
+val box : 'm t -> string -> (int * 'm) Mailbox.t
+(** Mailbox of a channel (created on demand). *)
+
+val remove : 'm t -> string -> unit
+(** Drop a channel and any messages buffered in it. Late messages for
+    a removed channel recreate it; callers remove channels only after
+    the protocol can no longer consult them. *)
+
+val channels : 'm t -> int
+(** Live channel count — for leak tests. *)

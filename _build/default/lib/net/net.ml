@@ -1,0 +1,65 @@
+open Fl_sim
+
+type 'm t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  nics : Nic.t array;
+  latency : Latency.t;
+  inboxes : (int * 'm) Mailbox.t array;
+  mutable filter : (src:int -> dst:int -> bool) option;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create engine rng ~nics ~latency =
+  let n = Array.length nics in
+  if n = 0 then invalid_arg "Net.create: empty nic array";
+  { engine;
+    rng;
+    nics;
+    latency;
+    inboxes = Array.init n (fun _ -> Mailbox.create engine);
+    filter = None;
+    delivered = 0;
+    dropped = 0 }
+
+let n t = Array.length t.nics
+let inbox t i = t.inboxes.(i)
+
+let deliverable t ~src ~dst =
+  match t.filter with None -> true | Some f -> f ~src ~dst
+
+let deliver t ~src ~dst ~at msg =
+  let now = Engine.now t.engine in
+  ignore
+    (Engine.schedule t.engine ~delay:(at - now) (fun () ->
+         t.delivered <- t.delivered + 1;
+         Mailbox.send t.inboxes.(dst) (src, msg)))
+
+let send t ~src ~dst ~size msg =
+  if not (deliverable t ~src ~dst) then t.dropped <- t.dropped + 1
+  else begin
+    let now = Engine.now t.engine in
+    let propagation = Latency.sample t.latency t.rng ~src ~dst in
+    if src = dst then deliver t ~src ~dst ~at:(now + propagation) msg
+    else begin
+      let tx_done = Nic.tx_finish t.nics.(src) ~now ~bytes:size in
+      let arrival = tx_done + propagation in
+      let rx_done = Nic.rx_finish t.nics.(dst) ~arrival ~bytes:size in
+      deliver t ~src ~dst ~at:rx_done msg
+    end
+  end
+
+let broadcast ?(include_self = true) t ~src ~size msg =
+  let count = Array.length t.nics in
+  for dst = 0 to count - 1 do
+    if dst <> src then send t ~src ~dst ~size msg
+  done;
+  if include_self then send t ~src ~dst:src ~size msg
+
+let multicast t ~src ~dsts ~size msg =
+  List.iter (fun dst -> send t ~src ~dst ~size msg) dsts
+
+let set_filter t f = t.filter <- f
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped

@@ -1,0 +1,50 @@
+(** The simulated message-passing network.
+
+    A ['m t] connects [n] nodes in a clique with reliable (no loss, no
+    duplication, no corruption) but asynchronous links, exactly the
+    paper's §3.1 model. Delivery time of a message is
+
+    [tx serialisation (sender NIC FIFO) + propagation latency (sampled
+    from the latency model) + rx serialisation (receiver NIC FIFO)].
+
+    NICs are shared across all [Net.t] instances that reference them,
+    so the ω FireLedger workers of one FLO node contend for the same
+    link — a first-order effect in the paper's ω sweeps.
+
+    Fault injection: [set_filter] silently discards messages (used to
+    emulate crashes, partitions and omission periods); Byzantine
+    equivocation is expressed by the sender simply calling [send] with
+    different payloads to different destinations. *)
+
+open Fl_sim
+
+type 'm t
+
+val create :
+  Engine.t -> Rng.t -> nics:Nic.t array -> latency:Latency.t -> 'm t
+(** One network instance; [n] is the length of [nics]. *)
+
+val n : 'm t -> int
+
+val inbox : 'm t -> int -> (int * 'm) Mailbox.t
+(** Node [i]'s inbox; messages arrive as [(src, msg)]. *)
+
+val send : 'm t -> src:int -> dst:int -> size:int -> 'm -> unit
+(** Transmit a message of [size] wire bytes. Self-sends skip the NIC
+    and incur only loopback latency. *)
+
+val broadcast :
+  ?include_self:bool -> 'm t -> src:int -> size:int -> 'm -> unit
+(** Send to every node (clique overlay: n−1 NIC serialisations);
+    [include_self] (default true) also delivers locally. *)
+
+val multicast : 'm t -> src:int -> dsts:int list -> size:int -> 'm -> unit
+(** Send to an explicit destination set — the primitive Byzantine
+    equivocators use to feed different halves different blocks. *)
+
+val set_filter : 'm t -> (src:int -> dst:int -> bool) option -> unit
+(** [Some f] drops any message for which [f ~src ~dst] is false;
+    [None] restores full connectivity. *)
+
+val messages_delivered : 'm t -> int
+val messages_dropped : 'm t -> int

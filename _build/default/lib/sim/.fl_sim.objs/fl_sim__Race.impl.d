@@ -1,0 +1,1 @@
+lib/sim/race.ml: Fiber Ivar

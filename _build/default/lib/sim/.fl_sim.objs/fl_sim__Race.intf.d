@@ -1,0 +1,1 @@
+lib/sim/race.mli: Ivar

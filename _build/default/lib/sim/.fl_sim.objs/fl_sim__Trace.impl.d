@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Char Engine Format Int64 List Printf Queue String Time

@@ -1,0 +1,38 @@
+type t = {
+  engine : Engine.t;
+  cores : int;
+  mutable busy : int;
+  waiters : (unit -> unit) Queue.t;
+  mutable busy_ns : int;
+}
+
+let create engine ~cores =
+  if cores <= 0 then invalid_arg "Cpu.create: cores must be positive";
+  { engine; cores; busy = 0; waiters = Queue.create (); busy_ns = 0 }
+
+let cores t = t.cores
+
+let acquire t =
+  if t.busy < t.cores then t.busy <- t.busy + 1
+  else Fiber.suspend (fun resume -> Queue.push resume t.waiters)
+
+let release t =
+  match Queue.take_opt t.waiters with
+  | Some resume ->
+      (* Hand the core to the next waiter without decrementing. *)
+      ignore (Engine.schedule t.engine ~delay:0 (fun () -> resume ()))
+  | None -> t.busy <- t.busy - 1
+
+let charge t ns =
+  if ns > 0 then begin
+    acquire t;
+    Fiber.sleep t.engine ns;
+    t.busy_ns <- t.busy_ns + ns;
+    release t
+  end
+
+let busy_time t = t.busy_ns
+
+let utilization t ~now =
+  if now <= 0 then 0.0
+  else float_of_int t.busy_ns /. (float_of_int t.cores *. float_of_int now)

@@ -1,0 +1,23 @@
+(** Simulated multicore CPU.
+
+    Each node owns a CPU with a fixed number of cores. A fiber calls
+    [charge] to consume CPU time (e.g. the cost-model price of signing
+    a block); if all cores are busy it queues FIFO behind the other
+    fibers of the same node. This is what makes throughput scale with
+    the FLO worker count ω only up to the core count — the effect the
+    paper measures in Figures 5 and 7. *)
+
+type t
+
+val create : Engine.t -> cores:int -> t
+val cores : t -> int
+
+val charge : t -> Time.t -> unit
+(** Block the calling fiber while it consumes the given CPU time on
+    one core. Zero or negative charges return immediately. *)
+
+val busy_time : t -> Time.t
+(** Total core-nanoseconds consumed so far (for utilisation stats). *)
+
+val utilization : t -> now:Time.t -> float
+(** [busy_time / (cores * now)], in [0,1]. *)

@@ -1,0 +1,65 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  cancelled : bool ref;
+  action : unit -> unit;
+}
+
+type handle = bool ref
+
+type t = {
+  mutable now : Time.t;
+  queue : event Heap.t;
+  mutable next_seq : int;
+  mutable stopped : bool;
+  mutable processed : int;
+}
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { now = 0;
+    queue = Heap.create ~cmp:cmp_event;
+    next_seq = 0;
+    stopped = false;
+    processed = 0 }
+
+let now t = t.now
+
+let schedule t ~delay action =
+  let delay = max 0 delay in
+  let cancelled = ref false in
+  Heap.push t.queue
+    { time = t.now + delay; seq = t.next_seq; cancelled; action };
+  t.next_seq <- t.next_seq + 1;
+  cancelled
+
+let cancel handle = handle := true
+let stop t = t.stopped <- true
+let pending t = Heap.length t.queue
+let processed t = t.processed
+
+let run ?until t =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev -> (
+        match until with
+        | Some limit when ev.time > limit ->
+            t.now <- limit;
+            continue := false
+        | _ ->
+            ignore (Heap.pop t.queue);
+            if not !(ev.cancelled) then begin
+              t.now <- ev.time;
+              t.processed <- t.processed + 1;
+              ev.action ()
+            end)
+  done;
+  match until with
+  | Some limit when not t.stopped && t.now < limit -> t.now <- limit
+  | _ -> ()

@@ -1,0 +1,37 @@
+(** The discrete-event engine: a virtual clock and an event queue.
+
+    Events scheduled at the same instant run in scheduling (FIFO)
+    order, which makes runs deterministic. Everything else in the
+    simulator — fibers, timers, network delivery, CPU charging — is
+    built from [schedule]. *)
+
+type t
+
+type handle
+(** A scheduled event; can be cancelled before it fires. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+(** Run the action [delay] ns from now. A negative delay is clamped
+    to 0. *)
+
+val cancel : handle -> unit
+(** Cancelled events are skipped; cancelling twice is a no-op. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Process events in time order until the queue drains, [stop] is
+    called, or virtual time would exceed [until] (the clock is then
+    left at [until]). *)
+
+val stop : t -> unit
+(** Make [run] return after the current event. *)
+
+val pending : t -> int
+(** Number of queued (possibly cancelled) events — for tests. *)
+
+val processed : t -> int
+(** Events executed so far — for tests and sanity reporting. *)

@@ -1,0 +1,56 @@
+type 'a t = {
+  engine : Engine.t;
+  mutable value : 'a option;
+  mutable waiters : ('a -> unit) list;
+}
+
+let create engine = { engine; value = None; waiters = [] }
+let is_filled t = t.value <> None
+let peek t = t.value
+
+let try_fill t v =
+  match t.value with
+  | Some _ -> false
+  | None ->
+      t.value <- Some v;
+      let waiters = List.rev t.waiters in
+      t.waiters <- [];
+      List.iter
+        (fun w -> ignore (Engine.schedule t.engine ~delay:0 (fun () -> w v)))
+        waiters;
+      true
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+
+let on_fill t cb =
+  match t.value with
+  | Some v -> ignore (Engine.schedule t.engine ~delay:0 (fun () -> cb v))
+  | None -> t.waiters <- cb :: t.waiters
+
+let read t =
+  match t.value with
+  | Some v -> v
+  | None -> Fiber.suspend (fun resume -> t.waiters <- resume :: t.waiters)
+
+let read_timeout t ~timeout =
+  match t.value with
+  | Some v -> Some v
+  | None ->
+      Fiber.suspend (fun resume ->
+          let settled = ref false in
+          let timer =
+            Engine.schedule t.engine ~delay:timeout (fun () ->
+                if not !settled then begin
+                  settled := true;
+                  resume None
+                end)
+          in
+          t.waiters <-
+            (fun v ->
+              if not !settled then begin
+                settled := true;
+                Engine.cancel timer;
+                resume (Some v)
+              end)
+            :: t.waiters)

@@ -1,0 +1,29 @@
+(** Write-once synchronisation variables.
+
+    An [Ivar] starts empty; the first [fill] stores a value and wakes
+    every reader. Used for consensus decisions: many fibers can block
+    on the same decision and the decision can only happen once. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** [false] if already filled (value unchanged). *)
+
+val is_filled : 'a t -> bool
+
+val peek : 'a t -> 'a option
+
+val read : 'a t -> 'a
+(** Block the calling fiber until filled. *)
+
+val read_timeout : 'a t -> timeout:Time.t -> 'a option
+(** Like [read] but gives up after [timeout]; [None] on expiry. *)
+
+val on_fill : 'a t -> ('a -> unit) -> unit
+(** Run a callback (as a scheduled event) once the ivar is filled;
+    immediately scheduled if it already is. *)

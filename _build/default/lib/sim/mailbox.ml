@@ -1,0 +1,65 @@
+type 'a waiter = { mutable alive : bool; deliver : 'a -> unit }
+
+type 'a t = {
+  engine : Engine.t;
+  items : 'a Queue.t;
+  waiters : 'a waiter Queue.t;
+}
+
+let create engine = { engine; items = Queue.create (); waiters = Queue.create () }
+
+let send t msg =
+  (* Hand the message to the first still-alive waiter, else queue it. *)
+  let rec go () =
+    match Queue.take_opt t.waiters with
+    | None -> Queue.push msg t.items
+    | Some w ->
+        if w.alive then begin
+          w.alive <- false;
+          w.deliver msg
+        end
+        else go ()
+  in
+  go ()
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None ->
+      Fiber.suspend (fun resume ->
+          let w =
+            { alive = true;
+              deliver =
+                (fun v ->
+                  ignore
+                    (Engine.schedule t.engine ~delay:0 (fun () -> resume v)))
+            }
+          in
+          Queue.push w t.waiters)
+
+let recv_timeout t ~timeout =
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None ->
+      Fiber.suspend (fun resume ->
+          let timer = ref None in
+          let deliver v =
+            (* [send] has already marked the waiter dead, which also
+               disarms the timer's check below. *)
+            (match !timer with Some h -> Engine.cancel h | None -> ());
+            ignore
+              (Engine.schedule t.engine ~delay:0 (fun () -> resume (Some v)))
+          in
+          let w = { alive = true; deliver } in
+          timer :=
+            Some
+              (Engine.schedule t.engine ~delay:timeout (fun () ->
+                   if w.alive then begin
+                     w.alive <- false;
+                     resume None
+                   end));
+          Queue.push w t.waiters)
+
+let try_recv t = Queue.take_opt t.items
+let length t = Queue.length t.items
+let clear t = Queue.clear t.items

@@ -1,0 +1,27 @@
+(** Unbounded FIFO message queues connecting fibers.
+
+    The network delivers into mailboxes; protocol fibers block on
+    [recv]/[recv_timeout]. Delivery wakes at most one receiver per
+    message, in FIFO order of both messages and receivers, preserving
+    determinism. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+val send : 'a t -> 'a -> unit
+
+val recv : 'a t -> 'a
+(** Block the calling fiber until a message is available. *)
+
+val recv_timeout : 'a t -> timeout:Time.t -> 'a option
+(** Like [recv] but returns [None] if nothing arrives within
+    [timeout]. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Queued (undelivered) messages. *)
+
+val clear : 'a t -> unit
+(** Drop all queued messages (waiting receivers stay blocked). *)

@@ -1,0 +1,30 @@
+exception Aborted
+
+let check ~abort =
+  match abort with
+  | Some ab when Ivar.is_filled ab -> raise Aborted
+  | _ -> ()
+
+let read iv ~abort =
+  match abort with
+  | None -> Ivar.read iv
+  | Some ab -> (
+      match Ivar.peek iv with
+      | Some v -> v
+      | None ->
+          if Ivar.is_filled ab then raise Aborted;
+          let result =
+            Fiber.suspend (fun resume ->
+                let settled = ref false in
+                Ivar.on_fill iv (fun v ->
+                    if not !settled then begin
+                      settled := true;
+                      resume (Ok v)
+                    end);
+                Ivar.on_fill ab (fun () ->
+                    if not !settled then begin
+                      settled := true;
+                      resume (Error ())
+                    end))
+          in
+          match result with Ok v -> v | Error () -> raise Aborted)

@@ -1,0 +1,16 @@
+(** Waiting on "whichever happens first".
+
+    FireLedger's main loop must abandon in-flight waits (a WRB
+    delivery, an OBBC decision) the moment a panic proof arrives and
+    recovery must run. Blocking reads therefore race against an abort
+    ivar; losing the race raises {!Aborted}, which unwinds the calling
+    fiber to its recovery handler. *)
+
+exception Aborted
+
+val read : 'a Ivar.t -> abort:unit Ivar.t option -> 'a
+(** Wait for the ivar; raise {!Aborted} if [abort] fills first.
+    [abort = None] degrades to a plain {!Ivar.read}. *)
+
+val check : abort:unit Ivar.t option -> unit
+(** Raise {!Aborted} now if the abort ivar is already filled. *)

@@ -1,0 +1,15 @@
+type t = int
+
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let s x = x * 1_000_000_000
+let of_float_s x = int_of_float ((x *. 1e9) +. 0.5)
+let to_float_s t = float_of_int t /. 1e9
+let to_float_ms t = float_of_int t /. 1e6
+
+let pp fmt t =
+  if t >= 1_000_000_000 then Format.fprintf fmt "%.3fs" (to_float_s t)
+  else if t >= 1_000_000 then Format.fprintf fmt "%.3fms" (to_float_ms t)
+  else if t >= 1_000 then Format.fprintf fmt "%.3fus" (float_of_int t /. 1e3)
+  else Format.fprintf fmt "%dns" t

@@ -1,0 +1,50 @@
+type event = { at : Time.t; category : string; detail : string }
+
+type t = {
+  capacity : int;
+  buffer : event Queue.t;
+  mutable total : int;
+  mutable hash : int64;
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity";
+  { capacity; buffer = Queue.create (); total = 0; hash = 0xcbf29ce484222325L }
+
+let fnv h s =
+  String.fold_left
+    (fun acc c ->
+      Int64.mul
+        (Int64.logxor acc (Int64.of_int (Char.code c)))
+        1099511628211L)
+    h s
+
+let emit t engine ~category detail =
+  match t with
+  | None -> ()
+  | Some t ->
+      let at = Engine.now engine in
+      Queue.push { at; category; detail } t.buffer;
+      t.total <- t.total + 1;
+      t.hash <- fnv t.hash (Printf.sprintf "%d|%s|%s\n" at category detail);
+      if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+
+let events t = List.of_seq (Queue.to_seq t.buffer)
+let count t = t.total
+let dropped t = t.total - Queue.length t.buffer
+let filter t ~category =
+  List.filter (fun e -> String.equal e.category category) (events t)
+
+let fingerprint t = Printf.sprintf "%016Lx" t.hash
+
+let dump ?(limit = max_int) fmt t =
+  let shown = ref 0 in
+  Queue.iter
+    (fun e ->
+      if !shown < limit then begin
+        incr shown;
+        Format.fprintf fmt "%a  %-12s %s@." Time.pp e.at e.category e.detail
+      end)
+    t.buffer;
+  if dropped t > 0 then
+    Format.fprintf fmt "(… %d earlier events dropped)@." (dropped t)

@@ -1,0 +1,36 @@
+(** Structured event tracing.
+
+    A trace collects timestamped, categorised events from anywhere in
+    the simulation (protocol decisions, recoveries, deliveries…).
+    Because the simulator is deterministic, two runs with the same
+    seed must produce byte-identical traces — [fingerprint] turns a
+    trace into a digestible witness for replay-equivalence tests, and
+    [dump] renders it for debugging. Tracing is off (and free) unless
+    a sink is installed. *)
+
+type t
+
+type event = { at : Time.t; category : string; detail : string }
+
+val create : ?capacity:int -> unit -> t
+(** A bounded in-memory sink (default capacity 100_000 events; older
+    events are dropped oldest-first and counted). *)
+
+val emit : t option -> Engine.t -> category:string -> string -> unit
+(** Record an event; [None] sinks are free. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val count : t -> int
+(** Total emitted (including dropped). *)
+
+val dropped : t -> int
+
+val filter : t -> category:string -> event list
+
+val fingerprint : t -> string
+(** Order-sensitive digest of the whole trace (FNV-1a over rendered
+    events) — equal fingerprints mean equal traces. *)
+
+val dump : ?limit:int -> Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t v;
+    u16 t (v lsr 16)
+
+  let u64 t v =
+    u32 t v;
+    u32 t (v lsr 32)
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Codec.varint: negative"
+    else if v < 0x80 then u8 t v
+    else begin
+      u8 t (0x80 lor (v land 0x7f));
+      varint t (v lsr 7)
+    end
+
+  let raw t s = Buffer.add_string t s
+
+  let bytes t s =
+    varint t (String.length s);
+    raw t s
+
+  let bool t b = u8 t (if b then 1 else 0)
+  let length t = Buffer.length t
+  let contents t = Buffer.contents t
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Underflow
+
+  let of_string data = { data; pos = 0 }
+
+  let u8 t =
+    if t.pos >= String.length t.data then raise Underflow;
+    let v = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    lo lor (u8 t lsl 8)
+
+  let u32 t =
+    let lo = u16 t in
+    lo lor (u16 t lsl 16)
+
+  let u64 t =
+    let lo = u32 t in
+    lo lor (u32 t lsl 32)
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then raise Underflow;
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let raw t n =
+    if n < 0 || t.pos + n > String.length t.data then raise Underflow;
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t =
+    let n = varint t in
+    raw t n
+
+  let bool t = u8 t <> 0
+  let remaining t = String.length t.data - t.pos
+  let at_end t = remaining t = 0
+end
+
+let varint_size v =
+  if v < 0 then invalid_arg "Codec.varint_size: negative"
+  else
+    let rec go v acc = if v < 0x80 then acc else go (v lsr 7) (acc + 1) in
+    go v 1

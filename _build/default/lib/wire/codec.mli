@@ -1,0 +1,52 @@
+(** Binary codec with a stable, canonical encoding.
+
+    Two uses: (i) producing the exact byte string that is hashed and
+    signed (block headers, recovery proofs) — canonical encoding makes
+    signatures well-defined; (ii) computing wire sizes that feed the
+    NIC bandwidth model. Integers are little-endian fixed width;
+    variable-length fields are length-prefixed. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int -> unit
+
+  val varint : t -> int -> unit
+  (** LEB128 of a non-negative int. *)
+
+  val bytes : t -> string -> unit
+  (** Length-prefixed (varint) byte string. *)
+
+  val raw : t -> string -> unit
+  (** Raw bytes, no prefix — for fixed-size fields like digests. *)
+
+  val bool : t -> bool -> unit
+  val length : t -> int
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Underflow
+  (** Raised when reading past the end of input — malformed message. *)
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int
+  val varint : t -> int
+  val bytes : t -> string
+  val raw : t -> int -> string
+  val bool : t -> bool
+  val remaining : t -> int
+  val at_end : t -> bool
+end
+
+val varint_size : int -> int
+(** Encoded size of a varint, for size computations. *)

@@ -1,0 +1,1 @@
+lib/workload/clients.mli: Engine Fl_chain Fl_flo Fl_sim Rng Tx

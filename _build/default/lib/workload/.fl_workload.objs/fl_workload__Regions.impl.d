@@ -1,0 +1,1 @@
+lib/workload/regions.ml: Array Fl_net Fl_sim Latency Time

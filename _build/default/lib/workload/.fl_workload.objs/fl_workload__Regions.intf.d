@@ -1,0 +1,1 @@
+lib/workload/regions.mli: Fl_net Latency

@@ -1,0 +1,36 @@
+open Fl_sim
+open Fl_chain
+
+type t = {
+  engine : Engine.t;
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable stopped : bool;
+}
+
+let make_tx ~rng ~id ~size ~payloads =
+  if payloads then Tx.create_payload ~id (Rng.bytes rng size)
+  else Tx.create ~id ~size
+
+let spawn engine ~rng ~node ~rate_per_s ~tx_size ?(payloads = false) () =
+  if rate_per_s <= 0.0 then invalid_arg "Clients.spawn: rate";
+  let t = { engine; submitted = 0; rejected = 0; stopped = false } in
+  let mean_gap = 1e9 /. rate_per_s in
+  Fiber.spawn engine (fun () ->
+      let next_id = ref 0 in
+      while not t.stopped do
+        (* Poisson arrivals. *)
+        let gap = Rng.exponential rng ~mean:mean_gap in
+        Fiber.sleep engine (max 1 (int_of_float gap));
+        if not t.stopped then begin
+          let tx = make_tx ~rng ~id:!next_id ~size:tx_size ~payloads in
+          incr next_id;
+          if Fl_flo.Node.submit node tx then t.submitted <- t.submitted + 1
+          else t.rejected <- t.rejected + 1
+        end
+      done);
+  t
+
+let submitted t = t.submitted
+let rejected t = t.rejected
+let stop t = t.stopped <- true

@@ -1,0 +1,33 @@
+(** Client load generators for FLO deployments.
+
+    Benchmarks run the paper's full-load mode (blocks padded to β by
+    the proposers themselves), so clients are mainly for the examples
+    and for open-loop experiments: a client fiber submits transactions
+    of a given size at a given rate to a FLO node's client manager. *)
+
+open Fl_sim
+open Fl_chain
+
+type t
+
+val spawn :
+  Engine.t ->
+  rng:Rng.t ->
+  node:Fl_flo.Node.t ->
+  rate_per_s:float ->
+  tx_size:int ->
+  ?payloads:bool ->
+  unit ->
+  t
+(** Start an open-loop client against one node. [payloads] makes
+    transactions carry real random bytes (default: synthetic sizes
+    only). *)
+
+val submitted : t -> int
+val rejected : t -> int
+(** Back-pressured submissions (mempool full). *)
+
+val stop : t -> unit
+
+val make_tx : rng:Rng.t -> id:int -> size:int -> payloads:bool -> Tx.t
+(** One transaction as the generator builds them. *)

@@ -1,0 +1,32 @@
+open Fl_sim
+open Fl_net
+
+let names =
+  [| "Tokyo"; "Canada"; "Frankfurt"; "Paris"; "SaoPaulo"; "Oregon";
+     "Singapore"; "Sydney"; "Ireland"; "Ohio" |]
+
+let count = Array.length names
+
+(* Symmetric RTTs in milliseconds (public AWS inter-region ping
+   statistics, rounded). Row/column order matches [names]. *)
+let rtt_ms =
+  [| (*            Tok  Can  Fra  Par  SaP  Ore  Sin  Syd  Irl  Ohi *)
+     (* Tokyo *) [| 1; 145; 225; 220; 255; 95; 70; 105; 210; 155 |];
+     (* Canada *) [| 145; 1; 95; 90; 125; 60; 215; 210; 70; 25 |];
+     (* Frankfurt *) [| 225; 95; 1; 10; 205; 155; 160; 280; 25; 100 |];
+     (* Paris *) [| 220; 90; 10; 1; 195; 140; 165; 280; 20; 95 |];
+     (* SaoPaulo *) [| 255; 125; 205; 195; 1; 180; 325; 310; 185; 125 |];
+     (* Oregon *) [| 95; 60; 155; 140; 180; 1; 165; 140; 125; 50 |];
+     (* Singapore *) [| 70; 215; 160; 165; 325; 165; 1; 90; 185; 215 |];
+     (* Sydney *) [| 105; 210; 280; 280; 310; 140; 90; 1; 260; 195 |];
+     (* Ireland *) [| 210; 70; 25; 20; 185; 125; 185; 260; 1; 80 |];
+     (* Ohio *) [| 155; 25; 100; 95; 125; 50; 215; 195; 80; 1 |] |]
+
+let latency ?(jitter = 0.05) ~n () =
+  if n <= 0 || n > count then invalid_arg "Regions.latency: n";
+  let base =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then Time.us 250 else Time.us (rtt_ms.(i).(j) * 500)))
+  in
+  Latency.Matrix { base; jitter }

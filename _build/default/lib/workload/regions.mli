@@ -1,0 +1,24 @@
+(** The paper's geo-distributed deployment (§7.5): one node per AWS
+    region, in the paper's order — Tokyo, Canada-Central, Frankfurt,
+    Paris, São Paulo, Oregon, Singapore, Sydney, Ireland, Ohio.
+
+    Latencies are one-way delays derived from public inter-region RTT
+    statistics (≈RTT/2, ms granularity); a log-normal jitter factor
+    models WAN variance. The paper had no access to its exact
+    2019 ping tables either — only the heterogeneous geography
+    matters for the reproduced shape. *)
+
+open Fl_net
+
+val names : string array
+(** The 10 region names in the paper's placement order. *)
+
+val count : int
+
+val rtt_ms : int array array
+(** Symmetric round-trip times between regions, milliseconds. *)
+
+val latency : ?jitter:float -> n:int -> unit -> Latency.t
+(** Latency model for the first [n] regions (n ≤ 10); [jitter] is the
+    log-normal sigma (default 0.05). Intra-region delay is the
+    single-DC profile's median. *)

@@ -1,0 +1,11 @@
+open Fl_sim
+open Fl_fireledger
+let () =
+  let config = { (Config.default ~n:4) with Config.batch_size = 10; tx_size = 32; initial_timeout = Time.ms 20 } in
+  let c = Cluster.create ~seed:59 ~config () in
+  let rng = Rng.create 60 in
+  Fl_net.Net.set_filter c.Cluster.net (Some (fun ~src:_ ~dst:_ -> Rng.float rng 1.0 >= 0.05));
+  Cluster.start c;
+  Cluster.run ~until:(Time.s 5) c;
+  Array.iteri (fun i inst -> Printf.printf "node %d: round=%d definite=%d\n" i (Instance.round inst) (Instance.definite_upto inst)) c.Cluster.instances;
+  List.iter (fun (k,v) -> Printf.printf "  %-26s %d\n" k v) (Fl_metrics.Recorder.counters c.Cluster.recorder)

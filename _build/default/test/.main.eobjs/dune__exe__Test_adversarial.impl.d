@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Alcotest Array Bbc Coin Fiber Fl_consensus Fl_crypto Fl_metrics Fl_net Fl_sim Fun List Net Obbc Pbft Printf String Time World

@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest Array Command Fiber Fl_app Fl_chain Fl_crypto Fl_fireledger Fl_flo Fl_sim Kv List Printf QCheck QCheck_alcotest Replica String Time

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Fl_baselines Fl_harness Fl_metrics Fl_sim Hotstuff Pbft_cluster Printf Settings Time

@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array Atomic Bracha Fiber Fl_broadcast Fl_consensus Fl_crypto Fl_net Fl_sim List Net Printf String Time World

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Block Fl_chain Fl_crypto Fun Gen Header List Mempool QCheck QCheck_alcotest Store String Tx

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Bbc Coin Fiber Fl_consensus Fl_crypto Fl_metrics Fl_sim Fun List Obbc Pbft Printf String Time World

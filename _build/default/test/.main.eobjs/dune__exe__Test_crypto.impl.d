@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Cost_model Fl_crypto Gen Hex List Merkle Printf QCheck QCheck_alcotest Sha256 Signature String

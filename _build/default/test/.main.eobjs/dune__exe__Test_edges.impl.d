@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Bytes Codec Cpu Engine Fiber Fl_chain Fl_crypto Fl_fireledger Fl_net Fl_sim Fl_wire List Mailbox Printf Rng String Time World

@@ -1,0 +1,1 @@
+test/test_fireledger.ml: Alcotest Array Cluster Config Fl_chain Fl_fireledger Fl_metrics Fl_sim Instance List Printf String Time

@@ -1,0 +1,1 @@
+test/test_flo.ml: Alcotest Array Config Fiber Fl_chain Fl_fireledger Fl_flo Fl_metrics Fl_sim Instance List Printf Time

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Cluster Config Engine Fl_chain Fl_fireledger Fl_net Fl_sim Fun Hashtbl Instance List Printf QCheck QCheck_alcotest Rng String Time

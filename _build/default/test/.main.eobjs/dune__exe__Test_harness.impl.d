@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Experiments Fl_harness Fl_sim List Printf Settings String Table Time

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Fl_metrics Gen Histogram List QCheck QCheck_alcotest Recorder

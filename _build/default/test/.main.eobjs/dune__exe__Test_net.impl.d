@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Engine Fiber Fl_net Fl_sim Hub Latency List Mailbox Net Nic Time World

@@ -1,0 +1,1 @@
+test/test_protocol_units.ml: Alcotest Array Block Config Detector Fl_chain Fl_crypto Fl_fireledger Fl_sim Hashtbl Header List Option Printf QCheck QCheck_alcotest Rotation String Time Timer Tx Types

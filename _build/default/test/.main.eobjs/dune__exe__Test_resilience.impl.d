@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Cluster Config Fl_chain Fl_consensus Fl_crypto Fl_fireledger Fl_metrics Fl_net Fl_sim Instance List Pbft Printf Rng String Time World

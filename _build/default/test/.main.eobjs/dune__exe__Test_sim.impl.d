@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Engine Fiber Fl_sim Format Heap Int64 Ivar List Mailbox QCheck QCheck_alcotest Race Rng Time

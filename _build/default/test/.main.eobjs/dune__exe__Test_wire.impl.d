@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Codec Fl_wire List Printf QCheck QCheck_alcotest String

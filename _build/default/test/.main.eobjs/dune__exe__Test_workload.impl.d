@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fl_fireledger Fl_flo Fl_net Fl_sim Fl_workload Latency Printf Rng Time

@@ -1,0 +1,1 @@
+test/world.ml: Array Channel Cpu Engine Fl_metrics Fl_net Fl_sim Fun Hub Latency Net Nic Rng

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "fireledger"
+    [ ("crypto", Test_crypto.suite);
+      ("sim", Test_sim.suite);
+      ("wire", Test_wire.suite);
+      ("net", Test_net.suite);
+      ("chain", Test_chain.suite);
+      ("consensus", Test_consensus.suite);
+      ("broadcast", Test_broadcast.suite);
+      ("fireledger", Test_fireledger.suite);
+      ("flo", Test_flo.suite);
+      ("baselines", Test_baselines.suite);
+      ("protocol-units", Test_protocol_units.suite);
+      ("metrics", Test_metrics.suite);
+      ("workload", Test_workload.suite);
+      ("harness", Test_harness.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("extensions", Test_extensions.suite);
+      ("edges", Test_edges.suite);
+      ("adversarial", Test_adversarial.suite);
+      ("app", Test_app.suite);
+      ("resilience", Test_resilience.suite) ]

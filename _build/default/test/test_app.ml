@@ -1,0 +1,199 @@
+open Fl_sim
+open Fl_app
+
+let test_command_roundtrip () =
+  List.iter
+    (fun command ->
+      let env = { Command.session = 7; seq = 42; command } in
+      match Command.decode (Command.encode env) with
+      | Some env' ->
+          Alcotest.(check int) "session" 7 env'.Command.session;
+          Alcotest.(check int) "seq" 42 env'.Command.seq;
+          Alcotest.(check bool) "command" true
+            (Command.equal command env'.Command.command)
+      | None -> Alcotest.failf "decode failed for %a" Command.pp command)
+    [ Command.Put { key = "k"; value = "v" };
+      Command.Del { key = "" };
+      Command.Cas { key = "k"; expect = None; value = "v" };
+      Command.Cas { key = "k"; expect = Some "old"; value = "new" };
+      Command.Noop ]
+
+let test_command_rejects_garbage () =
+  Alcotest.(check bool) "garbage" true (Command.decode "garbage" = None);
+  Alcotest.(check bool) "empty" true (Command.decode "" = None);
+  let valid =
+    Command.encode
+      { Command.session = 0; seq = 0; command = Command.Noop }
+  in
+  Alcotest.(check bool) "truncated" true
+    (Command.decode (String.sub valid 0 (String.length valid - 1)) = None);
+  Alcotest.(check bool) "trailing" true (Command.decode (valid ^ "x") = None)
+
+let prop_command_roundtrip =
+  QCheck.Test.make ~name:"command: arbitrary puts roundtrip" ~count:100
+    QCheck.(quad small_nat small_nat string string)
+    (fun (session, seq, key, value) ->
+      let env =
+        { Command.session; seq; command = Command.Put { key; value } }
+      in
+      match Command.decode (Command.encode env) with
+      | Some e -> e = env
+      | None -> false)
+
+let test_kv_semantics () =
+  let kv = Kv.create () in
+  Alcotest.(check bool) "put applies" true
+    (Kv.apply kv (Command.Put { key = "a"; value = "1" }) = Kv.Applied);
+  Alcotest.(check (option string)) "get" (Some "1") (Kv.get kv "a");
+  Alcotest.(check bool) "cas wrong expect fails" true
+    (Kv.apply kv (Command.Cas { key = "a"; expect = Some "2"; value = "x" })
+    = Kv.Cas_failed);
+  Alcotest.(check (option string)) "unchanged" (Some "1") (Kv.get kv "a");
+  Alcotest.(check bool) "cas right expect applies" true
+    (Kv.apply kv (Command.Cas { key = "a"; expect = Some "1"; value = "2" })
+    = Kv.Applied);
+  Alcotest.(check bool) "cas absent key" true
+    (Kv.apply kv (Command.Cas { key = "b"; expect = None; value = "0" })
+    = Kv.Applied);
+  Alcotest.(check bool) "del" true
+    (Kv.apply kv (Command.Del { key = "a" }) = Kv.Applied);
+  Alcotest.(check bool) "del absent" true
+    (Kv.apply kv (Command.Del { key = "a" }) = Kv.No_effect);
+  Alcotest.(check int) "size" 1 (Kv.size kv)
+
+let test_kv_state_hash_and_snapshot () =
+  let build order =
+    let kv = Kv.create () in
+    List.iter
+      (fun (k, v) -> ignore (Kv.apply kv (Command.Put { key = k; value = v })))
+      order;
+    kv
+  in
+  let a = build [ ("x", "1"); ("y", "2"); ("z", "3") ] in
+  let b = build [ ("z", "3"); ("x", "1"); ("y", "2") ] in
+  Alcotest.(check string) "hash is insertion-order independent"
+    (Fl_crypto.Hex.encode (Kv.state_hash a))
+    (Fl_crypto.Hex.encode (Kv.state_hash b));
+  match Kv.restore (Kv.snapshot a) with
+  | Ok c ->
+      Alcotest.(check string) "snapshot roundtrip preserves state"
+        (Fl_crypto.Hex.encode (Kv.state_hash a))
+        (Fl_crypto.Hex.encode (Kv.state_hash c))
+  | Error e -> Alcotest.failf "restore: %s" e
+
+let test_kv_snapshot_rejects_garbage () =
+  (match Kv.restore "junk!" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  let snap = Kv.snapshot (Kv.create ()) in
+  match Kv.restore (String.sub snap 0 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncation accepted"
+
+let test_replicated_kv_end_to_end () =
+  let n = 4 in
+  let config =
+    { (Fl_fireledger.Config.default ~n) with
+      Fl_fireledger.Config.batch_size = 32;
+      tx_size = 64;
+      fill_blocks = false }
+  in
+  let replicas = Array.init n (fun _ -> Replica.create ()) in
+  let cluster =
+    Fl_flo.Cluster.create ~seed:41 ~config ~workers:2
+      ~valid:(fun b -> Array.for_all Command.valid_tx b.Fl_chain.Block.txs)
+      ~on_deliver:(fun ~node d -> Replica.deliver replicas.(node) d)
+      ()
+  in
+  let client =
+    Replica.Client.create ~session:1 ~node:cluster.Fl_flo.Cluster.nodes.(0)
+  in
+  Fiber.spawn cluster.Fl_flo.Cluster.engine (fun () ->
+      for i = 0 to 99 do
+        ignore
+          (Replica.Client.submit client
+             (Command.Put
+                { key = Printf.sprintf "k%d" (i mod 10);
+                  value = string_of_int i }))
+      done;
+      (* network-level duplicate of an already-used sequence number *)
+      let dup =
+        Command.to_tx ~id:9_999_999
+          { Command.session = 1; seq = 0;
+            command = Command.Put { key = "k0"; value = "stale" } }
+      in
+      ignore (Fl_flo.Node.submit cluster.Fl_flo.Cluster.nodes.(0) dup));
+  Fl_flo.Cluster.start cluster;
+  Fl_flo.Cluster.run ~until:(Time.s 2) cluster;
+  Alcotest.(check int) "all commands applied once" 100
+    (Replica.applied replicas.(0));
+  Alcotest.(check int) "duplicate skipped" 1
+    (Replica.skipped_replays replicas.(0));
+  (* Session delivery may be reordered across workers, so k0 ends on
+     any of the session's own writes — but never on the stale
+     duplicate. *)
+  (match Replica.get replicas.(0) "k0" with
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "k0=%s is a legitimate write" v)
+        true
+        (v <> "stale" && int_of_string v mod 10 = 0)
+  | None -> Alcotest.fail "k0 missing");
+  let h = Replica.state_hash replicas.(0) in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check string)
+        (Printf.sprintf "replica %d converged" i)
+        (Fl_crypto.Hex.encode h)
+        (Fl_crypto.Hex.encode (Replica.state_hash r)))
+    replicas;
+  Alcotest.(check int) "session seq tracked" 99
+    (Replica.session_seq replicas.(0) ~session:1)
+
+let test_validity_predicate_blocks_garbage () =
+  (* With the app validity predicate installed, a block containing a
+     non-command payload is rejected by WRB voting, so garbage never
+     reaches the replicas. *)
+  let config =
+    { (Fl_fireledger.Config.default ~n:4) with
+      Fl_fireledger.Config.batch_size = 8;
+      tx_size = 64;
+      fill_blocks = false }
+  in
+  let replicas = Array.init 4 (fun _ -> Replica.create ()) in
+  let cluster =
+    Fl_flo.Cluster.create ~seed:43 ~config ~workers:1
+      ~valid:(fun b -> Array.for_all Command.valid_tx b.Fl_chain.Block.txs)
+      ~on_deliver:(fun ~node d -> Replica.deliver replicas.(node) d)
+      ()
+  in
+  Fiber.spawn cluster.Fl_flo.Cluster.engine (fun () ->
+      ignore
+        (Fl_flo.Node.submit cluster.Fl_flo.Cluster.nodes.(1)
+           (Fl_chain.Tx.create_payload ~id:1 "not-a-command"));
+      ignore
+        (Replica.Client.submit
+           (Replica.Client.create ~session:9
+              ~node:cluster.Fl_flo.Cluster.nodes.(0))
+           (Command.Put { key = "ok"; value = "yes" })));
+  Fl_flo.Cluster.start cluster;
+  Fl_flo.Cluster.run ~until:(Time.s 2) cluster;
+  Alcotest.(check (option string)) "valid command applied" (Some "yes")
+    (Replica.get replicas.(0) "ok");
+  Alcotest.(check int) "garbage never delivered" 0
+    (Replica.skipped_malformed replicas.(0))
+
+let suite =
+  [ Alcotest.test_case "command roundtrip" `Quick test_command_roundtrip;
+    Alcotest.test_case "command rejects garbage" `Quick
+      test_command_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_command_roundtrip;
+    Alcotest.test_case "kv semantics" `Quick test_kv_semantics;
+    Alcotest.test_case "kv hash/snapshot" `Quick
+      test_kv_state_hash_and_snapshot;
+    Alcotest.test_case "kv snapshot garbage" `Quick
+      test_kv_snapshot_rejects_garbage;
+    Alcotest.test_case "replicated kv e2e" `Quick
+      test_replicated_kv_end_to_end;
+    Alcotest.test_case "validity predicate" `Quick
+      test_validity_predicate_blocks_garbage ]

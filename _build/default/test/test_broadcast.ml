@@ -1,0 +1,143 @@
+open Fl_sim
+open Fl_net
+open Fl_broadcast
+
+(* ---------- Bracha RB ---------- *)
+
+type rb_msg = string Bracha.msg
+
+let rb_key : rb_msg -> string = fun _ -> "rb"
+
+let setup_rb ?(seed = 21) ~n ~alive () =
+  let w = World.make ~seed ~n ~key:rb_key () in
+  let delivered = Array.make n [] in
+  let services =
+    Array.init n (fun i ->
+        if List.mem i alive then
+          Some
+            (Bracha.create w.World.engine ~recorder:w.World.recorder
+               ~channel:(World.channel w ~node:i ~key:"rb")
+               ~payload_size:String.length
+               ~payload_digest:Fl_crypto.Sha256.digest
+               ~deliver:(fun ~origin ~tag payload ->
+                 delivered.(i) <- (origin, tag, payload) :: delivered.(i)))
+        else None)
+  in
+  (w, services, delivered)
+
+let test_rb_basic () =
+  let n = 4 in
+  let alive = [ 0; 1; 2; 3 ] in
+  let w, services, delivered = setup_rb ~n ~alive () in
+  (match services.(2) with
+  | Some s -> Bracha.broadcast s ~tag:7 "proof"
+  | None -> assert false);
+  World.run ~until:(Time.s 5) w;
+  List.iter
+    (fun i ->
+      Alcotest.(check (list (triple int int string)))
+        (Printf.sprintf "delivered at %d" i)
+        [ (2, 7, "proof") ]
+        delivered.(i))
+    alive
+
+let test_rb_with_silent_node () =
+  let n = 4 in
+  let alive = [ 0; 1; 3 ] in
+  let w, services, delivered = setup_rb ~n ~alive () in
+  (match services.(0) with
+  | Some s -> Bracha.broadcast s ~tag:1 "m"
+  | None -> assert false);
+  World.run ~until:(Time.s 5) w;
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "delivered at %d" i)
+        1
+        (List.length delivered.(i)))
+    alive
+
+let test_rb_equivocating_origin () =
+  (* A Byzantine origin sends payload "A" to half the cluster and "B"
+     to the other half, bypassing the service API. RB-Agreement: no
+     two correct nodes may deliver different payloads. *)
+  let n = 4 in
+  let alive = [ 1; 2; 3 ] in
+  let w, _, delivered = setup_rb ~n ~alive () in
+  let send dst payload =
+    Net.send w.World.net ~src:0 ~dst ~size:20
+      (Bracha.Send { origin = 0; tag = 0; payload } : rb_msg)
+  in
+  send 1 "A";
+  send 2 "A";
+  send 3 "B";
+  World.run ~until:(Time.s 5) w;
+  let all = List.concat_map (fun i -> delivered.(i)) alive in
+  let payloads =
+    List.sort_uniq compare (List.map (fun (_, _, p) -> p) all)
+  in
+  Alcotest.(check bool) "at most one payload delivered" true
+    (List.length payloads <= 1);
+  (* 2f+1 echoes for "A" exist (nodes 1,2 echo A; node 3 echoes B):
+     neither value can gather 2f+1=3 echoes, so nothing delivers. *)
+  Alcotest.(check int) "equivocation blocks delivery" 0 (List.length all)
+
+let test_rb_multiple_instances () =
+  let n = 4 in
+  let alive = [ 0; 1; 2; 3 ] in
+  let w, services, delivered = setup_rb ~n ~alive () in
+  (match services.(0), services.(1) with
+  | Some s0, Some s1 ->
+      Bracha.broadcast s0 ~tag:0 "one";
+      Bracha.broadcast s0 ~tag:1 "two";
+      Bracha.broadcast s1 ~tag:0 "three"
+  | _ -> assert false);
+  World.run ~until:(Time.s 5) w;
+  List.iter
+    (fun i ->
+      let got = List.sort compare delivered.(i) in
+      Alcotest.(check (list (triple int int string)))
+        (Printf.sprintf "all instances at %d" i)
+        [ (0, 0, "one"); (0, 1, "two"); (1, 0, "three") ]
+        got)
+    alive
+
+(* ---------- Atomic broadcast ---------- *)
+
+type ab_msg = string Fl_consensus.Pbft.msg
+
+let ab_key : ab_msg -> string = fun _ -> "ab"
+
+let test_atomic_order () =
+  let n = 4 in
+  let w = World.make ~seed:31 ~n ~key:ab_key () in
+  let delivered = Array.make n [] in
+  let endpoints =
+    Array.init n (fun i ->
+        Atomic.create w.World.engine ~recorder:w.World.recorder
+          ~channel:(World.channel w ~node:i ~key:"ab")
+          ~cpu:w.World.cpus.(i) ~payload_size:String.length
+          ~payload_digest:Fl_crypto.Sha256.digest
+          ~deliver:(fun p -> delivered.(i) <- p :: delivered.(i)))
+  in
+  Fiber.spawn w.World.engine (fun () ->
+      Atomic.broadcast endpoints.(3) "v3";
+      Atomic.broadcast endpoints.(1) "v1";
+      Fiber.sleep w.World.engine (Time.ms 2);
+      Atomic.broadcast endpoints.(2) "v2");
+  World.run ~until:(Time.s 10) w;
+  Array.iter Atomic.stop endpoints;
+  World.run ~until:(Time.s 11) w;
+  Alcotest.(check int) "three delivered" 3 (List.length delivered.(0));
+  for i = 1 to n - 1 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "same order at %d" i)
+      delivered.(0) delivered.(i)
+  done
+
+let suite =
+  [ Alcotest.test_case "rb basic" `Quick test_rb_basic;
+    Alcotest.test_case "rb silent node" `Quick test_rb_with_silent_node;
+    Alcotest.test_case "rb equivocation" `Quick test_rb_equivocating_origin;
+    Alcotest.test_case "rb multi instance" `Quick test_rb_multiple_instances;
+    Alcotest.test_case "atomic order" `Quick test_atomic_order ]

@@ -1,0 +1,152 @@
+open Fl_chain
+
+let mk_txs ?(base = 0) count =
+  Array.init count (fun i -> Tx.create ~id:(base + i) ~size:512)
+
+let chain_of_blocks proposers =
+  (* Build a well-linked chain, one block per proposer in the list. *)
+  let store = Store.create () in
+  List.iteri
+    (fun round proposer ->
+      let b =
+        Block.create ~round ~proposer ~prev_hash:(Store.last_hash store)
+          (mk_txs ~base:(round * 10) 3)
+      in
+      match Store.append store b with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append %d: %a" round Store.pp_error e)
+    proposers;
+  store
+
+let test_block_commitment () =
+  let txs = mk_txs 5 in
+  let b = Block.create ~round:0 ~proposer:1 ~prev_hash:Block.genesis_hash txs in
+  Alcotest.(check bool) "body matches" true (Block.body_matches b);
+  Alcotest.(check int) "tx count" 5 b.Block.header.Header.tx_count;
+  Alcotest.(check int) "body size" (5 * 512) b.Block.header.Header.body_size;
+  (* Tampering with the body must break the commitment. *)
+  let tampered = { b with Block.txs = mk_txs ~base:100 5 } in
+  Alcotest.(check bool) "tamper detected" false (Block.body_matches tampered)
+
+let test_header_hash_distinct () =
+  let txs = mk_txs 2 in
+  let b1 = Block.create ~round:0 ~proposer:0 ~prev_hash:Block.genesis_hash txs in
+  let b2 = Block.create ~round:0 ~proposer:1 ~prev_hash:Block.genesis_hash txs in
+  Alcotest.(check bool) "proposer affects hash" false
+    (String.equal (Block.hash b1) (Block.hash b2))
+
+let test_store_append_and_links () =
+  let store = chain_of_blocks [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "length" 4 (Store.length store);
+  Alcotest.(check bool) "integrity" true (Store.check_integrity store);
+  (* Wrong round rejected. *)
+  let b =
+    Block.create ~round:7 ~proposer:0 ~prev_hash:(Store.last_hash store)
+      (mk_txs 1)
+  in
+  (match Store.append store b with
+  | Error (Store.Wrong_round _) -> ()
+  | _ -> Alcotest.fail "expected Wrong_round");
+  (* Broken link rejected. *)
+  let b = Block.create ~round:4 ~proposer:0 ~prev_hash:Block.genesis_hash (mk_txs 1) in
+  match Store.append store b with
+  | Error Store.Broken_link -> ()
+  | _ -> Alcotest.fail "expected Broken_link"
+
+let test_store_replace_suffix () =
+  let store = chain_of_blocks [ 0; 1; 2; 3; 0 ] in
+  let fork_round = 3 in
+  let prev =
+    match Store.get store (fork_round - 1) with
+    | Some b -> Block.hash b
+    | None -> Alcotest.fail "missing block"
+  in
+  let b3 = Block.create ~round:3 ~proposer:2 ~prev_hash:prev (mk_txs ~base:90 4) in
+  let b4 =
+    Block.create ~round:4 ~proposer:3 ~prev_hash:(Block.hash b3)
+      (mk_txs ~base:94 4)
+  in
+  let b5 =
+    Block.create ~round:5 ~proposer:0 ~prev_hash:(Block.hash b4)
+      (mk_txs ~base:98 4)
+  in
+  (match Store.replace_suffix store ~from:fork_round [ b3; b4; b5 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "replace: %a" Store.pp_error e);
+  Alcotest.(check int) "longer chain adopted" 6 (Store.length store);
+  Alcotest.(check bool) "integrity preserved" true (Store.check_integrity store);
+  match Store.get store 3 with
+  | Some b -> Alcotest.(check int) "new block 3" 2 b.Block.header.Header.proposer
+  | None -> Alcotest.fail "missing block 3"
+
+let test_store_replace_rejects_broken () =
+  let store = chain_of_blocks [ 0; 1; 2 ] in
+  let bogus =
+    Block.create ~round:1 ~proposer:1 ~prev_hash:Block.genesis_hash (mk_txs 1)
+  in
+  (match Store.replace_suffix store ~from:1 [ bogus ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected link error");
+  Alcotest.(check bool) "chain intact" true (Store.check_integrity store)
+
+let test_store_sub () =
+  let store = chain_of_blocks [ 0; 1; 2; 3; 0 ] in
+  let tail = Store.sub store ~from:3 in
+  Alcotest.(check int) "two blocks" 2 (List.length tail);
+  Alcotest.(check (list int)) "rounds" [ 3; 4 ]
+    (List.map (fun b -> b.Block.header.Header.round) tail);
+  Alcotest.(check int) "negative from clamps" 5
+    (List.length (Store.sub store ~from:(-2)))
+
+let test_mempool () =
+  let pool = Mempool.create ~capacity:3 () in
+  Alcotest.(check bool) "accept 1" true (Mempool.submit pool (Tx.create ~id:1 ~size:10));
+  Alcotest.(check bool) "accept 2" true (Mempool.submit pool (Tx.create ~id:2 ~size:20));
+  Alcotest.(check bool) "accept 3" true (Mempool.submit pool (Tx.create ~id:3 ~size:30));
+  Alcotest.(check bool) "reject at capacity" false
+    (Mempool.submit pool (Tx.create ~id:4 ~size:40));
+  Alcotest.(check int) "pending bytes" 60 (Mempool.pending_bytes pool);
+  let batch = Mempool.take_batch pool ~max:2 in
+  Alcotest.(check (list int)) "fifo batch" [ 1; 2 ]
+    (Array.to_list (Array.map (fun tx -> tx.Tx.id) batch));
+  Alcotest.(check int) "remaining" 1 (Mempool.size pool);
+  Alcotest.(check int) "bytes updated" 30 (Mempool.pending_bytes pool);
+  Alcotest.(check int) "counters" 3 (Mempool.submitted_total pool);
+  Alcotest.(check int) "rejected" 1 (Mempool.rejected_total pool)
+
+let test_tx_digest () =
+  let a = Tx.create ~id:1 ~size:512 in
+  let b = Tx.create ~id:2 ~size:512 in
+  Alcotest.(check bool) "distinct ids, distinct digests" false
+    (String.equal (Tx.digest a) (Tx.digest b));
+  let p = Tx.create_payload ~id:1 "real bytes" in
+  Alcotest.(check string) "payload digest is sha256"
+    (Fl_crypto.Hex.encode (Fl_crypto.Sha256.digest "real bytes"))
+    (Fl_crypto.Hex.encode (Tx.digest p));
+  Alcotest.(check int) "payload sets size" 10 p.Tx.size
+
+let prop_store_roundtrip =
+  QCheck.Test.make ~name:"store: append then get returns the block"
+    ~count:50
+    QCheck.(list_of_size Gen.(1 -- 15) (int_bound 3))
+    (fun proposers ->
+      let store = chain_of_blocks proposers in
+      Store.check_integrity store
+      && List.for_all
+           (fun r ->
+             match Store.get store r with
+             | Some b -> b.Block.header.Header.round = r
+             | None -> false)
+           (List.init (List.length proposers) Fun.id))
+
+let suite =
+  [ Alcotest.test_case "block commitment" `Quick test_block_commitment;
+    Alcotest.test_case "header hash distinct" `Quick test_header_hash_distinct;
+    Alcotest.test_case "store append/links" `Quick test_store_append_and_links;
+    Alcotest.test_case "store replace_suffix" `Quick test_store_replace_suffix;
+    Alcotest.test_case "store replace rejects broken" `Quick
+      test_store_replace_rejects_broken;
+    Alcotest.test_case "store sub" `Quick test_store_sub;
+    Alcotest.test_case "mempool" `Quick test_mempool;
+    Alcotest.test_case "tx digest" `Quick test_tx_digest;
+    QCheck_alcotest.to_alcotest prop_store_roundtrip ]

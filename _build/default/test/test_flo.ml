@@ -1,0 +1,149 @@
+open Fl_sim
+open Fl_fireledger
+
+let quick_config n =
+  { (Config.default ~n) with
+    Config.batch_size = 20;
+    tx_size = 64;
+    initial_timeout = Time.ms 20 }
+
+let make ?(seed = 42) ?behavior ?keep_log ?on_deliver ~n ~workers () =
+  Fl_flo.Cluster.create ~seed ?behavior ?keep_log ?on_deliver
+    ~config:(quick_config n) ~workers ()
+
+let test_multi_worker_progress () =
+  let c = make ~n:4 ~workers:3 () in
+  Fl_flo.Cluster.start c;
+  Fl_flo.Cluster.run ~until:(Time.s 2) c;
+  Array.iter
+    (fun node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node delivered blocks (%d)"
+           (Fl_flo.Node.delivered_blocks node))
+        true
+        (Fl_flo.Node.delivered_blocks node > 30))
+    c.Fl_flo.Cluster.nodes;
+  Alcotest.(check bool) "worker chains agree across nodes" true
+    (Fl_flo.Cluster.delivery_agreement c)
+
+let test_round_robin_merge_order () =
+  (* The merged stream must interleave workers 0,1,2,0,1,2,... and be
+     identical at every node. *)
+  let orders = Array.make 4 [] in
+  let c =
+    make ~n:4 ~workers:3
+      ~on_deliver:(fun ~node d ->
+        orders.(node) <-
+          (d.Fl_flo.Node.worker, d.Fl_flo.Node.round) :: orders.(node))
+      ()
+  in
+  Fl_flo.Cluster.start c;
+  Fl_flo.Cluster.run ~until:(Time.s 2) c;
+  let seq0 = List.rev orders.(0) in
+  Alcotest.(check bool) "delivered something" true (List.length seq0 > 10);
+  (* Worker pattern: position i comes from worker i mod 3, round i/3. *)
+  List.iteri
+    (fun i (w, r) ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "merge slot %d" i)
+        (i mod 3, i / 3)
+        (w, r))
+    seq0;
+  for node = 1 to 3 do
+    let seq = List.rev orders.(node) in
+    let common = min (List.length seq0) (List.length seq) in
+    let take l = List.filteri (fun i _ -> i < common) l in
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "node %d same merge order" node)
+      (take seq0) (take seq)
+  done
+
+let test_client_submission_and_read () =
+  let c = make ~n:4 ~workers:2 ~keep_log:true () in
+  let node = c.Fl_flo.Cluster.nodes.(0) in
+  Fl_flo.Cluster.start c;
+  (* Submit real-payload transactions before the run. *)
+  let engine = c.Fl_flo.Cluster.engine in
+  Fiber.spawn engine (fun () ->
+      for i = 0 to 49 do
+        let tx =
+          Fl_chain.Tx.create_payload ~id:(900_000 + i)
+            (Printf.sprintf "payload-%03d" i)
+        in
+        ignore (Fl_flo.Node.submit node tx);
+        Fiber.sleep engine (Time.ms 5)
+      done);
+  Fl_flo.Cluster.run ~until:(Time.s 2) c;
+  (* All submitted transactions appear in the delivered log. *)
+  let found = ref 0 in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Fl_flo.Node.read node !i with
+    | Some tx ->
+        if tx.Fl_chain.Tx.id >= 900_000 && tx.Fl_chain.Tx.id < 900_050
+        then incr found;
+        incr i
+    | None -> continue := false
+  done;
+  Alcotest.(check int) "all client txs delivered" 50 !found
+
+let test_flo_byzantine_recovers () =
+  let behavior i = if i = 1 then Instance.Equivocator else Instance.Honest in
+  let c = make ~n:4 ~workers:2 ~behavior () in
+  Fl_flo.Cluster.start c;
+  Fl_flo.Cluster.run ~until:(Time.s 3) c;
+  Alcotest.(check bool) "recoveries occurred" true
+    (Fl_metrics.Recorder.counter c.Fl_flo.Cluster.recorder "recoveries" > 0);
+  Alcotest.(check bool) "agreement with Byzantine node" true
+    (Fl_flo.Cluster.delivery_agreement c);
+  Array.iteri
+    (fun i node ->
+      if i <> 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d still delivers" i)
+          true
+          (Fl_flo.Node.delivered_blocks node > 5))
+    c.Fl_flo.Cluster.nodes
+
+let test_flo_crash_tolerated () =
+  let c = make ~n:4 ~workers:2 () in
+  Fl_flo.Cluster.start c;
+  Fl_flo.Cluster.run ~until:(Time.ms 500) c;
+  Fl_flo.Cluster.crash c 3;
+  let before = Fl_flo.Node.delivered_blocks c.Fl_flo.Cluster.nodes.(0) in
+  Fl_flo.Cluster.run ~until:(Time.s 3) c;
+  let after = Fl_flo.Node.delivered_blocks c.Fl_flo.Cluster.nodes.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery continues after crash (%d -> %d)" before after)
+    true (after > before + 10);
+  Alcotest.(check bool) "agreement" true (Fl_flo.Cluster.delivery_agreement c)
+
+let test_latency_metrics_sane () =
+  let c = make ~n:4 ~workers:2 () in
+  Fl_flo.Cluster.start c;
+  Fl_metrics.Recorder.set_window c.Fl_flo.Cluster.recorder ~start:(Time.ms 500)
+    ~stop:(Time.s 2);
+  Fl_flo.Cluster.run ~until:(Time.s 2) c;
+  let r = c.Fl_flo.Cluster.recorder in
+  (match Fl_metrics.Recorder.histogram r "latency_e2e" with
+  | Some h ->
+      let p50 = Fl_metrics.Histogram.quantile h 0.5 in
+      Alcotest.(check bool) "p50 positive" true (p50 > 0);
+      Alcotest.(check bool) "p50 below 2s" true (p50 < Time.s 2);
+      Alcotest.(check bool) "monotone quantiles" true
+        (Fl_metrics.Histogram.quantile h 0.9 >= p50)
+  | None -> Alcotest.fail "no latency histogram");
+  Alcotest.(check bool) "tps rate positive" true
+    (Fl_metrics.Recorder.rate_per_s r "txs_delivered" > 0.0)
+
+let suite =
+  [ Alcotest.test_case "multi-worker progress" `Quick
+      test_multi_worker_progress;
+    Alcotest.test_case "round-robin merge order" `Quick
+      test_round_robin_merge_order;
+    Alcotest.test_case "client submit/read" `Quick
+      test_client_submission_and_read;
+    Alcotest.test_case "byzantine recovery" `Quick test_flo_byzantine_recovers;
+    Alcotest.test_case "crash tolerated" `Quick test_flo_crash_tolerated;
+    Alcotest.test_case "latency metrics" `Quick test_latency_metrics_sane ]

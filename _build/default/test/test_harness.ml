@@ -1,0 +1,101 @@
+open Fl_sim
+open Fl_harness
+
+let test_table_formatting () =
+  Alcotest.(check string) "grouping" "1,234,567" (Table.cell_i 1234567);
+  Alcotest.(check string) "small" "42" (Table.cell_i 42);
+  Alcotest.(check string) "float" "1,234.5" (Table.cell_f 1234.49);
+  Alcotest.(check string) "decimals" "0.25" (Table.cell_f ~dec:2 0.251);
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "x"; "y" ];
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let quick ~n ~workers =
+  { (Settings.flo ~n ~workers ~batch:20 ~tx_size:64) with
+    Settings.warmup = Time.ms 300;
+    duration = Time.ms 700 }
+
+let test_run_flo_produces_metrics () =
+  let r = Settings.run_flo (quick ~n:4 ~workers:2) in
+  Alcotest.(check bool) "tps > 0" true (r.Settings.tps > 0.0);
+  Alcotest.(check bool) "bps > 0" true (r.Settings.bps > 0.0);
+  Alcotest.(check bool) "tps = bps * batch" true
+    (abs_float (r.Settings.tps -. (20.0 *. r.Settings.bps)) < 0.5 *. r.Settings.tps);
+  Alcotest.(check bool) "latency positive" true (r.Settings.lat_mean_ms > 0.0);
+  Alcotest.(check bool) "quantiles ordered" true
+    (r.Settings.lat_p50_ms <= r.Settings.lat_p90_ms
+    && r.Settings.lat_p90_ms <= r.Settings.lat_p99_ms);
+  Alcotest.(check bool) "cpu util sane" true
+    (r.Settings.cpu_util >= 0.0 && r.Settings.cpu_util <= 1.0);
+  Alcotest.(check (float 0.001)) "no recoveries" 0.0 r.Settings.rps
+
+let test_run_flo_deterministic () =
+  let a = Settings.run_flo (quick ~n:4 ~workers:1) in
+  let b = Settings.run_flo (quick ~n:4 ~workers:1) in
+  Alcotest.(check (float 0.001)) "identical tps" a.Settings.tps b.Settings.tps;
+  Alcotest.(check (float 0.001)) "identical latency" a.Settings.lat_mean_ms
+    b.Settings.lat_mean_ms
+
+let test_crash_fault_injection () =
+  let s =
+    { (quick ~n:7 ~workers:1) with
+      Settings.faults =
+        { Settings.no_faults with
+          Settings.crash_at = Some (Time.ms 100, [ 1; 3 ]) } }
+  in
+  let r = Settings.run_flo s in
+  Alcotest.(check bool) "progress despite crashes" true (r.Settings.tps > 0.0)
+
+let test_byzantine_fault_injection () =
+  let s =
+    { (quick ~n:4 ~workers:1) with
+      Settings.duration = Time.s 2;
+      faults = { Settings.no_faults with Settings.byzantine = [ 1 ] } }
+  in
+  let r = Settings.run_flo s in
+  Alcotest.(check bool) "recoveries observed" true (r.Settings.rps > 0.0);
+  Alcotest.(check bool) "still delivering" true (r.Settings.tps > 0.0)
+
+let test_loss_fault_injection () =
+  let s =
+    { (quick ~n:4 ~workers:1) with
+      Settings.duration = Time.s 2;
+      faults = { Settings.no_faults with Settings.loss = Some (1, 0.7) } }
+  in
+  let r = Settings.run_flo s in
+  Alcotest.(check bool) "slow paths under omission" true
+    (r.Settings.slow_paths > 0);
+  Alcotest.(check bool) "still delivering" true (r.Settings.tps > 0.0)
+
+let test_latency_cdf () =
+  let cdf = Settings.latency_cdf (quick ~n:4 ~workers:1) ~points:10 in
+  Alcotest.(check int) "10 points" 10 (List.length cdf);
+  let ms = List.map fst cdf in
+  Alcotest.(check bool) "monotone values" true (List.sort compare ms = ms)
+
+let test_experiment_registry () =
+  Alcotest.(check int) "15 experiments" 15
+    (List.length Experiments.all);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s registered" id)
+        true
+        (List.exists (fun (i, _, _) -> String.equal i id) Experiments.all))
+    [ "table1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+      "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "ablations" ];
+  Alcotest.(check bool) "unknown id rejected" false
+    (Experiments.run_by_id "nope" Experiments.Quick)
+
+let suite =
+  [ Alcotest.test_case "table formatting" `Quick test_table_formatting;
+    Alcotest.test_case "run_flo metrics" `Quick test_run_flo_produces_metrics;
+    Alcotest.test_case "run_flo deterministic" `Quick
+      test_run_flo_deterministic;
+    Alcotest.test_case "crash injection" `Quick test_crash_fault_injection;
+    Alcotest.test_case "byzantine injection" `Quick
+      test_byzantine_fault_injection;
+    Alcotest.test_case "loss injection" `Quick test_loss_fault_injection;
+    Alcotest.test_case "latency cdf" `Quick test_latency_cdf;
+    Alcotest.test_case "experiment registry" `Quick test_experiment_registry ]

@@ -1,0 +1,96 @@
+open Fl_metrics
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.record h i
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  Alcotest.(check int) "min" 1 (Histogram.min_value h);
+  Alcotest.(check int) "max" 100 (Histogram.max_value h);
+  Alcotest.(check int) "p50" 50 (Histogram.quantile h 0.5);
+  Alcotest.(check int) "p0" 1 (Histogram.quantile h 0.0);
+  Alcotest.(check int) "p100" 100 (Histogram.quantile h 1.0);
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Histogram.mean h)
+
+let test_histogram_interleaved_reads () =
+  (* Recording after a quantile query must keep results correct. *)
+  let h = Histogram.create () in
+  Histogram.record h 10;
+  Histogram.record h 5;
+  Alcotest.(check int) "first read" 10 (Histogram.quantile h 1.0);
+  Histogram.record h 20;
+  Alcotest.(check int) "after more data" 20 (Histogram.quantile h 1.0);
+  Alcotest.(check int) "min intact" 5 (Histogram.min_value h)
+
+let test_histogram_trimmed_mean () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 10; 10; 10; 10; 10; 10; 10; 10; 10; 1000 ];
+  Alcotest.(check (float 0.001)) "outlier trimmed" 10.0
+    (Histogram.trimmed_mean h ~drop_top:0.1);
+  Alcotest.(check (float 0.001)) "untrimmed includes outlier" 109.0
+    (Histogram.trimmed_mean h ~drop_top:0.0)
+
+let test_histogram_cdf () =
+  let h = Histogram.create () in
+  for i = 1 to 10 do
+    Histogram.record h (i * 100)
+  done;
+  let cdf = Histogram.cdf h ~points:5 in
+  Alcotest.(check int) "5 points" 5 (List.length cdf);
+  let values = List.map fst cdf in
+  Alcotest.(check bool) "monotone" true
+    (List.sort compare values = values);
+  Alcotest.(check (float 0.001)) "last fraction is 1" 1.0
+    (snd (List.nth cdf 4))
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~name:"histogram: quantiles within min/max" ~count:100
+    QCheck.(pair (list_of_size Gen.(1 -- 50) small_nat) (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let v = Histogram.quantile h q in
+      v >= Histogram.min_value h && v <= Histogram.max_value h)
+
+let test_recorder_counters () =
+  let r = Recorder.create () in
+  Recorder.incr r "a";
+  Recorder.incr r "a";
+  Recorder.add r "b" 5;
+  Alcotest.(check int) "incr" 2 (Recorder.counter r "a");
+  Alcotest.(check int) "add" 5 (Recorder.counter r "b");
+  Alcotest.(check int) "missing is 0" 0 (Recorder.counter r "zzz");
+  Alcotest.(check (list (pair string int))) "dump sorted"
+    [ ("a", 2); ("b", 5) ]
+    (Recorder.counters r)
+
+let test_recorder_window () =
+  let r = Recorder.create () in
+  Recorder.set_window r ~start:1000 ~stop:2000;
+  Recorder.mark r "x" ~now:500 10;   (* before window *)
+  Recorder.mark r "x" ~now:1500 10;  (* inside *)
+  Recorder.mark r "x" ~now:1999 5;   (* inside *)
+  Recorder.mark r "x" ~now:2000 10;  (* at stop: excluded *)
+  Alcotest.(check int) "windowed count" 15 (Recorder.windowed_count r "x");
+  (* 15 events over a 1000 ns window -> 1.5e7/s *)
+  Alcotest.(check (float 1.0)) "rate" 1.5e7 (Recorder.rate_per_s r "x")
+
+let test_recorder_no_window_is_inert () =
+  let r = Recorder.create () in
+  Recorder.mark r "x" ~now:100 5;
+  Alcotest.(check int) "marks ignored without window" 0
+    (Recorder.windowed_count r "x");
+  Alcotest.(check (float 0.001)) "rate 0" 0.0 (Recorder.rate_per_s r "x")
+
+let suite =
+  [ Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram interleaved" `Quick
+      test_histogram_interleaved_reads;
+    Alcotest.test_case "histogram trimmed mean" `Quick
+      test_histogram_trimmed_mean;
+    Alcotest.test_case "histogram cdf" `Quick test_histogram_cdf;
+    QCheck_alcotest.to_alcotest prop_quantile_bounds;
+    Alcotest.test_case "recorder counters" `Quick test_recorder_counters;
+    Alcotest.test_case "recorder window" `Quick test_recorder_window;
+    Alcotest.test_case "recorder inert" `Quick test_recorder_no_window_is_inert ]

@@ -1,0 +1,136 @@
+open Fl_sim
+open Fl_net
+
+let make_world ?latency n = World.make ?latency ~n ~key:(fun _ -> "main") ()
+
+let test_delivery () =
+  let w = make_world 3 in
+  let got = ref [] in
+  Fiber.spawn w.World.engine (fun () ->
+      let src, msg = Mailbox.recv (Net.inbox w.World.net 1) in
+      got := (src, msg) :: !got);
+  Net.send w.World.net ~src:0 ~dst:1 ~size:100 "hi";
+  World.run w;
+  Alcotest.(check (list (pair int string))) "delivered" [ (0, "hi") ] !got
+
+let test_broadcast_reaches_all () =
+  let w = make_world 4 in
+  let counts = Array.make 4 0 in
+  for i = 0 to 3 do
+    Fiber.spawn w.World.engine (fun () ->
+        let _ = Mailbox.recv (Net.inbox w.World.net i) in
+        counts.(i) <- counts.(i) + 1)
+  done;
+  Net.broadcast w.World.net ~src:2 ~size:64 "blast";
+  World.run w;
+  Alcotest.(check (list int)) "everyone incl. self" [ 1; 1; 1; 1 ]
+    (Array.to_list counts)
+
+let test_nic_serialization () =
+  (* At 10 Gb/s, 1.25 MB takes 1 ms to serialize; two back-to-back
+     sends from the same node must queue behind each other. *)
+  let w = make_world ~latency:(Latency.Constant (Time.us 100)) 2 in
+  let arrivals = ref [] in
+  Fiber.spawn w.World.engine (fun () ->
+      let rec loop k =
+        if k > 0 then begin
+          let _ = Mailbox.recv (Net.inbox w.World.net 1) in
+          arrivals := Engine.now w.World.engine :: !arrivals;
+          loop (k - 1)
+        end
+      in
+      loop 2);
+  let mb = 1_250_000 in
+  Net.send w.World.net ~src:0 ~dst:1 ~size:mb "a";
+  Net.send w.World.net ~src:0 ~dst:1 ~size:mb "b";
+  World.run w;
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+      (* tx 1ms + rx 1ms + 100us propagation. *)
+      Alcotest.(check bool) "first ~2.1ms" true
+        (t1 > Time.ms 2 && t1 < Time.us 2200);
+      Alcotest.(check bool) "second queued ~1ms later" true
+        (t2 - t1 >= Time.us 900)
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let test_filter_drops () =
+  let w = make_world 3 in
+  Net.set_filter w.World.net (Some (fun ~src ~dst -> not (src = 0 && dst = 1)));
+  let got1 = ref 0 and got2 = ref 0 in
+  Fiber.spawn w.World.engine (fun () ->
+      let _ = Mailbox.recv (Net.inbox w.World.net 1) in
+      incr got1);
+  Fiber.spawn w.World.engine (fun () ->
+      let _ = Mailbox.recv (Net.inbox w.World.net 2) in
+      incr got2);
+  Net.send w.World.net ~src:0 ~dst:1 ~size:10 "x";
+  Net.send w.World.net ~src:0 ~dst:2 ~size:10 "y";
+  World.run w;
+  Alcotest.(check int) "dropped" 0 !got1;
+  Alcotest.(check int) "passed" 1 !got2;
+  Alcotest.(check int) "drop counter" 1 (Net.messages_dropped w.World.net)
+
+let test_hub_routing () =
+  let w = World.make ~n:2 ~key:(fun m -> if m < 10 then "low" else "high") () in
+  let lows = ref [] and highs = ref [] in
+  Fiber.spawn w.World.engine (fun () ->
+      let rec loop () =
+        let _, m = Mailbox.recv (Hub.box (World.hub w 1) "low") in
+        lows := m :: !lows;
+        loop ()
+      in
+      loop ());
+  Fiber.spawn w.World.engine (fun () ->
+      let rec loop () =
+        let _, m = Mailbox.recv (Hub.box (World.hub w 1) "high") in
+        highs := m :: !highs;
+        loop ()
+      in
+      loop ());
+  List.iter (fun m -> Net.send w.World.net ~src:0 ~dst:1 ~size:8 m) [ 3; 12; 5; 40 ];
+  World.run w;
+  Alcotest.(check (list int)) "low channel" [ 3; 5 ] (List.rev !lows);
+  Alcotest.(check (list int)) "high channel" [ 12; 40 ] (List.rev !highs)
+
+let test_hub_buffers_future () =
+  (* Messages for a channel nobody reads yet are buffered, not lost. *)
+  let w = World.make ~n:2 ~key:(fun _ -> "later") () in
+  Net.send w.World.net ~src:0 ~dst:1 ~size:8 99;
+  World.run w;
+  let got = ref None in
+  Fiber.spawn w.World.engine (fun () ->
+      let _, m = Mailbox.recv (Hub.box (World.hub w 1) "later") in
+      got := Some m);
+  World.run w;
+  Alcotest.(check (option int)) "buffered message" (Some 99) !got
+
+let test_latency_matrix () =
+  let base = [| [| 0; Time.ms 80 |]; [| Time.ms 80; 0 |] |] in
+  let w = make_world ~latency:(Latency.Matrix { base; jitter = 0.0 }) 2 in
+  let at = ref 0 in
+  Fiber.spawn w.World.engine (fun () ->
+      let _ = Mailbox.recv (Net.inbox w.World.net 1) in
+      at := Engine.now w.World.engine);
+  Net.send w.World.net ~src:0 ~dst:1 ~size:100 "geo";
+  World.run w;
+  Alcotest.(check bool) "~80ms one-way" true
+    (!at >= Time.ms 80 && !at < Time.us 80_200)
+
+let test_byte_accounting () =
+  let w = make_world 3 in
+  Net.broadcast w.World.net ~src:0 ~size:500 "b";
+  World.run w;
+  Alcotest.(check int) "tx bytes: 2 peers (self skips NIC)" 1000
+    (Nic.bytes_sent w.World.nics.(0));
+  Alcotest.(check int) "peer rx" 500 (Nic.bytes_received w.World.nics.(1))
+
+let suite =
+  [ Alcotest.test_case "delivery" `Quick test_delivery;
+    Alcotest.test_case "broadcast" `Quick test_broadcast_reaches_all;
+    Alcotest.test_case "nic serialization" `Quick test_nic_serialization;
+    Alcotest.test_case "filter drops" `Quick test_filter_drops;
+    Alcotest.test_case "hub routing" `Quick test_hub_routing;
+    Alcotest.test_case "hub buffers future channels" `Quick
+      test_hub_buffers_future;
+    Alcotest.test_case "latency matrix" `Quick test_latency_matrix;
+    Alcotest.test_case "byte accounting" `Quick test_byte_accounting ]

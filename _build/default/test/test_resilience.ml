@@ -1,0 +1,175 @@
+(* Long-horizon resilience: partitions that heal (the ♦Synch liveness
+   assumption), repeated leader failures, and resource boundedness
+   over many rounds. *)
+
+open Fl_sim
+open Fl_fireledger
+
+let quick_config n =
+  { (Config.default ~n) with
+    Config.batch_size = 10;
+    tx_size = 32;
+    initial_timeout = Time.ms 20 }
+
+let min_definite c =
+  Array.fold_left
+    (fun acc i -> min acc (Instance.definite_upto i))
+    max_int c.Cluster.instances
+
+let test_partition_heals () =
+  (* Split 4 nodes 2-2 for a while: no quorum on either side, so no
+     progress — and crucially no divergence. Heal: progress resumes
+     and all agree. *)
+  let c = Cluster.create ~seed:51 ~config:(quick_config 4) () in
+  Cluster.start c;
+  Cluster.run ~until:(Time.ms 400) c;
+  let before = min_definite c in
+  Alcotest.(check bool) "progress before partition" true (before > 3);
+  let side i = i < 2 in
+  Fl_net.Net.set_filter c.Cluster.net
+    (Some (fun ~src ~dst -> side src = side dst));
+  Cluster.run ~until:(Time.s 2) c;
+  let during = min_definite c in
+  (* Safety through the partition: definite prefixes still agree. *)
+  Alcotest.(check bool) "agreement during partition" true
+    (Cluster.definite_prefix_agreement c);
+  Fl_net.Net.set_filter c.Cluster.net None;
+  Cluster.run ~until:(Time.s 5) c;
+  let after = min_definite c in
+  Alcotest.(check bool)
+    (Printf.sprintf "liveness resumes after healing (%d -> %d -> %d)" before
+       during after)
+    true
+    (after > during + 10);
+  Alcotest.(check bool) "agreement after healing" true
+    (Cluster.definite_prefix_agreement c)
+
+let test_minority_partition_keeps_majority_live () =
+  (* Isolate one node of 4: the other three retain a quorum (n−f = 3)
+     and must keep deciding throughout. *)
+  let c = Cluster.create ~seed:53 ~config:(quick_config 4) () in
+  Cluster.start c;
+  Cluster.run ~until:(Time.ms 300) c;
+  Fl_net.Net.set_filter c.Cluster.net
+    (Some (fun ~src ~dst -> src <> 3 && dst <> 3));
+  let before =
+    List.fold_left
+      (fun acc i -> min acc (Instance.definite_upto c.Cluster.instances.(i)))
+      max_int [ 0; 1; 2 ]
+  in
+  Cluster.run ~until:(Time.s 3) c;
+  let after =
+    List.fold_left
+      (fun acc i -> min acc (Instance.definite_upto c.Cluster.instances.(i)))
+      max_int [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "majority keeps deciding (%d -> %d)" before after)
+    true
+    (after > before + 20);
+  (* Heal: the isolated node catches back up and rejoins agreement. *)
+  Fl_net.Net.set_filter c.Cluster.net None;
+  Cluster.run ~until:(Time.s 6) c;
+  Alcotest.(check bool) "rejoiner agrees" true
+    (Cluster.definite_prefix_agreement c);
+  Alcotest.(check bool)
+    (Printf.sprintf "rejoiner caught up (%d vs %d)"
+       (Instance.definite_upto c.Cluster.instances.(3))
+       after)
+    true
+    (Instance.definite_upto c.Cluster.instances.(3) > after)
+
+let test_resources_bounded_over_long_run () =
+  (* Over thousands of rounds, per-round protocol state must be
+     garbage-collected: hub channels and the engine queue stay bounded
+     and block bodies get pruned. *)
+  let config =
+    { (quick_config 4) with Config.gc_window = 64; prune_window = 128 }
+  in
+  let c = Cluster.create ~seed:55 ~config () in
+  Cluster.start c;
+  Cluster.run ~until:(Time.s 6) c;
+  let rounds = Instance.round c.Cluster.instances.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough rounds to exercise GC (%d)" rounds)
+    true (rounds > 500);
+  let store = Instance.store c.Cluster.instances.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "store pruned (%d below %d)"
+       (Fl_chain.Store.pruned_below store)
+       rounds)
+    true
+    (Fl_chain.Store.pruned_below store > rounds - 256);
+  Alcotest.(check bool) "chain integrity with pruning" true
+    (Fl_chain.Store.check_integrity store)
+
+let test_pbft_view_change_storm () =
+  (* n = 7, f = 2: the leaders of views 0 and 1 are both dead; the
+     replicas must walk through two view changes and still order. *)
+  let open Fl_consensus in
+  let w = World.make ~seed:57 ~n:7 ~key:(fun (_ : string Pbft.msg) -> "p") () in
+  let delivered = Array.make 7 [] in
+  let config =
+    { (Pbft.default_config ~payload_size:String.length
+         ~payload_digest:Fl_crypto.Sha256.digest)
+      with
+      Pbft.base_timeout = Time.ms 100 }
+  in
+  let replicas =
+    Array.init 7 (fun i ->
+        if i <= 1 then None
+        else
+          Some
+            (Pbft.create w.World.engine ~recorder:w.World.recorder
+               ~channel:(World.channel w ~node:i ~key:"p")
+               ~cpu:w.World.cpus.(i) ~config
+               ~deliver:(fun ~seq:_ p ->
+                 delivered.(i) <- p :: delivered.(i))))
+  in
+  (match replicas.(2) with
+  | Some r -> Pbft.submit r "storm-survivor"
+  | None -> assert false);
+  World.run ~until:(Time.s 30) w;
+  List.iter
+    (fun i ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "delivered at %d" i)
+        [ "storm-survivor" ]
+        (List.rev delivered.(i)))
+    [ 2; 3; 4; 5; 6 ];
+  (match replicas.(2) with
+  | Some r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "walked past both dead leaders (view %d)"
+           (Pbft.view r))
+        true (Pbft.view r >= 2)
+  | None -> ());
+  Alcotest.(check bool) "multiple view changes" true
+    (Fl_metrics.Recorder.counter w.World.recorder "pbft_view_changes" >= 2)
+
+let test_flaky_network_long_run () =
+  (* 5% random loss on every link for seconds of simulated time: the
+     retransmission-free protocol leans on timeouts, pulls and the
+     fallback — progress must continue and agreement must hold. *)
+  let c = Cluster.create ~seed:59 ~config:(quick_config 4) () in
+  let rng = Rng.create 60 in
+  Fl_net.Net.set_filter c.Cluster.net
+    (Some (fun ~src:_ ~dst:_ -> Rng.float rng 1.0 >= 0.05));
+  Cluster.start c;
+  Cluster.run ~until:(Time.s 5) c;
+  let p = min_definite c in
+  Alcotest.(check bool)
+    (Printf.sprintf "progress under 5%% loss (%d)" p)
+    true (p > 30);
+  Alcotest.(check bool) "agreement under loss" true
+    (Cluster.definite_prefix_agreement c)
+
+let suite =
+  [ Alcotest.test_case "partition heals" `Slow test_partition_heals;
+    Alcotest.test_case "minority partition" `Slow
+      test_minority_partition_keeps_majority_live;
+    Alcotest.test_case "resources bounded" `Slow
+      test_resources_bounded_over_long_run;
+    Alcotest.test_case "pbft view-change storm" `Quick
+      test_pbft_view_change_storm;
+    Alcotest.test_case "flaky network" `Slow test_flaky_network_long_run ]

@@ -1,0 +1,279 @@
+open Fl_sim
+
+let test_heap_orders () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some x ->
+        out := x :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (List.rev !out)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap: pop order is sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Engine.schedule e ~delay:30 (record "c"));
+  ignore (Engine.schedule e ~delay:10 (record "a"));
+  ignore (Engine.schedule e ~delay:10 (record "a2"));
+  ignore (Engine.schedule e ~delay:20 (record "b"));
+  Engine.run e;
+  Alcotest.(check (list string))
+    "time order, FIFO within an instant" [ "a"; "a2"; "b"; "c" ]
+    (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event skipped" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:10 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:100 (fun () -> incr fired));
+  Engine.run ~until:50 e;
+  Alcotest.(check int) "only first event" 1 !fired;
+  Alcotest.(check int) "clock clamped to until" 50 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "second event after resume" 2 !fired
+
+let test_fiber_sleep () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 20;
+      log := ("x", Engine.now e) :: !log);
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 10;
+      log := ("y", Engine.now e) :: !log;
+      Fiber.sleep e 25;
+      log := ("z", Engine.now e) :: !log);
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "interleaving respects virtual time"
+    [ ("y", 10); ("x", 20); ("z", 35) ]
+    (List.rev !log)
+
+let test_mailbox_basic () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let got = ref [] in
+  Fiber.spawn e (fun () ->
+      (* Bind before consing: the cons tail is evaluated before the
+         blocking call, so [recv x :: !got] would capture a stale
+         list. *)
+      let a = Mailbox.recv mb in
+      got := a :: !got;
+      let b = Mailbox.recv mb in
+      got := b :: !got);
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 5;
+      Mailbox.send mb 1;
+      Mailbox.send mb 2);
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2 ] (List.rev !got)
+
+let test_mailbox_timeout () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let first = ref (Some 99) and second = ref None in
+  Fiber.spawn e (fun () ->
+      first := Mailbox.recv_timeout mb ~timeout:10;
+      second := Mailbox.recv_timeout mb ~timeout:100);
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 50;
+      Mailbox.send mb 7);
+  Engine.run e;
+  Alcotest.(check (option int)) "expired" None !first;
+  Alcotest.(check (option int)) "delivered" (Some 7) !second
+
+let test_mailbox_timeout_race () =
+  (* A message arriving exactly when the timer would fire must not be
+     both delivered and timed out. *)
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let r = ref None in
+  Fiber.spawn e (fun () -> r := Mailbox.recv_timeout mb ~timeout:10);
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 10;
+      Mailbox.send mb 1);
+  Engine.run e;
+  (match !r with
+  | None -> Alcotest.(check int) "message still queued" 1 (Mailbox.length mb)
+  | Some v ->
+      Alcotest.(check int) "delivered once" 1 v;
+      Alcotest.(check int) "queue empty" 0 (Mailbox.length mb));
+  Alcotest.(check pass) "no crash" () ()
+
+let test_ivar () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  let seen = ref [] in
+  for i = 0 to 2 do
+    Fiber.spawn e (fun () ->
+        let v = Ivar.read iv in
+        seen := (i, v) :: !seen)
+  done;
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 10;
+      Ivar.fill iv 42);
+  Engine.run e;
+  Alcotest.(check int) "all readers woke" 3 (List.length !seen);
+  List.iter (fun (_, v) -> Alcotest.(check int) "value" 42 v) !seen;
+  Alcotest.(check bool) "double fill rejected" false (Ivar.try_fill iv 1)
+
+let test_ivar_read_timeout () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  let a = ref (Some 0) and b = ref None in
+  Fiber.spawn e (fun () ->
+      a := Ivar.read_timeout iv ~timeout:5;
+      b := Ivar.read_timeout iv ~timeout:100);
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 20;
+      Ivar.fill iv 9);
+  Engine.run e;
+  Alcotest.(check (option int)) "timed out" None !a;
+  Alcotest.(check (option int)) "read" (Some 9) !b
+
+let test_race_abort () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  let abort = Ivar.create e in
+  let result = ref `Pending in
+  Fiber.spawn e (fun () ->
+      match Race.read iv ~abort:(Some abort) with
+      | v -> result := `Got v
+      | exception Race.Aborted -> result := `Aborted);
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 5;
+      Ivar.fill abort ());
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 10;
+      Ivar.fill iv 3);
+  Engine.run e;
+  Alcotest.(check bool) "aborted wins" true (!result = `Aborted)
+
+let test_race_value_wins () =
+  let e = Engine.create () in
+  let iv = Ivar.create e in
+  let abort = Ivar.create e in
+  let result = ref `Pending in
+  Fiber.spawn e (fun () ->
+      match Race.read iv ~abort:(Some abort) with
+      | v -> result := `Got v
+      | exception Race.Aborted -> result := `Aborted);
+  Fiber.spawn e (fun () ->
+      Fiber.sleep e 5;
+      Ivar.fill iv 3);
+  Engine.run e;
+  Alcotest.(check bool) "value wins" true (!result = `Got 3)
+
+let test_cpu_contention () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:2 in
+  let finish = Array.make 4 0 in
+  for i = 0 to 3 do
+    Fiber.spawn e (fun () ->
+        Cpu.charge cpu 100;
+        finish.(i) <- Engine.now e)
+  done;
+  Engine.run e;
+  Array.sort compare finish;
+  (* 4 jobs of 100 ns on 2 cores: two end at ~100, two at ~200. *)
+  Alcotest.(check bool) "first pair parallel" true (finish.(1) <= 110);
+  Alcotest.(check bool) "second pair queued" true (finish.(2) >= 200);
+  Alcotest.(check int) "busy time" 400 (Cpu.busy_time cpu)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create 8 in
+  let zs = List.init 50 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_named_split () =
+  let a = Rng.create 7 in
+  let s1 = Rng.named_split a "x" in
+  let v1 = Rng.int64 s1 in
+  (* named_split must not consume from the parent. *)
+  let s2 = Rng.named_split a "x" in
+  Alcotest.(check bool) "stable per label" true (Int64.equal v1 (Rng.int64 s2));
+  let s3 = Rng.named_split a "y" in
+  Alcotest.(check bool) "labels independent" true
+    (not (Int64.equal v1 (Rng.int64 s3)))
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng: int within bound" ~count:500
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let test_rng_distributions () =
+  let r = Rng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "exponential mean ~5" true (mean > 4.5 && mean < 5.5);
+  let below = ref 0 in
+  for _ = 1 to n do
+    if Rng.lognormal r ~mu:(log 100.0) ~sigma:0.5 < 100.0 then incr below
+  done;
+  let frac = float_of_int !below /. float_of_int n in
+  Alcotest.(check bool) "lognormal median ~100" true (frac > 0.47 && frac < 0.53)
+
+let test_time_pp () =
+  let s v = Format.asprintf "%a" Time.pp v in
+  Alcotest.(check string) "ns" "17ns" (s 17);
+  Alcotest.(check string) "us" "2.500us" (s 2500);
+  Alcotest.(check string) "s" "1.500s" (s (Time.ms 1500))
+
+let suite =
+  [ Alcotest.test_case "heap orders" `Quick test_heap_orders;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "engine order" `Quick test_engine_order;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine until" `Quick test_engine_until;
+    Alcotest.test_case "fiber sleep" `Quick test_fiber_sleep;
+    Alcotest.test_case "mailbox fifo" `Quick test_mailbox_basic;
+    Alcotest.test_case "mailbox timeout" `Quick test_mailbox_timeout;
+    Alcotest.test_case "mailbox timeout race" `Quick test_mailbox_timeout_race;
+    Alcotest.test_case "ivar" `Quick test_ivar;
+    Alcotest.test_case "ivar read_timeout" `Quick test_ivar_read_timeout;
+    Alcotest.test_case "race abort" `Quick test_race_abort;
+    Alcotest.test_case "race value" `Quick test_race_value_wins;
+    Alcotest.test_case "cpu contention" `Quick test_cpu_contention;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng named split" `Quick test_rng_named_split;
+    QCheck_alcotest.to_alcotest prop_rng_bounds;
+    Alcotest.test_case "rng distributions" `Quick test_rng_distributions;
+    Alcotest.test_case "time pp" `Quick test_time_pp ]

@@ -1,0 +1,63 @@
+open Fl_wire
+
+let test_roundtrip_scalars () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 0xab;
+  Codec.Writer.u16 w 0xbeef;
+  Codec.Writer.u32 w 0xdeadbeef;
+  Codec.Writer.u64 w 0x1234_5678_9abc_def0;
+  Codec.Writer.bool w true;
+  Codec.Writer.varint w 300;
+  Codec.Writer.bytes w "hello";
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check int) "u8" 0xab (Codec.Reader.u8 r);
+  Alcotest.(check int) "u16" 0xbeef (Codec.Reader.u16 r);
+  Alcotest.(check int) "u32" 0xdeadbeef (Codec.Reader.u32 r);
+  Alcotest.(check int) "u64" 0x1234_5678_9abc_def0 (Codec.Reader.u64 r);
+  Alcotest.(check bool) "bool" true (Codec.Reader.bool r);
+  Alcotest.(check int) "varint" 300 (Codec.Reader.varint r);
+  Alcotest.(check string) "bytes" "hello" (Codec.Reader.bytes r);
+  Alcotest.(check bool) "consumed" true (Codec.Reader.at_end r)
+
+let test_underflow () =
+  let r = Codec.Reader.of_string "\x01" in
+  ignore (Codec.Reader.u8 r);
+  Alcotest.check_raises "underflow" Codec.Reader.Underflow (fun () ->
+      ignore (Codec.Reader.u8 r))
+
+let test_varint_size () =
+  List.iter
+    (fun v ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.varint w v;
+      Alcotest.(check int)
+        (Printf.sprintf "size of %d" v)
+        (Codec.Writer.length w) (Codec.varint_size v))
+    [ 0; 1; 127; 128; 16383; 16384; 1 lsl 40 ]
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"codec: varint roundtrip" ~count:500
+    QCheck.(map (fun v -> v land max_int) int)
+    (fun v ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.varint w v;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      Codec.Reader.varint r = v && Codec.Reader.at_end r)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"codec: length-prefixed strings roundtrip"
+    ~count:200
+    QCheck.(list string)
+    (fun ss ->
+      let w = Codec.Writer.create () in
+      List.iter (Codec.Writer.bytes w) ss;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      List.for_all (fun s -> String.equal (Codec.Reader.bytes r) s) ss
+      && Codec.Reader.at_end r)
+
+let suite =
+  [ Alcotest.test_case "scalar roundtrip" `Quick test_roundtrip_scalars;
+    Alcotest.test_case "underflow" `Quick test_underflow;
+    Alcotest.test_case "varint size" `Quick test_varint_size;
+    QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bytes_roundtrip ]

@@ -1,0 +1,54 @@
+(* Shared scaffolding for protocol tests: a small simulated cluster
+   with one network instance and per-node hubs/CPUs. Hubs are created
+   lazily — a hub's dispatcher fiber consumes the node's inbox, so
+   tests that read inboxes directly must not trigger them. *)
+
+open Fl_sim
+open Fl_net
+
+type 'm t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  recorder : Fl_metrics.Recorder.t;
+  nics : Nic.t array;
+  net : 'm Net.t;
+  hubs : 'm Hub.t option array;
+  hub_key : 'm -> string;
+  cpus : Cpu.t array;
+  n : int;
+  f : int;
+}
+
+let make ?(seed = 42) ?(latency = Latency.single_dc) ?(cores = 4) ~n ~key ()
+    =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let nics = Array.init n (fun _ -> Nic.create ~bandwidth_bps:Nic.ten_gbps) in
+  let net = Net.create engine (Rng.named_split rng "net") ~nics ~latency in
+  let cpus = Array.init n (fun _ -> Cpu.create engine ~cores) in
+  { engine;
+    rng;
+    recorder = Fl_metrics.Recorder.create ();
+    nics;
+    net;
+    hubs = Array.make n None;
+    hub_key = key;
+    cpus;
+    n;
+    f = (n - 1) / 3 }
+
+let hub w node =
+  match w.hubs.(node) with
+  | Some h -> h
+  | None ->
+      let h =
+        Hub.create w.engine ~inbox:(Net.inbox w.net node) ~key:w.hub_key
+      in
+      w.hubs.(node) <- Some h;
+      h
+
+let channel w ~node ~key =
+  Channel.of_hub (hub w node) ~key ~net:w.net ~self:node ~f:w.f ~inj:Fun.id
+    ~prj:Fun.id
+
+let run ?until w = Engine.run ?until w.engine

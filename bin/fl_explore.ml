@@ -1,0 +1,170 @@
+(* Deterministic schedule explorer CLI.
+
+   Explore:  fl_explore --seeds 100 --budget-ms 2000
+   Replay:   fl_explore --replay 1734
+   Repro:    fl_explore --budget-ms 2000 --plan 'n=4,f=1,seed=7;eq=1'
+   Oracle self-test (planted fork): fl_explore --seeds 5 --inject-fork
+
+   Every run derives a fault plan (crashes/restarts, partitions with
+   heal times, loss windows, equivocators, slow NICs, clock skew) from
+   its seed, executes it against the invariant oracles, and — on
+   failure — replays the seed and shrinks the schedule to a minimal
+   reproducer printed as a copy-pasteable invocation. Exit status 1
+   iff any violation was found. *)
+
+open Cmdliner
+open Fl_check
+
+let pp_report verbose (r : Explorer.report) =
+  Printf.printf "plan      %s\n" (Plan.to_string r.Explorer.plan);
+  Printf.printf "progress  min-definite=%d max-round=%d recoveries=%d\n"
+    r.Explorer.min_definite r.Explorer.max_round r.Explorer.recoveries;
+  Printf.printf "engine    events=%d%s\n" r.Explorer.events
+    (if r.Explorer.truncated then " (step budget exhausted)" else "");
+  if r.Explorer.total_violations = 0 then
+    Printf.printf "oracles   all quiet\n"
+  else begin
+    Printf.printf "oracles   %d violation(s)%s\n" r.Explorer.total_violations
+      (if r.Explorer.total_violations > List.length r.Explorer.violations then
+         " (capped listing)"
+       else "");
+    let shown = if verbose then r.Explorer.violations else
+        (match r.Explorer.violations with [] -> [] | v :: _ -> [ v ])
+    in
+    List.iter
+      (fun v -> Format.printf "  %a@." Oracle.pp_violation v)
+      shown
+  end
+
+let summarise (s : Explorer.summary) =
+  let tbl =
+    Fl_harness.Table.create ~title:"schedule exploration"
+      ~columns:
+        [ "seed"; "n"; "faults"; "min-def"; "max-round"; "recov"; "events";
+          "violations" ]
+  in
+  List.iter
+    (fun (r : Explorer.report) ->
+      Fl_harness.Table.add_row tbl
+        [ string_of_int r.Explorer.plan.Plan.seed;
+          string_of_int r.Explorer.plan.Plan.n;
+          string_of_int (List.length r.Explorer.plan.Plan.faults);
+          string_of_int r.Explorer.min_definite;
+          string_of_int r.Explorer.max_round;
+          string_of_int r.Explorer.recoveries;
+          Fl_harness.Table.cell_i r.Explorer.events;
+          string_of_int r.Explorer.total_violations ])
+    s.Explorer.reports;
+  print_string (Fl_harness.Table.render tbl)
+
+let run seeds base_seed budget_ms n replay plan_str inject_fork no_shrink
+    verbose =
+  let n = if n = 0 then None else Some n in
+  let inject_fork = if inject_fork then Some true else None in
+  let finish_failure (r : Explorer.report) =
+    if Explorer.failed r then begin
+      if not no_shrink then begin
+        let shrunk =
+          Explorer.shrink ?inject_fork ~budget_ms r.Explorer.plan
+        in
+        Printf.printf "shrunk    %s\n" (Plan.to_string shrunk);
+        Printf.printf "reproduce %s%s\n"
+          (Explorer.cli_of_plan ~budget_ms shrunk)
+          (match inject_fork with Some true -> " --inject-fork" | _ -> "")
+      end;
+      1
+    end
+    else 0
+  in
+  match plan_str with
+  | Some str -> (
+      match Plan.of_string str with
+      | Error e ->
+          Printf.eprintf "bad --plan: %s\n" e;
+          2
+      | Ok plan ->
+          let r = Explorer.run_plan ?inject_fork ~budget_ms plan in
+          pp_report true r;
+          finish_failure r)
+  | None -> (
+      match replay with
+      | Some seed ->
+          let r = Explorer.run_seed ?inject_fork ?n ~budget_ms seed in
+          pp_report true r;
+          finish_failure r
+      | None ->
+          let s =
+            Explorer.explore ?inject_fork ?n ~seeds ~base_seed ~budget_ms ()
+          in
+          if verbose || List.length s.Explorer.reports <= 40 then summarise s;
+          Printf.printf
+            "%d seeds explored (base %d, budget %d ms): %d failing, %d \
+             events, fingerprint %s\n"
+            s.Explorer.seeds s.Explorer.base_seed budget_ms
+            (List.length s.Explorer.failures)
+            s.Explorer.total_events (Explorer.fingerprint s);
+          (match s.Explorer.failures with
+          | [] -> 0
+          | first :: _ ->
+              let seed = first.Explorer.plan.Plan.seed in
+              Printf.printf "\nfirst failure: seed %d\n" seed;
+              (* replay the exact seed to confirm determinism *)
+              let again = Explorer.run_seed ?inject_fork ?n ~budget_ms seed in
+              Printf.printf "replay    %s\n"
+                (if
+                   again.Explorer.total_violations
+                   = first.Explorer.total_violations
+                 then "deterministic (same violations)"
+                 else "NON-DETERMINISTIC (violations differ!)");
+              pp_report verbose again;
+              ignore (finish_failure again);
+              1))
+
+let cmd =
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to explore.")
+  in
+  let base_seed =
+    Arg.(value & opt int 1 & info [ "base-seed" ] ~doc:"First seed.")
+  in
+  let budget_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "budget-ms" ] ~doc:"Simulated milliseconds per seed.")
+  in
+  let n =
+    Arg.(
+      value & opt int 0
+      & info [ "n" ] ~doc:"Pin the cluster size (0 = seed-derived from {4,7}).")
+  in
+  let replay =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED" ~doc:"Replay one seed verbosely.")
+  in
+  let plan =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:"Replay an explicit (possibly shrunk) fault plan.")
+  in
+  let inject_fork =
+    Arg.(
+      value & flag
+      & info [ "inject-fork" ]
+          ~doc:"Plant a forked-chain bug in one node's output (oracle self-test).")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip shrinking on failure.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"More output.") in
+  Cmd.v
+    (Cmd.info "fl_explore" ~version:"1.0.0"
+       ~doc:
+         "Deterministic adversarial schedule explorer with safety/liveness \
+          oracles, seed replay and shrinking.")
+    Term.(
+      const run $ seeds $ base_seed $ budget_ms $ n $ replay $ plan
+      $ inject_fork $ no_shrink $ verbose)
+
+let () = exit (Cmd.eval' cmd)

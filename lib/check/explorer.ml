@@ -1,0 +1,272 @@
+open Fl_sim
+open Fl_fireledger
+
+type report = {
+  plan : Plan.t;
+  budget_ms : int;
+  violations : Oracle.violation list;
+  total_violations : int;
+  min_definite : int;
+  max_round : int;
+  recoveries : int;
+  events : int;
+  truncated : bool;
+}
+
+let failed r = r.total_violations > 0
+
+(* Same quick profile as the fuzz suite: small blocks and a tight
+   initial timeout so hundreds of rounds fit in a couple of simulated
+   seconds. *)
+let base_config ~n ~f =
+  { (Config.default ~n) with
+    Config.f;
+    batch_size = 10;
+    tx_size = 32;
+    initial_timeout = Time.ms 20 }
+
+let min_rounds_for ~budget_ms = max 2 (budget_ms / 600)
+
+(* The planted safety bug for oracle self-tests: present node 0's
+   definite stream to the oracle with every block from round 3 on
+   replaced by a fork (same ancestry, different proposer, hence a
+   different hash). *)
+let forked_output n inner =
+  { inner with
+    Instance.on_definite =
+      (fun ~round block ~times ->
+        let block =
+          if round < 3 then block
+          else
+            { block with
+              Fl_chain.Block.header =
+                { block.Fl_chain.Block.header with
+                  Fl_chain.Header.proposer =
+                    (block.Fl_chain.Block.header.Fl_chain.Header.proposer + 1)
+                    mod n } }
+        in
+        inner.Instance.on_definite ~round block ~times) }
+
+let run_plan ?(inject_fork = false) ~budget_ms (plan : Plan.t) =
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Explorer.run_plan: %s" e));
+  let config = base_config ~n:plan.Plan.n ~f:plan.Plan.f in
+  (* The oracle is built before the cluster (whose engine provides the
+     clock), so give it an indirected [now]; nothing fires before the
+     run starts. *)
+  let clock = ref (fun () -> 0) in
+  let oracle =
+    Oracle.create ~now:(fun () -> !clock ()) ~n:plan.Plan.n ~f:plan.Plan.f ()
+  in
+  let cluster =
+    Cluster.create ~seed:plan.Plan.seed
+      ~bandwidth_of:(Plan.bandwidth_of plan)
+      ~behavior:(Plan.behavior plan)
+      ~config_of:(Plan.config_of plan)
+      ~output:(fun i ->
+        let out = Oracle.output_for oracle i in
+        if inject_fork && i = 0 then forked_output plan.Plan.n out else out)
+      ~config ()
+  in
+  clock := (fun () -> Engine.now cluster.Cluster.engine);
+  Oracle.attach_stores oracle
+    (Array.map Instance.store cluster.Cluster.instances);
+  Plan.apply plan ~engine:cluster.Cluster.engine ~cluster;
+  Cluster.start cluster;
+  let until = Time.ms budget_ms in
+  let max_events = max 1_000_000 (budget_ms * 2_000) in
+  Engine.run ~until ~max_events cluster.Cluster.engine;
+  let truncated = Engine.now cluster.Cluster.engine < until in
+  let faulty = Plan.faulty plan in
+  Oracle.finish oracle ~cluster ~faulty
+    ~expect_progress:(Plan.expect_liveness plan && not truncated)
+    ~min_rounds:(min_rounds_for ~budget_ms);
+  let correct = List.filter (fun i -> not (List.mem i faulty))
+      (List.init plan.Plan.n Fun.id)
+  in
+  let min_definite =
+    List.fold_left
+      (fun acc i ->
+        min acc (Instance.definite_upto cluster.Cluster.instances.(i)))
+      max_int correct
+  in
+  let max_round =
+    Array.fold_left
+      (fun acc inst -> max acc (Instance.round inst))
+      0 cluster.Cluster.instances
+  in
+  { plan;
+    budget_ms;
+    violations = Oracle.violations oracle;
+    total_violations = Oracle.total oracle;
+    min_definite = (if min_definite = max_int then 0 else min_definite);
+    max_round;
+    recoveries =
+      Fl_metrics.Recorder.counter cluster.Cluster.recorder "recoveries";
+    events = Engine.processed cluster.Cluster.engine;
+    truncated }
+
+let run_seed ?inject_fork ?n ~budget_ms seed =
+  run_plan ?inject_fork ~budget_ms (Plan.generate ?n ~seed ~budget_ms ())
+
+type summary = {
+  seeds : int;
+  base_seed : int;
+  reports : report list;
+  failures : report list;
+  total_events : int;
+}
+
+let explore ?inject_fork ?n ~seeds ~base_seed ~budget_ms () =
+  let reports =
+    List.init seeds (fun k -> run_seed ?inject_fork ?n ~budget_ms (base_seed + k))
+  in
+  { seeds;
+    base_seed;
+    reports;
+    failures = List.filter failed reports;
+    total_events = List.fold_left (fun acc r -> acc + r.events) 0 reports }
+
+let fingerprint summary =
+  let fnv h s =
+    String.fold_left
+      (fun acc c ->
+        Int64.mul (Int64.logxor acc (Int64.of_int (Char.code c))) 1099511628211L)
+      h s
+  in
+  let h =
+    List.fold_left
+      (fun h r ->
+        let h =
+          fnv h
+            (Printf.sprintf "%s|%d|%d|%d|%d|%b\n" (Plan.to_string r.plan)
+               r.total_violations r.min_definite r.max_round r.events
+               r.truncated)
+        in
+        List.fold_left
+          (fun h (v : Oracle.violation) ->
+            fnv h
+              (Printf.sprintf "%s|%d|%d|%d|%s\n" v.Oracle.oracle v.Oracle.at
+                 v.Oracle.node v.Oracle.round v.Oracle.detail))
+          h r.violations)
+      0xcbf29ce484222325L summary.reports
+  in
+  Printf.sprintf "%016Lx" h
+
+(* ---------- shrinking ---------- *)
+
+(* Candidate simplifications of a single fault, simplest first. *)
+let weaken (fault : Plan.fault) : Plan.fault list =
+  match fault with
+  | Plan.Crash { node; at_ms; restart_ms = Some _ } ->
+      [ Plan.Crash { node; at_ms; restart_ms = None } ]
+  | Plan.Crash _ -> []
+  | Plan.Partition { groups; at_ms; heal_ms } ->
+      if heal_ms - at_ms > 100 then
+        [ Plan.Partition { groups; at_ms; heal_ms = at_ms + ((heal_ms - at_ms) / 2) } ]
+      else []
+  | Plan.Loss { node; prob; from_ms; to_ms } ->
+      (if to_ms - from_ms > 100 then
+         [ Plan.Loss { node; prob; from_ms; to_ms = from_ms + ((to_ms - from_ms) / 2) } ]
+       else [])
+      @
+      if prob > 0.1 then
+        [ Plan.Loss { node; prob = prob /. 2.0; from_ms; to_ms } ]
+      else []
+  | Plan.Equivocate _ -> []
+  | Plan.Slow_nic { node; factor } ->
+      if factor > 2.0 then [ Plan.Slow_nic { node; factor = factor /. 2.0 } ]
+      else []
+  | Plan.Clock_skew { node; factor } ->
+      let towards_1 = 1.0 +. ((factor -. 1.0) /. 2.0) in
+      if Float.abs (factor -. 1.0) > 0.2 then
+        [ Plan.Clock_skew { node; factor = towards_1 } ]
+      else []
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+let replace_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs
+
+(* Shrink n: 7 -> 4, keeping only faults on surviving nodes. *)
+let reduce_n (p : Plan.t) : Plan.t option =
+  if p.Plan.n <= 4 then None
+  else
+    let n = 4 in
+    let f = (n - 1) / 3 in
+    let keep node = node < n in
+    let faults =
+      List.filter_map
+        (fun (fault : Plan.fault) ->
+          match fault with
+          | Plan.Crash { node; _ } | Plan.Loss { node; _ }
+          | Plan.Equivocate { node } | Plan.Slow_nic { node; _ }
+          | Plan.Clock_skew { node; _ } ->
+              if keep node then Some fault else None
+          | Plan.Partition { groups; at_ms; heal_ms } ->
+              let groups =
+                List.filter_map
+                  (fun g ->
+                    match List.filter keep g with [] -> None | g -> Some g)
+                  groups
+              in
+              if groups = [] then None
+              else Some (Plan.Partition { groups; at_ms; heal_ms }))
+        p.Plan.faults
+    in
+    let candidate = { p with Plan.n; f; faults } in
+    match Plan.validate candidate with Ok () -> Some candidate | Error _ -> None
+
+let candidates (p : Plan.t) : Plan.t list =
+  let with_faults faults =
+    let c = { p with Plan.faults } in
+    match Plan.validate c with Ok () -> Some c | Error _ -> None
+  in
+  let drops =
+    List.filteri (fun i _ -> i >= 0) p.Plan.faults
+    |> List.mapi (fun i _ -> with_faults (drop_nth p.Plan.faults i))
+    |> List.filter_map Fun.id
+  in
+  let weakenings =
+    List.concat
+      (List.mapi
+         (fun i fault ->
+           List.filter_map
+             (fun w -> with_faults (replace_nth p.Plan.faults i w))
+             (weaken fault))
+         p.Plan.faults)
+  in
+  let reduced = match reduce_n p with Some c -> [ c ] | None -> [] in
+  drops @ reduced @ weakenings
+
+let shrink ?inject_fork ?(max_runs = 64) ~budget_ms plan =
+  let runs = ref 0 in
+  let fails p =
+    incr runs;
+    failed (run_plan ?inject_fork ~budget_ms p)
+  in
+  if not (fails plan) then plan
+  else begin
+    let current = ref plan in
+    let progress = ref true in
+    while !progress && !runs < max_runs do
+      progress := false;
+      let cands = candidates !current in
+      (try
+         List.iter
+           (fun c ->
+             if !runs >= max_runs then raise Exit;
+             if fails c then begin
+               current := c;
+               progress := true;
+               raise Exit
+             end)
+           cands
+       with Exit -> ())
+    done;
+    !current
+  end
+
+let cli_of_plan ~budget_ms plan =
+  Printf.sprintf "fl_explore --budget-ms %d --plan '%s'" budget_ms
+    (Plan.to_string plan)

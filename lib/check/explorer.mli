@@ -1,0 +1,63 @@
+(** The schedule explorer: run many seed-derived fault plans under
+    the invariant oracles, replay failures, and shrink them to
+    minimal reproducers.
+
+    Everything is deterministic: a [report] is a pure function of
+    [(plan, budget_ms, inject_fork)], so two invocations of
+    {!explore} with the same arguments produce identical summaries —
+    the property the replay workflow rests on. *)
+
+type report = {
+  plan : Plan.t;
+  budget_ms : int;
+  violations : Oracle.violation list;
+  total_violations : int;
+  min_definite : int;  (** over correct (non-faulty) nodes *)
+  max_round : int;
+  recoveries : int;  (** summed over nodes *)
+  events : int;  (** engine events executed *)
+  truncated : bool;  (** engine step budget exhausted *)
+}
+
+val failed : report -> bool
+
+val run_plan : ?inject_fork:bool -> budget_ms:int -> Plan.t -> report
+(** Build a cluster for the plan (cluster seed = [plan.seed]), attach
+    the oracles, schedule the faults, run for [budget_ms] of simulated
+    time (with an engine step budget), then run the end-of-run
+    oracles. [inject_fork] deliberately feeds the oracle a forked
+    block for one node from definite round 3 on — a planted safety
+    bug that must be caught (self-test of the oracle layer). *)
+
+val run_seed : ?inject_fork:bool -> ?n:int -> budget_ms:int -> int -> report
+(** Generate the seed's plan and run it. *)
+
+type summary = {
+  seeds : int;
+  base_seed : int;
+  reports : report list;  (** in seed order *)
+  failures : report list;
+  total_events : int;
+}
+
+val explore :
+  ?inject_fork:bool -> ?n:int -> seeds:int -> base_seed:int ->
+  budget_ms:int -> unit -> summary
+(** Run seeds [base_seed .. base_seed + seeds - 1]. *)
+
+val fingerprint : summary -> string
+(** Order-sensitive digest of every report (violations, progress,
+    event counts) — equal fingerprints mean the exploration replayed
+    identically. *)
+
+val shrink :
+  ?inject_fork:bool -> ?max_runs:int -> budget_ms:int -> Plan.t -> Plan.t
+(** Greedy minimisation of a failing plan: repeatedly try dropping a
+    fault, shortening a fault window (halving durations, removing
+    restarts, pulling heal times in), or reducing n (7 → 4, when the
+    faults still fit), keeping any edit that still fails. Deterministic;
+    at most [max_runs] (default 64) replays. Returns the plan unchanged
+    if it does not fail in the first place. *)
+
+val cli_of_plan : budget_ms:int -> Plan.t -> string
+(** Copy-pasteable reproducer invocation for [bin/fl_explore]. *)

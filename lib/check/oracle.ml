@@ -1,0 +1,264 @@
+open Fl_sim
+open Fl_chain
+
+type violation = {
+  oracle : string;
+  at : Time.t;
+  node : int;
+  round : int;
+  detail : string;
+}
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] t=%a node=%d round=%d: %s" v.oracle Time.pp v.at
+    v.node v.round v.detail
+
+let cap = 100
+
+type node_state = {
+  mutable next_definite : int;  (* round the next on_definite must carry *)
+  mutable prev_hash : string;  (* hash of the last definite block *)
+  definite : (int, string) Hashtbl.t;  (* round -> hash, as reported *)
+  window : int Queue.t;  (* proposers of the last f+1 definite blocks *)
+  mutable recoveries : int;
+}
+
+type t = {
+  now : unit -> Time.t;
+  n : int;
+  f : int;
+  nodes : node_state array;
+  canonical : (int, string) Hashtbl.t;  (* round -> first reported hash *)
+  mutable stores : Store.t array option;
+  mutable violations : violation list;  (* newest first, capped *)
+  mutable total : int;
+}
+
+let create ~now ~n ~f () =
+  { now;
+    n;
+    f;
+    nodes =
+      Array.init n (fun _ ->
+          { next_definite = 0;
+            prev_hash = Block.genesis_hash;
+            definite = Hashtbl.create 64;
+            window = Queue.create ();
+            recoveries = 0 });
+    canonical = Hashtbl.create 64;
+    stores = None;
+    violations = [];
+    total = 0 }
+
+let flag t ~oracle ~node ~round fmt =
+  Printf.ksprintf
+    (fun detail ->
+      t.total <- t.total + 1;
+      if t.total <= cap then
+        t.violations <-
+          { oracle; at = t.now (); node; round; detail } :: t.violations)
+    fmt
+
+let attach_stores t stores = t.stores <- Some stores
+
+(* ---------- streaming checks ---------- *)
+
+let on_definite t i ~round (block : Block.t) =
+  let ns = t.nodes.(i) in
+  let h = Block.hash block in
+  (* exactly once, in order *)
+  if round <> ns.next_definite then
+    flag t ~oracle:"definite-order" ~node:i ~round
+      "expected definite round %d, got %d" ns.next_definite round;
+  (* hash-chain link *)
+  if
+    round = ns.next_definite
+    && not (String.equal block.Block.header.Header.prev_hash ns.prev_hash)
+  then
+    flag t ~oracle:"chain" ~node:i ~round
+      "definite block does not link to the previous definite block";
+  (* cross-node agreement on the definite prefix *)
+  (match Hashtbl.find_opt t.canonical round with
+  | None -> Hashtbl.replace t.canonical round h
+  | Some h' when String.equal h h' -> ()
+  | Some _ ->
+      flag t ~oracle:"agreement" ~node:i ~round
+        "definite block differs from another node's definite block");
+  (* distinct proposers in every f+1 window of the definite chain *)
+  Queue.push block.Block.header.Header.proposer ns.window;
+  if Queue.length ns.window > t.f + 1 then ignore (Queue.pop ns.window);
+  if Queue.length ns.window = t.f + 1 then begin
+    let seen = Hashtbl.create (t.f + 1) in
+    Queue.iter (fun p -> Hashtbl.replace seen p ()) ns.window;
+    if Hashtbl.length seen < t.f + 1 then
+      flag t ~oracle:"rotation" ~node:i ~round
+        "%d distinct proposers in the last f+1=%d definite blocks"
+        (Hashtbl.length seen) (t.f + 1)
+  end;
+  if round >= ns.next_definite then begin
+    Hashtbl.replace ns.definite round h;
+    ns.prev_hash <- h;
+    ns.next_definite <- round + 1
+  end
+
+let on_recovery t i ~round ~rescinded =
+  let ns = t.nodes.(i) in
+  ns.recoveries <- ns.recoveries + 1;
+  if rescinded > t.f + 1 then
+    flag t ~oracle:"rescission-depth" ~node:i ~round
+      "recovery rescinded %d blocks > f+1=%d" rescinded (t.f + 1);
+  (* No definite block may ever be rescinded: the node's store must
+     still hold exactly the blocks we saw it mark definite. Recovery
+     only touches the tentative suffix, so checking the last few
+     definite rounds (2(f+2), comfortably covering any legal
+     replace_suffix) is sufficient and keeps this O(f) per
+     recovery. *)
+  match t.stores with
+  | None -> ()
+  | Some stores ->
+      let lo = max 0 (ns.next_definite - (2 * (t.f + 2))) in
+      for r = lo to ns.next_definite - 1 do
+        match (Hashtbl.find_opt ns.definite r, Store.get stores.(i) r) with
+        | Some h, Some b when not (String.equal h (Block.hash b)) ->
+            flag t ~oracle:"definite-rescinded" ~node:i ~round:r
+              "recovery at round %d replaced a definite block" round
+        | Some _, None ->
+            flag t ~oracle:"definite-rescinded" ~node:i ~round:r
+              "recovery at round %d dropped a definite block" round
+        | _ -> ()
+      done
+
+let output_for t i =
+  { Fl_fireledger.Instance.on_tentative = (fun ~round:_ _ -> ());
+    on_definite = (fun ~round block ~times:_ -> on_definite t i ~round block);
+    on_recovery = (fun ~round ~rescinded -> on_recovery t i ~round ~rescinded) }
+
+(* ---------- end-of-run checks ---------- *)
+
+let finish t ~cluster ~faulty ~expect_progress ~min_rounds =
+  let open Fl_fireledger in
+  let crashed i = Hashtbl.mem cluster.Cluster.crashed i in
+  let inst i = cluster.Cluster.instances.(i) in
+  (* pairwise definite-prefix agreement over non-crashed nodes *)
+  for i = 0 to t.n - 1 do
+    for j = i + 1 to t.n - 1 do
+      if (not (crashed i)) && not (crashed j) then begin
+        let upto =
+          min (Instance.definite_upto (inst i)) (Instance.definite_upto (inst j))
+        in
+        let r = ref 0 and ok = ref true in
+        while !ok && !r <= upto do
+          (match
+             ( Store.get (Instance.store (inst i)) !r,
+               Store.get (Instance.store (inst j)) !r )
+           with
+          | Some a, Some b when String.equal (Block.hash a) (Block.hash b) -> ()
+          | Some _, Some _ ->
+              ok := false;
+              flag t ~oracle:"agreement" ~node:i ~round:!r
+                "final definite prefixes of nodes %d and %d diverge" i j
+          | _ ->
+              ok := false;
+              flag t ~oracle:"agreement" ~node:i ~round:!r
+                "definite round %d missing from a store" !r);
+          incr r
+        done
+      end
+    done
+  done;
+  (* chain integrity *)
+  for i = 0 to t.n - 1 do
+    if (not (crashed i)) && not (Store.check_integrity (Instance.store (inst i)))
+    then flag t ~oracle:"integrity" ~node:i ~round:(-1) "hash-chain walk failed"
+  done;
+  (* bounded progress *)
+  if expect_progress then
+    for i = 0 to t.n - 1 do
+      if (not (List.mem i faulty)) && not (crashed i) then begin
+        let d = Instance.definite_upto (inst i) in
+        if d < min_rounds then
+          flag t ~oracle:"liveness" ~node:i ~round:d
+            "only %d definite rounds (< %d) although n-f correct nodes stayed connected"
+            d min_rounds
+      end
+    done
+
+let violations t = List.rev t.violations
+let total t = t.total
+
+(* ---------- FLO merge-order consistency ---------- *)
+
+module Flo_merge = struct
+  type oracle = t
+
+  type t = {
+    n : int;
+    workers : int;
+    mutable canon : (int * int * string) array;  (* global delivery log *)
+    mutable canon_len : int;
+    cursor : int array;  (* per node: next delivery index *)
+    rr : int array;  (* per node: expected worker of next delivery *)
+    next_round : int array array;  (* per node per worker *)
+    mutable violations : violation list;
+    mutable total : int;
+  }
+
+  let create ~n ~workers =
+    { n;
+      workers;
+      canon = Array.make 64 (0, 0, "");
+      canon_len = 0;
+      cursor = Array.make n 0;
+      rr = Array.make n 0;
+      next_round = Array.make_matrix n workers 0;
+      violations = [];
+      total = 0 }
+
+  let flag t ~node ~round fmt =
+    Printf.ksprintf
+      (fun detail ->
+        t.total <- t.total + 1;
+        if t.total <= cap then
+          t.violations <-
+            { oracle = "flo-merge"; at = 0; node; round; detail }
+            :: t.violations)
+      fmt
+
+  let push_canon t entry =
+    if t.canon_len = Array.length t.canon then begin
+      let fresh = Array.make (2 * t.canon_len) (0, 0, "") in
+      Array.blit t.canon 0 fresh 0 t.canon_len;
+      t.canon <- fresh
+    end;
+    t.canon.(t.canon_len) <- entry;
+    t.canon_len <- t.canon_len + 1
+
+  let on_deliver t ~node (d : Fl_flo.Node.delivery) =
+    let w = d.Fl_flo.Node.worker
+    and r = d.Fl_flo.Node.round
+    and h = Block.hash d.Fl_flo.Node.block in
+    (* round-robin: deliveries cycle through the workers *)
+    if w <> t.rr.(node) then
+      flag t ~node ~round:r "delivery from worker %d, round-robin expected %d"
+        w t.rr.(node);
+    t.rr.(node) <- (w + 1) mod t.workers;
+    (* per-worker rounds advance one at a time *)
+    if r <> t.next_round.(node).(w) then
+      flag t ~node ~round:r "worker %d delivered round %d, expected %d" w r
+        t.next_round.(node).(w);
+    t.next_round.(node).(w) <- r + 1;
+    (* cross-node: everyone delivers the same merged sequence *)
+    let k = t.cursor.(node) in
+    t.cursor.(node) <- k + 1;
+    if k < t.canon_len then begin
+      let cw, cr, ch = t.canon.(k) in
+      if cw <> w || cr <> r || not (String.equal ch h) then
+        flag t ~node ~round:r
+          "delivery #%d (worker %d, round %d) disagrees with another node's \
+           merged sequence (worker %d, round %d)"
+          k w r cw cr
+    end
+    else push_canon t (w, r, h)
+
+  let violations t = List.rev t.violations
+end

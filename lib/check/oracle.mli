@@ -1,0 +1,81 @@
+(** Invariant oracles, evaluated continuously against cluster output.
+
+    One {!t} watches an entire cluster through per-node
+    {!Fl_fireledger.Instance.output} sinks ({!output_for}) and flags:
+
+    - {b definite-order}: [on_definite] fires exactly once per round,
+      in round order, per node;
+    - {b agreement}: all nodes report the same block hash for the same
+      definite round (definite-prefix agreement, streamed);
+    - {b chain}: every definite block hash-links to the node's
+      previous definite block;
+    - {b rotation}: any f+1 consecutive definite blocks carry f+1
+      distinct proposers (the b1–b3 skip rule's guarantee);
+    - {b rescission-depth}: a recovery rescinds at most f+1 blocks
+      (only the tentative suffix is up for grabs);
+    - {b definite-rescinded}: after a recovery, the node's store still
+      holds every block the oracle saw it mark definite;
+    - {b liveness} / {b integrity} / final agreement: end-of-run
+      checks performed by {!finish}.
+
+    Oracles never mutate the run; a healthy execution must produce
+    zero violations (tested over fault-free seeds). *)
+
+type violation = {
+  oracle : string;  (** which invariant: "agreement", "rotation", … *)
+  at : Fl_sim.Time.t;
+  node : int;  (** observing node (-1 for cluster-wide checks) *)
+  round : int;  (** affected round (-1 when not applicable) *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : now:(unit -> Fl_sim.Time.t) -> n:int -> f:int -> unit -> t
+(** [now] timestamps violations (pass the cluster engine's clock; a
+    thunk because the oracle is typically built before the cluster
+    whose outputs it watches). *)
+
+val output_for : t -> int -> Fl_fireledger.Instance.output
+(** The sink to install as node [i]'s [output] (tee it with the real
+    sink via {!Fl_fireledger.Instance.tee_output} if one exists). *)
+
+val attach_stores : t -> Fl_chain.Store.t array -> unit
+(** Give the rescission oracle read access to the nodes' stores; call
+    after [Cluster.create], before the run. *)
+
+val finish :
+  t ->
+  cluster:Fl_fireledger.Cluster.t ->
+  faulty:int list ->
+  expect_progress:bool ->
+  min_rounds:int ->
+  unit
+(** End-of-run checks: pairwise definite-prefix agreement and chain
+    integrity over non-crashed nodes, and — when [expect_progress] —
+    bounded-progress liveness: every node outside [faulty] must have
+    ≥ [min_rounds] definite rounds. *)
+
+val violations : t -> violation list
+(** In detection order, capped at 100 (see {!total}). *)
+
+val total : t -> int
+(** Total violations detected including any beyond the cap. *)
+
+(** Round-robin merge-order consistency for FLO deployments: per
+    node, deliveries must cycle through workers 0..ω−1 starting at 0
+    with per-worker rounds advancing by 1, and all nodes must deliver
+    an identical (worker, round, block-hash) sequence. *)
+module Flo_merge : sig
+  type oracle = t
+  type t
+
+  val create : n:int -> workers:int -> t
+
+  val on_deliver : t -> node:int -> Fl_flo.Node.delivery -> unit
+  (** Feed from [Fl_flo.Cluster.create]'s [on_deliver]. *)
+
+  val violations : t -> violation list
+end

@@ -1,0 +1,330 @@
+open Fl_sim
+
+type fault =
+  | Crash of { node : int; at_ms : int; restart_ms : int option }
+  | Partition of { groups : int list list; at_ms : int; heal_ms : int }
+  | Loss of { node : int; prob : float; from_ms : int; to_ms : int }
+  | Equivocate of { node : int }
+  | Slow_nic of { node : int; factor : float }
+  | Clock_skew of { node : int; factor : float }
+
+type t = { n : int; f : int; seed : int; faults : fault list }
+
+(* ---------- derived views ---------- *)
+
+let dedup xs = List.sort_uniq compare xs
+
+let byzantine t =
+  dedup
+    (List.filter_map
+       (function Equivocate { node } -> Some node | _ -> None)
+       t.faults)
+
+let crashed t =
+  dedup
+    (List.filter_map
+       (function Crash { node; _ } -> Some node | _ -> None)
+       t.faults)
+
+let faulty t = dedup (byzantine t @ crashed t)
+
+let restarted t =
+  dedup
+    (List.filter_map
+       (function
+         | Crash { node; restart_ms = Some _; _ } -> Some node | _ -> None)
+       t.faults)
+
+let expect_liveness t =
+  List.for_all
+    (function
+      | Crash _ | Equivocate _ -> true
+      | Partition _ | Loss _ | Slow_nic _ | Clock_skew _ -> false)
+    t.faults
+
+(* ---------- generation ---------- *)
+
+(* Draw [k] distinct nodes from [0, n) that are not in [avoid]. *)
+let distinct_nodes rng ~n ~k ~avoid =
+  let picked = ref [] in
+  let guard = ref (16 * n) in
+  while List.length !picked < k && !guard > 0 do
+    decr guard;
+    let v = Rng.int rng n in
+    if (not (List.mem v avoid)) && not (List.mem v !picked) then
+      picked := v :: !picked
+  done;
+  !picked
+
+let generate ?n ~seed ~budget_ms () =
+  let rng = Rng.named_split (Rng.create seed) "plan" in
+  let n = match n with Some n -> n | None -> if Rng.bool rng then 4 else 7 in
+  let f = (n - 1) / 3 in
+  let early lo_pct hi_pct =
+    (* a time in [lo_pct, hi_pct] percent of the budget *)
+    Rng.int_in rng (budget_ms * lo_pct / 100) (budget_ms * hi_pct / 100)
+  in
+  let faults = ref [] in
+  (* Process faults: |byzantine ∪ crashed| ≤ f. *)
+  let n_byz = Rng.int rng (f + 1) in
+  let byz = distinct_nodes rng ~n ~k:n_byz ~avoid:[] in
+  List.iter (fun node -> faults := Equivocate { node } :: !faults) byz;
+  let n_crash = Rng.int rng (f - n_byz + 1) in
+  let crash_nodes = distinct_nodes rng ~n ~k:n_crash ~avoid:byz in
+  List.iter
+    (fun node ->
+      let at_ms = early 5 45 in
+      let restart_ms =
+        if Rng.bool rng then Some (Rng.int_in rng (at_ms + 50) (budget_ms * 70 / 100))
+        else None
+      in
+      faults := Crash { node; at_ms; restart_ms } :: !faults)
+    crash_nodes;
+  (* Network faults: benign, may hit anyone, always time-bounded. *)
+  if Rng.int rng 3 = 0 then begin
+    (* split into two groups; one side is a random nonempty proper
+       subset, the rest are implicit *)
+    let size = Rng.int_in rng 1 (n - 1) in
+    let side = distinct_nodes rng ~n ~k:size ~avoid:[] in
+    let at_ms = early 5 30 in
+    let heal_ms = Rng.int_in rng (at_ms + 50) (budget_ms * 60 / 100) in
+    faults := Partition { groups = [ List.sort compare side ]; at_ms; heal_ms } :: !faults
+  end;
+  if Rng.int rng 3 = 0 then begin
+    let node = Rng.int rng n in
+    let prob = 0.05 +. Rng.float rng 0.35 in
+    let from_ms = early 5 30 in
+    let to_ms = Rng.int_in rng (from_ms + 50) (budget_ms * 60 / 100) in
+    faults := Loss { node; prob; from_ms; to_ms } :: !faults
+  end;
+  if Rng.int rng 4 = 0 then begin
+    let node = Rng.int rng n in
+    let factor = 2.0 +. Rng.float rng 14.0 in
+    faults := Slow_nic { node; factor } :: !faults
+  end;
+  if Rng.int rng 4 = 0 then begin
+    let node = Rng.int rng n in
+    (* < 1 = fast clock (spurious timeouts), > 1 = slow clock *)
+    let factor = if Rng.bool rng then 0.5 +. Rng.float rng 0.4 else 1.25 +. Rng.float rng 1.75 in
+    faults := Clock_skew { node; factor } :: !faults
+  end;
+  { n; f; seed; faults = List.rev !faults }
+
+(* ---------- validation ---------- *)
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let in_range node = node >= 0 && node < t.n in
+  if t.n <= 0 || t.f < 0 || 3 * t.f >= t.n then err "bad n/f (%d/%d)" t.n t.f
+  else if List.length (faulty t) > t.f then
+    err "process-fault budget exceeded: %d faulty > f=%d"
+      (List.length (faulty t))
+      t.f
+  else
+    List.fold_left
+      (fun acc fault ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+            match fault with
+            | Crash { node; at_ms; restart_ms } ->
+                if not (in_range node) then err "crash: node %d" node
+                else if at_ms < 0 then err "crash: at %d" at_ms
+                else (
+                  match restart_ms with
+                  | Some r when r <= at_ms -> err "crash: restart %d <= at %d" r at_ms
+                  | _ -> Ok ())
+            | Partition { groups; at_ms; heal_ms } ->
+                if heal_ms <= at_ms then err "partition: heal %d <= at %d" heal_ms at_ms
+                else if
+                  not (List.for_all (List.for_all in_range) groups)
+                then err "partition: node out of range"
+                else Ok ()
+            | Loss { node; prob; from_ms; to_ms } ->
+                if not (in_range node) then err "loss: node %d" node
+                else if prob < 0.0 || prob > 1.0 then err "loss: prob %f" prob
+                else if to_ms <= from_ms then err "loss: window"
+                else Ok ()
+            | Equivocate { node } ->
+                if in_range node then Ok () else err "eq: node %d" node
+            | Slow_nic { node; factor } ->
+                if not (in_range node) then err "slow: node %d" node
+                else if factor <= 0.0 then err "slow: factor %f" factor
+                else Ok ()
+            | Clock_skew { node; factor } ->
+                if not (in_range node) then err "skew: node %d" node
+                else if factor <= 0.0 then err "skew: factor %f" factor
+                else Ok ()))
+      (Ok ()) t.faults
+
+(* ---------- cluster wiring ---------- *)
+
+let behavior t i =
+  if List.mem i (byzantine t) then Fl_fireledger.Instance.Equivocator
+  else Fl_fireledger.Instance.Honest
+
+let bandwidth_of t i =
+  let base = Fl_net.Nic.ten_gbps in
+  List.fold_left
+    (fun bw fault ->
+      match fault with
+      | Slow_nic { node; factor } when node = i -> bw /. factor
+      | _ -> bw)
+    base t.faults
+
+let config_of t i (c : Fl_fireledger.Config.t) =
+  List.fold_left
+    (fun (c : Fl_fireledger.Config.t) fault ->
+      match fault with
+      | Clock_skew { node; factor } when node = i ->
+          let scale x = max 1 (int_of_float (float_of_int x *. factor)) in
+          { c with
+            Fl_fireledger.Config.initial_timeout = scale c.Fl_fireledger.Config.initial_timeout;
+            min_timeout = scale c.Fl_fireledger.Config.min_timeout;
+            max_timeout =
+              max (scale c.Fl_fireledger.Config.max_timeout)
+                (scale c.Fl_fireledger.Config.initial_timeout) }
+      | _ -> c)
+    c t.faults
+
+let apply t ~engine ~cluster =
+  let at ms action = ignore (Engine.schedule engine ~delay:(Time.ms ms) action) in
+  let net = cluster.Fl_fireledger.Cluster.net in
+  List.iter
+    (function
+      | Equivocate _ | Slow_nic _ | Clock_skew _ -> ()  (* construction-time *)
+      | Crash { node; at_ms; restart_ms } ->
+          at at_ms (fun () -> Fl_fireledger.Cluster.crash cluster node);
+          Option.iter
+            (fun r -> at r (fun () -> Fl_fireledger.Cluster.restart cluster node))
+            restart_ms
+      | Partition { groups; at_ms; heal_ms } ->
+          at at_ms (fun () -> Fl_net.Net.set_partition net groups);
+          at heal_ms (fun () -> Fl_net.Net.heal net)
+      | Loss { node; prob; from_ms; to_ms } ->
+          at from_ms (fun () -> Fl_net.Net.set_loss net ~node prob);
+          at to_ms (fun () -> Fl_net.Net.set_loss net ~node 0.0))
+    t.faults
+
+(* ---------- serialisation ---------- *)
+
+let string_of_fault = function
+  | Crash { node; at_ms; restart_ms = None } ->
+      Printf.sprintf "crash=%d@%d" node at_ms
+  | Crash { node; at_ms; restart_ms = Some r } ->
+      Printf.sprintf "crash=%d@%d/%d" node at_ms r
+  | Partition { groups; at_ms; heal_ms } ->
+      Printf.sprintf "part=%s@%d-%d"
+        (String.concat "|"
+           (List.map
+              (fun g -> String.concat "." (List.map string_of_int g))
+              groups))
+        at_ms heal_ms
+  | Loss { node; prob; from_ms; to_ms } ->
+      Printf.sprintf "loss=%d:%.2f@%d-%d" node prob from_ms to_ms
+  | Equivocate { node } -> Printf.sprintf "eq=%d" node
+  | Slow_nic { node; factor } -> Printf.sprintf "slow=%d:%.2f" node factor
+  | Clock_skew { node; factor } -> Printf.sprintf "skew=%d:%.2f" node factor
+
+let to_string t =
+  String.concat ";"
+    (Printf.sprintf "n=%d,f=%d,seed=%d" t.n t.f t.seed
+    :: List.map string_of_fault t.faults)
+
+let parse_fault tok =
+  let invalid () = Error (Printf.sprintf "unparseable fault %S" tok) in
+  match String.index_opt tok '=' with
+  | None -> invalid ()
+  | Some i -> (
+      let key = String.sub tok 0 i in
+      let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+      try
+        match key with
+        | "eq" -> Ok (Equivocate { node = int_of_string v })
+        | "crash" -> (
+            match String.split_on_char '@' v with
+            | [ node; times ] -> (
+                let node = int_of_string node in
+                match String.split_on_char '/' times with
+                | [ a ] ->
+                    Ok (Crash { node; at_ms = int_of_string a; restart_ms = None })
+                | [ a; r ] ->
+                    Ok
+                      (Crash
+                         { node;
+                           at_ms = int_of_string a;
+                           restart_ms = Some (int_of_string r) })
+                | _ -> invalid ())
+            | _ -> invalid ())
+        | "part" -> (
+            match String.split_on_char '@' v with
+            | [ groups; window ] -> (
+                let groups =
+                  String.split_on_char '|' groups
+                  |> List.map (fun g ->
+                         String.split_on_char '.' g |> List.map int_of_string)
+                in
+                match String.split_on_char '-' window with
+                | [ a; h ] ->
+                    Ok
+                      (Partition
+                         { groups;
+                           at_ms = int_of_string a;
+                           heal_ms = int_of_string h })
+                | _ -> invalid ())
+            | _ -> invalid ())
+        | "loss" -> (
+            match String.split_on_char '@' v with
+            | [ np; window ] -> (
+                match
+                  (String.split_on_char ':' np, String.split_on_char '-' window)
+                with
+                | [ node; prob ], [ a; b ] ->
+                    Ok
+                      (Loss
+                         { node = int_of_string node;
+                           prob = float_of_string prob;
+                           from_ms = int_of_string a;
+                           to_ms = int_of_string b })
+                | _ -> invalid ())
+            | _ -> invalid ())
+        | "slow" | "skew" -> (
+            match String.split_on_char ':' v with
+            | [ node; factor ] ->
+                let node = int_of_string node
+                and factor = float_of_string factor in
+                if String.equal key "slow" then Ok (Slow_nic { node; factor })
+                else Ok (Clock_skew { node; factor })
+            | _ -> invalid ())
+        | _ -> invalid ()
+      with Failure _ -> invalid ())
+
+let of_string s =
+  match String.split_on_char ';' (String.trim s) with
+  | [] -> Error "empty plan"
+  | header :: fault_toks -> (
+      let kvs =
+        String.split_on_char ',' header
+        |> List.filter_map (fun kv ->
+               match String.split_on_char '=' kv with
+               | [ k; v ] -> ( try Some (k, int_of_string v) with Failure _ -> None)
+               | _ -> None)
+      in
+      match
+        (List.assoc_opt "n" kvs, List.assoc_opt "f" kvs, List.assoc_opt "seed" kvs)
+      with
+      | Some n, Some f, Some seed ->
+          let rec parse acc = function
+            | [] -> Ok (List.rev acc)
+            | "" :: rest -> parse acc rest
+            | tok :: rest -> (
+                match parse_fault tok with
+                | Ok fault -> parse (fault :: acc) rest
+                | Error e -> Error e)
+          in
+          Result.bind (parse [] fault_toks) (fun faults ->
+              let t = { n; f; seed; faults } in
+              Result.map (fun () -> t) (validate t))
+      | _ -> Error "plan header must be n=<int>,f=<int>,seed=<int>")
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,91 @@
+(** Composable fault schedules ("plans") for adversarial exploration.
+
+    A plan is derived deterministically from a single integer seed: it
+    fixes the cluster size and a list of scheduled faults — crashes
+    (optionally with restart), network partitions with heal times,
+    probabilistic message-loss windows, up-to-[f] Byzantine
+    equivocators, slow-NIC nodes and clock-skewed timers. The
+    generator keeps the *process*-fault budget within [f] (crashed ∪
+    Byzantine nodes); network faults (partitions, loss windows) are
+    benign in the BFT model and may hit anyone, but are always bounded
+    in time so the ♦Synch liveness assumption eventually holds.
+
+    Plans serialise to a compact, human-readable string so a shrunk
+    counterexample can be replayed from a copy-pasteable CLI
+    invocation even after the shrinker has edited it away from what
+    its seed would generate. *)
+
+type fault =
+  | Crash of { node : int; at_ms : int; restart_ms : int option }
+      (** Disconnect [node] at [at_ms]; with [restart_ms], reconnect
+          it then (crash-recovery with intact state). *)
+  | Partition of { groups : int list list; at_ms : int; heal_ms : int }
+      (** Split the network into [groups] (unlisted nodes form one
+          extra group) from [at_ms] until [heal_ms]. *)
+  | Loss of { node : int; prob : float; from_ms : int; to_ms : int }
+      (** Drop each of [node]'s outbound messages with probability
+          [prob] during the window — omission-period injection. *)
+  | Equivocate of { node : int }
+      (** [node] is Byzantine from the start: a different block to
+          each half of the cluster (paper §7.4.2). *)
+  | Slow_nic of { node : int; factor : float }
+      (** [node]'s NIC runs [factor]× slower than the default. *)
+  | Clock_skew of { node : int; factor : float }
+      (** [node]'s WRB timer parameters are scaled by [factor]
+          (< 1 = fast clock, spurious timeouts; > 1 = slow clock). *)
+
+type t = {
+  n : int;
+  f : int;
+  seed : int;  (** cluster seed: latency draws, payloads, rotation *)
+  faults : fault list;
+}
+
+val generate : ?n:int -> seed:int -> budget_ms:int -> unit -> t
+(** Derive a plan from [seed]. All fault times land inside
+    [budget_ms]; partitions heal and loss windows close by 60% of the
+    budget. [n] pins the cluster size (default: seed-derived from
+    {4, 7}). *)
+
+val byzantine : t -> int list
+val crashed : t -> int list
+(** Nodes crashed at any point (including later-restarted ones). *)
+
+val faulty : t -> int list
+(** [byzantine ∪ crashed] — the process-fault set, ≤ [f] for
+    generated plans. *)
+
+val restarted : t -> int list
+
+val validate : t -> (unit, string) result
+(** Structural checks: node ids in range, windows ordered, process
+    faults within [f], probabilities/factors sane. *)
+
+val expect_liveness : t -> bool
+(** Conservative: true only when the plan contains process faults
+    only (crash/equivocate) — the schedules for which the
+    bounded-progress oracle may demand progress within the budget.
+    Network faults (partition/loss) and timing faults (skew/slow NIC)
+    can legitimately stall past any fixed bound. *)
+
+val behavior : t -> int -> Fl_fireledger.Instance.behavior
+val bandwidth_of : t -> int -> float
+(** Per-node NIC bandwidth honouring [Slow_nic] (base: 10 Gb/s). *)
+
+val config_of : t -> int -> Fl_fireledger.Config.t -> Fl_fireledger.Config.t
+(** Per-node config tweak honouring [Clock_skew]. *)
+
+val apply :
+  t -> engine:Fl_sim.Engine.t -> cluster:Fl_fireledger.Cluster.t -> unit
+(** Schedule the time-driven faults (crash/restart, partition/heal,
+    loss windows) against a built cluster. Construction-time faults
+    (equivocators, slow NICs, clock skew) must instead be passed to
+    [Cluster.create] via {!behavior}/{!bandwidth_of}/{!config_of}. *)
+
+val to_string : t -> string
+(** Compact round-trippable encoding, e.g.
+    ["n=7,f=2,seed=3;eq=1;crash=2@300/800;part=0.1|2.3@200-600;loss=4:0.30@100-500;slow=5:4.0;skew=6:2.0"]. *)
+
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -15,8 +15,10 @@ type t = {
 
 let create ?(seed = 42) ?(latency = Latency.single_dc)
     ?(cost = Fl_crypto.Cost_model.default) ?(cores = 4)
-    ?(bandwidth_bps = Nic.ten_gbps) ?(behavior = fun _ -> Instance.Honest)
-    ?valid ?trace ?(output = fun _ -> Instance.null_output) ~config () =
+    ?(bandwidth_bps = Nic.ten_gbps) ?bandwidth_of
+    ?(behavior = fun _ -> Instance.Honest) ?valid ?trace
+    ?(config_of = fun _ c -> c) ?(output = fun _ -> Instance.null_output)
+    ~config () =
   Config.validate config;
   let n = config.Config.n in
   let engine = Engine.create () in
@@ -27,7 +29,10 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
       ~seed:(Printf.sprintf "cluster-%d" seed)
       ~n
   in
-  let nics = Array.init n (fun _ -> Nic.create ~bandwidth_bps) in
+  let node_bw i =
+    match bandwidth_of with Some f -> f i | None -> bandwidth_bps
+  in
+  let nics = Array.init n (fun i -> Nic.create ~bandwidth_bps:(node_bw i)) in
   let cpus = Array.init n (fun _ -> Cpu.create engine ~cores) in
   let net = Net.create engine (Rng.named_split rng "net") ~nics ~latency in
   let crashed = Hashtbl.create 4 in
@@ -49,6 +54,15 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
             label = "w0";
             trace }
         in
+        let config =
+          let c = config_of i config in
+          (* Per-node tweaks may skew timers etc. but never the
+             cluster shape. *)
+          if c.Config.n <> config.Config.n || c.Config.f <> config.Config.f
+          then invalid_arg "Cluster.create: config_of must preserve n and f";
+          Config.validate c;
+          c
+        in
         Instance.create env ~config ~behavior:(behavior i) ?valid
           ~output:(output i) ())
   in
@@ -56,12 +70,20 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
 
 let start t = Array.iter Instance.start t.instances
 
+let crash_filter t =
+  if Hashtbl.length t.crashed = 0 then None
+  else
+    Some
+      (fun ~src ~dst ->
+        (not (Hashtbl.mem t.crashed src)) && not (Hashtbl.mem t.crashed dst))
+
 let crash t i =
   Hashtbl.replace t.crashed i ();
-  Net.set_filter t.net
-    (Some
-       (fun ~src ~dst ->
-         (not (Hashtbl.mem t.crashed src)) && not (Hashtbl.mem t.crashed dst)))
+  Net.set_filter t.net (crash_filter t)
+
+let restart t i =
+  Hashtbl.remove t.crashed i;
+  Net.set_filter t.net (crash_filter t)
 
 let run ?until t = Engine.run ?until t.engine
 

@@ -27,21 +27,32 @@ val create :
   ?cost:Fl_crypto.Cost_model.t ->
   ?cores:int ->
   ?bandwidth_bps:float ->
+  ?bandwidth_of:(int -> float) ->
   ?behavior:(int -> Instance.behavior) ->
   ?valid:(Fl_chain.Block.t -> bool) ->
   ?trace:Trace.t ->
+  ?config_of:(int -> Config.t -> Config.t) ->
   ?output:(int -> Instance.output) ->
   config:Config.t ->
   unit ->
   t
 (** Build (but do not start) a cluster. [behavior]/[output] map a node
-    id to its behaviour/event sink. *)
+    id to its behaviour/event sink. [bandwidth_of] gives one node a
+    slower (or faster) NIC than [bandwidth_bps]; [config_of] applies a
+    per-node config tweak (e.g. clock-skewed timer parameters for the
+    schedule explorer) — it must preserve [n] and [f]. *)
 
 val start : t -> unit
 (** Start every instance's fibers. *)
 
 val crash : t -> int -> unit
 (** Drop all traffic from/to a node from now on. *)
+
+val restart : t -> int -> unit
+(** Undo {!crash}: reconnect the node. Its fibers kept running while
+    disconnected (a crash is only observable as silence), so this
+    models a crash-recovery with intact local state; the catch-up
+    sync pulls whatever the node missed. *)
 
 val run : ?until:Time.t -> t -> unit
 

@@ -1186,3 +1186,18 @@ let mempool t = t.mempool
 let round t = t.round
 let definite_upto t = t.definite_upto
 let recoveries t = Fl_metrics.Recorder.counter (recorder t) "recoveries"
+let era t = t.era
+
+let tee_output a b =
+  { on_tentative =
+      (fun ~round blk ->
+        a.on_tentative ~round blk;
+        b.on_tentative ~round blk);
+    on_definite =
+      (fun ~round blk ~times ->
+        a.on_definite ~round blk ~times;
+        b.on_definite ~round blk ~times);
+    on_recovery =
+      (fun ~round ~rescinded ->
+        a.on_recovery ~round ~rescinded;
+        b.on_recovery ~round ~rescinded) }

@@ -65,3 +65,11 @@ val mempool : t -> Mempool.t
 val round : t -> int
 val definite_upto : t -> int
 val recoveries : t -> int
+
+val era : t -> int
+(** Completed recoveries at this instance — advances exactly once per
+    executed recovery (it keys post-recovery OBBC instances). *)
+
+val tee_output : output -> output -> output
+(** Compose two sinks: every event goes to [a] first, then [b] — how
+    oracles observe a cluster without displacing its real output. *)

@@ -25,9 +25,11 @@ type faults = {
   crash_at : (Time.t * int list) option;
   byzantine : int list;
   loss : (int * float) option;
+  partition : (Time.t * int list list * Time.t) option;
 }
 
-let no_faults = { crash_at = None; byzantine = []; loss = None }
+let no_faults =
+  { crash_at = None; byzantine = []; loss = None; partition = None }
 
 type flo_setting = {
   n : int;
@@ -189,6 +191,19 @@ let build_flo s =
       ignore
         (Engine.schedule cluster.Fl_flo.Cluster.engine ~delay:at (fun () ->
              List.iter (Fl_flo.Cluster.crash cluster) nodes)));
+  (* scheduled partition with heal time, on every worker net *)
+  (match s.faults.partition with
+  | None -> ()
+  | Some (at, groups, heal) ->
+      let engine = cluster.Fl_flo.Cluster.engine in
+      ignore
+        (Engine.schedule engine ~delay:at (fun () ->
+             Array.iter
+               (fun net -> Fl_net.Net.set_partition net groups)
+               cluster.Fl_flo.Cluster.nets));
+      ignore
+        (Engine.schedule engine ~delay:heal (fun () ->
+             Array.iter Fl_net.Net.heal cluster.Fl_flo.Cluster.nets)));
   cluster
 
 let run_cluster s cluster =

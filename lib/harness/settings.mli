@@ -30,6 +30,10 @@ type faults = {
   loss : (int * float) option;
       (** (victim, probability): drop this fraction of the victim's
           outbound messages — omission-failure injection *)
+  partition : (Time.t * int list list * Time.t) option;
+      (** (at, groups, heal): split the network into [groups] at time
+          [at] (nodes not listed form an implicit extra group) and heal
+          it at time [heal] *)
 }
 
 val no_faults : faults

@@ -32,7 +32,7 @@ let cell_f ?(dec = 1) v =
 
 let cell_i v = group_thousands (string_of_int v)
 
-let print t =
+let render t =
   let rows = List.rev t.rows in
   let widths =
     List.fold_left
@@ -46,9 +46,19 @@ let print t =
          (fun w c -> c ^ String.make (w - String.length c) ' ')
          widths cells)
   in
-  Printf.printf "\n== %s ==\n" t.title;
-  print_endline (line t.columns);
-  print_endline
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n" t.title);
+  Buffer.add_string buf (line t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
     (String.concat "  " (List.map (fun w -> String.make w '-') widths));
-  List.iter (fun row -> print_endline (line row)) rows;
-  print_newline ()
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print t = print_string (render t)

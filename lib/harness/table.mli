@@ -7,6 +7,10 @@ val create : title:string -> columns:string list -> t
 val add_row : t -> string list -> unit
 val print : t -> unit
 
+val render : t -> string
+(** The exact text [print] emits — for callers that want the table in
+    a buffer (explorer summaries, tests). *)
+
 val cell_f : ?dec:int -> float -> string
 (** Format a float with [dec] (default 1) decimals, thousands-grouped
     integer part. *)

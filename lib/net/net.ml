@@ -3,10 +3,15 @@ open Fl_sim
 type 'm t = {
   engine : Engine.t;
   rng : Rng.t;
+  loss_rng : Rng.t;
+      (* dedicated stream so probabilistic-loss draws do not perturb
+         the latency sampling sequence *)
   nics : Nic.t array;
   latency : Latency.t;
   inboxes : (int * 'm) Mailbox.t array;
   mutable filter : (src:int -> dst:int -> bool) option;
+  mutable groups : int array option;  (* partition: group id per node *)
+  loss : (int, float) Hashtbl.t;  (* per-node outbound drop probability *)
   mutable delivered : int;
   mutable dropped : int;
 }
@@ -16,18 +21,55 @@ let create engine rng ~nics ~latency =
   if n = 0 then invalid_arg "Net.create: empty nic array";
   { engine;
     rng;
+    loss_rng = Rng.named_split rng "net-loss";
     nics;
     latency;
     inboxes = Array.init n (fun _ -> Mailbox.create engine);
     filter = None;
+    groups = None;
+    loss = Hashtbl.create 4;
     delivered = 0;
     dropped = 0 }
 
 let n t = Array.length t.nics
 let inbox t i = t.inboxes.(i)
 
+let set_partition t groups =
+  let n = Array.length t.nics in
+  let ids = Array.make n (List.length groups) in
+  List.iteri
+    (fun g members ->
+      List.iter
+        (fun i ->
+          if i < 0 || i >= n then invalid_arg "Net.set_partition: node id";
+          ids.(i) <- g)
+        members)
+    groups;
+  t.groups <- Some ids
+
+let heal t = t.groups <- None
+let partitioned t = t.groups <> None
+
+let set_loss t ~node prob =
+  if prob < 0.0 || prob > 1.0 then invalid_arg "Net.set_loss: probability";
+  if node < 0 || node >= Array.length t.nics then
+    invalid_arg "Net.set_loss: node id";
+  if prob = 0.0 then Hashtbl.remove t.loss node
+  else Hashtbl.replace t.loss node prob
+
 let deliverable t ~src ~dst =
-  match t.filter with None -> true | Some f -> f ~src ~dst
+  (match t.filter with None -> true | Some f -> f ~src ~dst)
+  && (src = dst
+     ||
+     (* A node always reaches itself; partitions and loss windows act
+        on the wire only. *)
+     (match t.groups with
+      | None -> true
+      | Some ids -> ids.(src) = ids.(dst))
+     &&
+     match Hashtbl.find_opt t.loss src with
+     | None -> true
+     | Some p -> Rng.float t.loss_rng 1.0 >= p)
 
 let deliver t ~src ~dst ~at msg =
   let now = Engine.now t.engine in

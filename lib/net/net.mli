@@ -44,7 +44,30 @@ val multicast : 'm t -> src:int -> dsts:int list -> size:int -> 'm -> unit
 
 val set_filter : 'm t -> (src:int -> dst:int -> bool) option -> unit
 (** [Some f] drops any message for which [f ~src ~dst] is false;
-    [None] restores full connectivity. *)
+    [None] removes the filter. The filter is one of three independent
+    fault layers — filter, partition, loss — that compose: a message
+    is delivered only if all three let it pass. Crash injection uses
+    the filter; the schedule explorer drives the other two. *)
+
+val set_partition : 'm t -> int list list -> unit
+(** Partition the network into the given groups: messages between
+    different groups are silently dropped. Nodes not listed in any
+    group form one implicit extra group together, so
+    [set_partition net [[0;1]]] on a 4-node net yields {0,1} vs
+    {2,3}. Self-delivery always works. Replaces any previous
+    partition. *)
+
+val heal : 'm t -> unit
+(** Remove the partition (the filter and loss layers persist). *)
+
+val partitioned : 'm t -> bool
+
+val set_loss : 'm t -> node:int -> float -> unit
+(** Drop each of [node]'s outbound wire messages with the given
+    probability (0 clears the entry — the window-close control).
+    Draws come from a dedicated RNG stream split off the net's seed,
+    so enabling loss does not perturb latency sampling for messages
+    that survive. Self-delivery is exempt. *)
 
 val messages_delivered : 'm t -> int
 val messages_dropped : 'm t -> int

@@ -41,8 +41,15 @@ let stop t = t.stopped <- true
 let pending t = Heap.length t.queue
 let processed t = t.processed
 
-let run ?until t =
+let run ?until ?max_events t =
   t.stopped <- false;
+  let budget =
+    match max_events with
+    | None -> ref min_int (* never reaches 0 by decrementing *)
+    | Some m ->
+        if m < 0 then invalid_arg "Engine.run: max_events must be >= 0";
+        ref m
+  in
   let continue = ref true in
   while !continue && not t.stopped do
     match Heap.peek t.queue with
@@ -53,13 +60,18 @@ let run ?until t =
             t.now <- limit;
             continue := false
         | _ ->
-            ignore (Heap.pop t.queue);
-            if not !(ev.cancelled) then begin
-              t.now <- ev.time;
-              t.processed <- t.processed + 1;
-              ev.action ()
+            if !budget = 0 then continue := false
+            else begin
+              ignore (Heap.pop t.queue);
+              if not !(ev.cancelled) then begin
+                t.now <- ev.time;
+                t.processed <- t.processed + 1;
+                decr budget;
+                ev.action ()
+              end
             end)
   done;
   match until with
-  | Some limit when not t.stopped && t.now < limit -> t.now <- limit
+  | Some limit when not t.stopped && !budget <> 0 && t.now < limit ->
+      t.now <- limit
   | _ -> ()

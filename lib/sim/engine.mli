@@ -22,10 +22,15 @@ val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
 val cancel : handle -> unit
 (** Cancelled events are skipped; cancelling twice is a no-op. *)
 
-val run : ?until:Time.t -> t -> unit
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Process events in time order until the queue drains, [stop] is
     called, or virtual time would exceed [until] (the clock is then
-    left at [until]). *)
+    left at [until]). [max_events] additionally bounds the number of
+    non-cancelled events executed by this call — a step budget that
+    guards adversarial-schedule exploration against runaway event
+    storms; when it is exhausted the clock is left at the last
+    executed event (not advanced to [until]) and [pending] > 0
+    reveals the truncation. *)
 
 val stop : t -> unit
 (** Make [run] return after the current event. *)

@@ -30,8 +30,26 @@ let named_split t label =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* [land max_int] clears OCaml's 63-bit sign bit. *)
-  Int64.to_int (int64 t) land max_int mod bound
+  if bound land (bound - 1) = 0 then
+    (* Power of two: mask — exact, no bias. [land max_int] clears
+       OCaml's 63-bit sign bit first. *)
+    Int64.to_int (int64 t) land max_int land (bound - 1)
+  else begin
+    (* Rejection sampling over the largest multiple of [bound] that
+       fits in 62 bits. A bare [mod bound] has modulo bias: the low
+       residues are hit ⌈2^62/bound⌉ times and the high ones only
+       ⌊2^62/bound⌋ — negligible for simulation-sized bounds
+       (≤ 2^-30 for bound ≤ 2^32) but real, and material for bounds
+       near [max_int]. Rejecting draws from the final partial cycle
+       makes every residue exactly equally likely; the expected number
+       of retries is < 1 for every bound. *)
+    let limit = max_int - (((max_int mod bound) + 1) mod bound) in
+    let rec draw () =
+      let r = Int64.to_int (int64 t) land max_int in
+      if r > limit then draw () else r mod bound
+    in
+    draw ()
+  end
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";

@@ -23,8 +23,13 @@ val int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] in [0, bound). Raises [Invalid_argument] if
-    [bound <= 0]. *)
+(** [int t bound] uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. Exactly uniform for every bound up to and including
+    [max_int]: power-of-two bounds are masked, others drawn by
+    rejection sampling (the naive [mod] would carry a modulo bias of
+    up to [bound/2^62] per residue — negligible below bound ≈ 2^32
+    but material near [max_int]). May consume more than one raw draw
+    from the stream; determinism per seed is unaffected. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] uniform in [lo, hi] inclusive. *)

@@ -5,11 +5,18 @@ type t = {
   buffer : event Queue.t;
   mutable total : int;
   mutable hash : int64;
+  mutable hook : (event -> unit) option;
 }
 
 let create ?(capacity = 100_000) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity";
-  { capacity; buffer = Queue.create (); total = 0; hash = 0xcbf29ce484222325L }
+  { capacity;
+    buffer = Queue.create ();
+    total = 0;
+    hash = 0xcbf29ce484222325L;
+    hook = None }
+
+let set_hook t hook = t.hook <- hook
 
 let fnv h s =
   String.fold_left
@@ -24,10 +31,12 @@ let emit t engine ~category detail =
   | None -> ()
   | Some t ->
       let at = Engine.now engine in
-      Queue.push { at; category; detail } t.buffer;
+      let ev = { at; category; detail } in
+      Queue.push ev t.buffer;
       t.total <- t.total + 1;
       t.hash <- fnv t.hash (Printf.sprintf "%d|%s|%s\n" at category detail);
-      if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+      if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer);
+      match t.hook with None -> () | Some h -> h ev
 
 let events t = List.of_seq (Queue.to_seq t.buffer)
 let count t = t.total

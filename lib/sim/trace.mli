@@ -19,6 +19,14 @@ val create : ?capacity:int -> unit -> t
 val emit : t option -> Engine.t -> category:string -> string -> unit
 (** Record an event; [None] sinks are free. *)
 
+val set_hook : t -> (event -> unit) option -> unit
+(** Checkpoint hook: invoked synchronously on every emitted event
+    (after it is buffered and folded into the fingerprint). This is
+    how continuous checkers observe a live run — e.g. the
+    {!Fl_check} oracles watch [recovery] events as they happen
+    instead of post-processing the buffer, which may have dropped
+    old events. The hook must not emit into the same trace. *)
+
 val events : t -> event list
 (** Oldest first. *)
 

@@ -15,6 +15,7 @@ let () =
       ("workload", Test_workload.suite);
       ("harness", Test_harness.suite);
       ("fuzz", Test_fuzz.suite);
+      ("check", Test_check.suite);
       ("extensions", Test_extensions.suite);
       ("edges", Test_edges.suite);
       ("adversarial", Test_adversarial.suite);

@@ -1,153 +1,73 @@
-(* Randomized protocol torture: for arbitrary seeds and fault
-   schedules (crashes, message loss, up to f equivocators), the BBFC
-   safety properties must hold — agreement on every definite block,
-   intact hash chains, distinct proposers in every f+1 window — and
-   under schedules that leave n−f correct connected nodes, liveness. *)
+(* Randomized protocol torture, riding on the schedule explorer: for
+   arbitrary seed-derived fault plans (crashes with restarts,
+   partitions, loss windows, up to f equivocators, slow NICs, clock
+   skew) the BBFC safety oracles must stay quiet — agreement on every
+   definite block, intact hash chains, distinct proposers in every f+1
+   window — and under process-fault-only plans, bounded progress.
 
-open Fl_sim
-open Fl_fireledger
+   The fault schedules themselves come from [Fl_check.Plan.generate];
+   this suite only picks the seeds and interprets the reports, so the
+   fuzz tests and [fl_explore] exercise the identical code path. *)
 
-type schedule = {
-  seed : int;
-  n : int;
-  byzantine : int list;
-  crash : (int * int) list;  (* node, ms *)
-  loss : (int * float) option;
-}
+open Fl_check
 
-let pp_schedule s =
-  Printf.sprintf "seed=%d n=%d byz=[%s] crash=[%s] loss=%s" s.seed s.n
-    (String.concat ";" (List.map string_of_int s.byzantine))
-    (String.concat ";"
-       (List.map (fun (i, ms) -> Printf.sprintf "%d@%dms" i ms) s.crash))
-    (match s.loss with
-    | None -> "none"
-    | Some (v, p) -> Printf.sprintf "%d:%.2f" v p)
+let budget_ms = 1_000
 
-let gen_schedule =
+let gen_plan =
   QCheck.Gen.(
     let* seed = int_bound 10_000 in
-    let* n = oneofl [ 4; 7 ] in
-    let f = (n - 1) / 3 in
-    (* Total faults (crashed + Byzantine) stay within f. *)
-    let* n_byz = int_bound f in
-    let* n_crash = int_bound (f - n_byz) in
-    let* byz = List.init n_byz (fun i -> (2 * i) + 1) |> return in
-    let* crash_nodes =
-      return (List.init n_crash (fun i -> (2 * i) + 2))
-    in
-    let* crash_times =
-      flatten_l (List.map (fun _ -> int_range 100 900) crash_nodes)
-    in
-    let* loss_p = float_bound_inclusive 0.4 in
-    let* with_loss = bool in
-    let loss =
-      (* Loss on a Byzantine/crashed node stays within the fault
-         budget; loss on a correct node models omission periods. *)
-      if with_loss && n_byz = 0 && n_crash = 0 then Some (0, loss_p)
-      else None
-    in
-    return
-      { seed; n; byzantine = byz; crash = List.combine crash_nodes crash_times;
-        loss })
+    return (Plan.generate ~seed ~budget_ms ()))
 
-let arb_schedule = QCheck.make ~print:pp_schedule gen_schedule
+let arb_plan = QCheck.make ~print:Plan.to_string gen_plan
 
-let run_schedule s =
-  let config =
-    { (Config.default ~n:s.n) with
-      Config.batch_size = 10;
-      tx_size = 32;
-      initial_timeout = Time.ms 20 }
-  in
-  let behavior i =
-    if List.mem i s.byzantine then Instance.Equivocator else Instance.Honest
-  in
-  let c = Cluster.create ~seed:s.seed ~behavior ~config () in
-  (match s.loss with
-  | None -> ()
-  | Some (victim, prob) ->
-      let rng = Rng.create (s.seed + 1) in
-      Fl_net.Net.set_filter c.Cluster.net
-        (Some
-           (fun ~src ~dst:_ ->
-             (not (src = victim)) || Rng.float rng 1.0 >= prob)));
-  List.iter
-    (fun (node, ms) ->
-      ignore
-        (Engine.schedule c.Cluster.engine ~delay:(Time.ms ms) (fun () ->
-             Cluster.crash c node)))
-    s.crash;
-  Cluster.start c;
-  Cluster.run ~until:(Time.s 3) c;
-  c
+let safety_violations (r : Explorer.report) =
+  List.filter
+    (fun (v : Oracle.violation) -> v.Oracle.oracle <> "liveness")
+    r.Explorer.violations
 
-let faulty s = s.byzantine @ List.map fst s.crash
+let pp_violations vs =
+  String.concat "; "
+    (List.map (fun v -> Format.asprintf "%a" Oracle.pp_violation v) vs)
 
 let prop_safety =
-  QCheck.Test.make ~name:"fuzz: definite prefixes agree under any faults"
-    ~count:25 arb_schedule
-    (fun s ->
-      let c = run_schedule s in
-      Cluster.definite_prefix_agreement c
-      && Array.for_all
-           (fun i -> Fl_chain.Store.check_integrity (Instance.store i))
-           c.Cluster.instances)
+  QCheck.Test.make ~name:"fuzz: safety oracles quiet under any plan" ~count:25
+    arb_plan
+    (fun plan ->
+      let r = Explorer.run_plan ~budget_ms plan in
+      match safety_violations r with
+      | [] -> true
+      | vs -> QCheck.Test.fail_reportf "safety violations: %s" (pp_violations vs))
 
 let prop_rotation_invariant =
   QCheck.Test.make
-    ~name:"fuzz: any f+1 consecutive decided blocks have f+1 proposers"
-    ~count:15 arb_schedule
-    (fun s ->
-      let c = run_schedule s in
-      let f = (s.n - 1) / 3 in
-      let ok = ref true in
-      Array.iteri
-        (fun i inst ->
-          if not (List.mem i (faulty s)) then begin
-            let ps = ref [] in
-            Fl_chain.Store.iter (Instance.store inst) (fun b ->
-                ps := b.Fl_chain.Block.header.Fl_chain.Header.proposer :: !ps);
-            let arr = Array.of_list (List.rev !ps) in
-            (* Only the definite prefix is guaranteed. *)
-            let upto = Instance.definite_upto inst in
-            for start = 0 to min upto (Array.length arr - 1) - f - 1 do
-              let seen = Hashtbl.create 4 in
-              for j = start to start + f do
-                Hashtbl.replace seen arr.(j) ()
-              done;
-              if Hashtbl.length seen < f + 1 then ok := false
-            done
-          end)
-        c.Cluster.instances;
-      !ok)
+    ~name:"fuzz: any f+1 consecutive definite blocks have f+1 proposers"
+    ~count:15 arb_plan
+    (fun plan ->
+      let r = Explorer.run_plan ~budget_ms plan in
+      List.for_all
+        (fun (v : Oracle.violation) -> v.Oracle.oracle <> "rotation")
+        r.Explorer.violations)
 
 let prop_liveness_with_quorum =
   QCheck.Test.make
     ~name:"fuzz: correct nodes keep deciding when faults stay within f"
-    ~count:15 arb_schedule
-    (fun s ->
-      (* Liveness claim only for schedules without message loss (loss
-         beyond omission periods can stall arbitrarily long). *)
-      QCheck.assume (s.loss = None);
-      let c = run_schedule s in
-      let faulty = faulty s in
-      Array.for_all
-        (fun i ->
-          List.mem i faulty
-          || Instance.definite_upto c.Cluster.instances.(i) > 5)
-        (Array.init s.n Fun.id))
+    ~count:15 arb_plan
+    (fun plan ->
+      (* The bounded-progress claim only covers plans whose faults are
+         process faults (crash/equivocate); network and timing faults
+         can legitimately stall past any fixed bound. *)
+      QCheck.assume (Plan.expect_liveness plan);
+      let r = Explorer.run_plan ~budget_ms plan in
+      if Explorer.failed r then
+        QCheck.Test.fail_reportf "violations: %s"
+          (pp_violations r.Explorer.violations)
+      else r.Explorer.truncated || r.Explorer.min_definite >= 2)
 
 let prop_determinism =
-  QCheck.Test.make ~name:"fuzz: identical schedules replay identically"
-    ~count:8 arb_schedule
-    (fun s ->
-      let tips c =
-        Array.map
-          (fun i -> Fl_chain.Store.last_hash (Instance.store i))
-          c.Cluster.instances
-      in
-      tips (run_schedule s) = tips (run_schedule s))
+  QCheck.Test.make ~name:"fuzz: identical plans replay identically" ~count:8
+    arb_plan
+    (fun plan ->
+      Explorer.run_plan ~budget_ms plan = Explorer.run_plan ~budget_ms plan)
 
 let suite =
   [ QCheck_alcotest.to_alcotest prop_safety;

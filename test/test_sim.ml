@@ -235,6 +235,62 @@ let prop_rng_bounds =
       let v = Rng.int r bound in
       v >= 0 && v < bound)
 
+let test_rng_extreme_bounds () =
+  (* bound = max_int exercises the rejection-sampling path where the
+     naive [mod] bias would be material. *)
+  let r = Rng.create 21 in
+  for _ = 1 to 200 do
+    let v = Rng.int r max_int in
+    Alcotest.(check bool) "0 <= v < max_int" true (v >= 0 && v < max_int)
+  done;
+  (* power-of-two bounds take the mask path *)
+  for _ = 1 to 200 do
+    let v = Rng.int r 4096 in
+    Alcotest.(check bool) "masked draw in range" true (v >= 0 && v < 4096)
+  done;
+  Alcotest.(check int) "bound 1 is constant" 0 (Rng.int r 1);
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0));
+  Alcotest.check_raises "negative bound rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r (-5)))
+
+let prop_split_independent =
+  QCheck.Test.make ~name:"rng: split streams are independent" ~count:100
+    QCheck.small_nat
+    (fun seed ->
+      let parent = Rng.create seed in
+      let a = Rng.split parent in
+      let b = Rng.split parent in
+      let xs = List.init 16 (fun _ -> Rng.int64 a) in
+      let ys = List.init 16 (fun _ -> Rng.int64 b) in
+      (* distinct streams, and consuming [a] must not perturb [b] *)
+      xs <> ys)
+
+let prop_named_split_pure =
+  QCheck.Test.make
+    ~name:"rng: named_split does not consume parent state" ~count:100
+    QCheck.(pair small_nat small_printable_string)
+    (fun (seed, label) ->
+      let mk () =
+        let parent = Rng.create seed in
+        (parent, List.init 8 (fun _ -> Rng.int64 parent))
+      in
+      let p1, raw1 = mk () in
+      let p2, raw2 = mk () in
+      (* Both parents sit at the same state. p2 takes a named split
+         and drains it; p1 takes the same split afterwards. If
+         [named_split] consumed parent state, the split streams or the
+         parents' subsequent raw streams would diverge. *)
+      let s2 = Rng.named_split p2 label in
+      let split2 = List.init 8 (fun _ -> Rng.int64 s2) in
+      let s1 = Rng.named_split p1 label in
+      let split1 = List.init 8 (fun _ -> Rng.int64 s1) in
+      let tail1 = List.init 8 (fun _ -> Rng.int64 p1) in
+      let tail2 = List.init 8 (fun _ -> Rng.int64 p2) in
+      raw1 = raw2 && split1 = split2 && tail1 = tail2)
+
 let test_rng_distributions () =
   let r = Rng.create 13 in
   let n = 20_000 in
@@ -275,5 +331,8 @@ let suite =
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng named split" `Quick test_rng_named_split;
     QCheck_alcotest.to_alcotest prop_rng_bounds;
+    Alcotest.test_case "rng extreme bounds" `Quick test_rng_extreme_bounds;
+    QCheck_alcotest.to_alcotest prop_split_independent;
+    QCheck_alcotest.to_alcotest prop_named_split_pure;
     Alcotest.test_case "rng distributions" `Quick test_rng_distributions;
     Alcotest.test_case "time pp" `Quick test_time_pp ]

@@ -47,7 +47,7 @@ let forked_output n inner =
         in
         inner.Instance.on_definite ~round block ~times) }
 
-let run_plan ?(inject_fork = false) ~budget_ms (plan : Plan.t) =
+let run_plan ?(inject_fork = false) ?obs ~budget_ms (plan : Plan.t) =
   (match Plan.validate plan with
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Explorer.run_plan: %s" e));
@@ -60,7 +60,7 @@ let run_plan ?(inject_fork = false) ~budget_ms (plan : Plan.t) =
     Oracle.create ~now:(fun () -> !clock ()) ~n:plan.Plan.n ~f:plan.Plan.f ()
   in
   let cluster =
-    Cluster.create ~seed:plan.Plan.seed
+    Cluster.create ~seed:plan.Plan.seed ?obs
       ~bandwidth_of:(Plan.bandwidth_of plan)
       ~behavior:(Plan.behavior plan)
       ~config_of:(Plan.config_of plan)

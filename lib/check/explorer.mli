@@ -21,13 +21,16 @@ type report = {
 
 val failed : report -> bool
 
-val run_plan : ?inject_fork:bool -> budget_ms:int -> Plan.t -> report
+val run_plan :
+  ?inject_fork:bool -> ?obs:Fl_obs.Obs.t -> budget_ms:int -> Plan.t -> report
 (** Build a cluster for the plan (cluster seed = [plan.seed]), attach
     the oracles, schedule the faults, run for [budget_ms] of simulated
     time (with an engine step budget), then run the end-of-run
     oracles. [inject_fork] deliberately feeds the oracle a forked
     block for one node from definite round 3 on — a planted safety
-    bug that must be caught (self-test of the oracle layer). *)
+    bug that must be caught (self-test of the oracle layer). [obs]
+    installs a span sink on the cluster (observe-only; the report is
+    unchanged) — how [fl_trace plan] captures adversarial runs. *)
 
 val run_seed : ?inject_fork:bool -> ?n:int -> budget_ms:int -> int -> report
 (** Generate the seed's plan and run it. *)

@@ -28,7 +28,19 @@ type 'p t = {
   mutable bbc_started : bool;
   mutable closed : bool;
   pgd_seen : (int, unit) Hashtbl.t;
+  obs : Fl_obs.Obs.t option;
+  obs_round : int;
+  obs_worker : int;
 }
+
+let obs_instant t name =
+  Fl_obs.Obs.instant t.obs ~cat:"consensus" ~name ~node:t.channel.Channel.self
+    ~worker:t.obs_worker ~round:t.obs_round ~at:(Engine.now t.engine) ()
+
+let obs_span t name ~t_begin =
+  Fl_obs.Obs.span t.obs ~cat:"consensus" ~name ~node:t.channel.Channel.self
+    ~worker:t.obs_worker ~round:t.obs_round ~t_begin
+    ~t_end:(Engine.now t.engine) ()
 
 let vote_size t pgd =
   2 + match pgd with Some p -> t.pgd_size p | None -> 0
@@ -53,8 +65,16 @@ let bbc_channel t =
 let start_fallback t proposal =
   t.bbc_started <- true;
   Fl_metrics.Recorder.incr t.recorder "obbc_fallbacks";
-  Bbc.start t.engine ~recorder:t.recorder ~coin:t.coin
-    ~channel:(bbc_channel t) proposal
+  obs_instant t "fallback_enter";
+  let d =
+    Bbc.start t.engine ~recorder:t.recorder ~coin:t.coin
+      ~channel:(bbc_channel t) proposal
+  in
+  if Fl_obs.Obs.enabled t.obs then begin
+    let t0 = Engine.now t.engine in
+    Ivar.on_fill d (fun _ -> obs_span t "obbc_fallback" ~t_begin:t0)
+  end;
+  d
 
 (* A fast-decided node that observes fallback traffic joins the
    fallback proposing its decided value (paper lines OB26–OB27). *)
@@ -119,7 +139,7 @@ let handle t (src, msg) =
       Mailbox.send t.bbc_box (src, b)
 
 let create engine ~recorder ~coin ~channel ~validate_evidence ~my_evidence
-    ~on_pgd ~pgd_size =
+    ~on_pgd ~pgd_size ?obs ?(obs_round = -1) ?(obs_worker = -1) () =
   let t =
     { engine;
       recorder;
@@ -138,7 +158,10 @@ let create engine ~recorder ~coin ~channel ~validate_evidence ~my_evidence
       bbc_box = Mailbox.create engine;
       bbc_started = false;
       closed = false;
-      pgd_seen = Hashtbl.create 8 }
+      pgd_seen = Hashtbl.create 8;
+      obs;
+      obs_round;
+      obs_worker }
   in
   Fiber.spawn engine (fun () ->
       while not t.closed do
@@ -165,12 +188,16 @@ let spawn_resend t m size =
 
 let propose t ?abort ~vote ~pgd () =
   let m = Vote { value = vote; pgd } in
+  let t_vote = Engine.now t.engine in
   t.channel.Channel.bcast ~size:(vote_size t pgd) m;
   spawn_resend t m (vote_size t pgd);
   match Race.read t.votes_outcome ~abort with
-  | `Fast -> true
+  | `Fast ->
+      obs_span t "obbc_fast" ~t_begin:t_vote;
+      true
   | `Slow -> (
       Fl_metrics.Recorder.incr t.recorder "obbc_slow_paths";
+      obs_instant t "obbc_slow_path";
       t.channel.Channel.bcast ~size:2 Ev_req;
       Fiber.spawn t.engine (fun () ->
           let rec loop delay =

@@ -36,11 +36,22 @@ val create :
   my_evidence:(unit -> string option) ->
   on_pgd:(src:int -> 'p -> unit) ->
   pgd_size:('p -> int) ->
+  ?obs:Fl_obs.Obs.t ->
+  ?obs_round:int ->
+  ?obs_worker:int ->
+  unit ->
   'p t
 (** Create the instance and start its service fiber. [my_evidence] is
     consulted when answering [Ev_req] (it may become available after
     the vote — serving the freshest evidence only helps liveness).
-    [on_pgd] fires once per sender on its piggybacked payload. *)
+    [on_pgd] fires once per sender on its piggybacked payload.
+
+    With [obs] installed the instance emits phase events on the
+    ["consensus"] category, attributed to [obs_round]/[obs_worker]
+    (default [-1]): an ["obbc_fast"] span (vote broadcast → fast
+    decision), an ["obbc_slow_path"] instant when the vote quorum is
+    mixed, a ["fallback_enter"] instant and an ["obbc_fallback"] span
+    covering the underlying {!Bbc} run. *)
 
 val propose :
   'p t -> ?abort:unit Ivar.t -> vote:bool -> pgd:'p option -> unit -> bool

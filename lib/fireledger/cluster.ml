@@ -16,7 +16,7 @@ type t = {
 let create ?(seed = 42) ?(latency = Latency.single_dc)
     ?(cost = Fl_crypto.Cost_model.default) ?(cores = 4)
     ?(bandwidth_bps = Nic.ten_gbps) ?bandwidth_of
-    ?(behavior = fun _ -> Instance.Honest) ?valid ?trace
+    ?(behavior = fun _ -> Instance.Honest) ?valid ?trace ?obs
     ?(config_of = fun _ c -> c) ?(output = fun _ -> Instance.null_output)
     ~config () =
   Config.validate config;
@@ -35,6 +35,12 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
   let nics = Array.init n (fun i -> Nic.create ~bandwidth_bps:(node_bw i)) in
   let cpus = Array.init n (fun _ -> Cpu.create engine ~cores) in
   let net = Net.create engine (Rng.named_split rng "net") ~nics ~latency in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      Net.set_obs ~worker:0 net (Some sink);
+      Fl_obs.Obs.attach_engine sink engine ();
+      Array.iteri (fun i cpu -> Fl_obs.Obs.attach_cpu sink ~node:i cpu) cpus);
   let crashed = Hashtbl.create 4 in
   let instances =
     Array.init n (fun i ->
@@ -52,7 +58,9 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
             f = config.Config.f;
             seed;
             label = "w0";
-            trace }
+            trace;
+            obs;
+            worker = 0 }
         in
         let config =
           let c = config_of i config in

@@ -31,6 +31,7 @@ val create :
   ?behavior:(int -> Instance.behavior) ->
   ?valid:(Fl_chain.Block.t -> bool) ->
   ?trace:Trace.t ->
+  ?obs:Fl_obs.Obs.t ->
   ?config_of:(int -> Config.t -> Config.t) ->
   ?output:(int -> Instance.output) ->
   config:Config.t ->
@@ -40,7 +41,9 @@ val create :
     id to its behaviour/event sink. [bandwidth_of] gives one node a
     slower (or faster) NIC than [bandwidth_bps]; [config_of] applies a
     per-node config tweak (e.g. clock-skewed timer parameters for the
-    schedule explorer) — it must preserve [n] and [f]. *)
+    schedule explorer) — it must preserve [n] and [f]. [obs] installs
+    a span sink across every layer (engine, CPUs, net, consensus,
+    instances) — observe-only, so trace fingerprints are unchanged. *)
 
 val start : t -> unit
 (** Start every instance's fibers. *)

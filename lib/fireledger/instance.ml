@@ -83,6 +83,14 @@ let trace t ~category fmt =
         (Printf.sprintf "%s/n%d %s" t.env.Env.label (me t) detail))
     fmt
 
+let obs_span t ~name ?round ?args ~t_begin ~t_end () =
+  Fl_obs.Obs.span t.env.Env.obs ~cat:"fireledger" ~name ~node:(me t)
+    ~worker:t.env.Env.worker ?round ?args ~t_begin ~t_end ()
+
+let obs_instant t ~name ?round ?args () =
+  Fl_obs.Obs.instant t.env.Env.obs ~cat:"fireledger" ~name ~node:(me t)
+    ~worker:t.env.Env.worker ?round ?args ~at:(now t) ()
+
 let charge_hash t ~bytes =
   Cpu.charge t.env.Env.cpu
     (Fl_crypto.Cost_model.hash_cost t.env.Env.cost ~bytes)
@@ -413,7 +421,8 @@ let obbc_for t ~r ~attempt ~k =
                 Some (Types.encode_signed_header p.Types.sh)
             | _ -> None)
           ~on_pgd:(fun ~src p -> note_proposal t ~src p)
-          ~pgd_size:Types.proposal_size
+          ~pgd_size:Types.proposal_size ?obs:t.env.Env.obs ~obs_round:r
+          ~obs_worker:t.env.Env.worker ()
       in
       Hashtbl.replace t.open_obbcs key o;
       o
@@ -505,15 +514,31 @@ let wrb_deliver t ~k =
   let decision = Obbc.propose obbc ?abort ~vote ~pgd () in
   if not decision then begin
     Timer.on_timeout t.timer;
+    obs_span t ~name:"wrb_nil" ~round:r
+      ~args:[ ("proposer", string_of_int k) ]
+      ~t_begin:start ~t_end:(now t) ();
     None
   end
   else begin
+    let recovered = ready = None in
     let p, txs, arr =
       match ready with
       | Some x -> x
       | None -> recover_delivery t ~k ~r ~obbc ~abort
     in
     Timer.on_success t.timer ~delay:(max 0 (ready_at - start));
+    if Fl_obs.Obs.enabled t.env.Env.obs then begin
+      obs_span t ~name:"wrb_deliver" ~round:r
+        ~args:
+          [ ("proposer", string_of_int k);
+            ("vote", string_of_bool vote);
+            ("recovered", string_of_bool recovered) ]
+        ~t_begin:start ~t_end:(now t) ();
+      if recovered then
+        obs_span t ~name:"recover_delivery" ~round:r
+          ~args:[ ("proposer", string_of_int k) ]
+          ~t_begin:ready_at ~t_end:(now t) ()
+    end;
     Some (p, txs, arr)
   end
 
@@ -538,6 +563,9 @@ let mark_definite t =
         let d = now t in
         let times = { a = pt.pt_a; b = pt.pt_b; c = pt.pt_c; d } in
         Fl_metrics.Recorder.observe (recorder t) "ev_cd" (d - pt.pt_c);
+        obs_span t ~name:"finality_delay" ~round:r
+          ~args:[ ("proposer", string_of_int b.Block.header.Header.proposer) ]
+          ~t_begin:pt.pt_c ~t_end:d ();
         Fl_metrics.Recorder.mark (recorder t) "blocks_definite" ~now:d 1;
         Fl_metrics.Recorder.mark (recorder t) "txs_definite" ~now:d
           b.Block.header.Header.tx_count;
@@ -592,6 +620,9 @@ let accept_block t (p : Types.proposal) txs ~header_at =
   Fl_metrics.Recorder.observe (recorder t) "ev_ab" (max 0 (header_at - a));
   Fl_metrics.Recorder.observe (recorder t) "ev_bc" (max 0 (c - header_at));
   Fl_metrics.Recorder.mark (recorder t) "blocks_tentative" ~now:c 1;
+  obs_span t ~name:"tentative" ~round:r
+    ~args:[ ("proposer", string_of_int h.Header.proposer) ]
+    ~t_begin:a ~t_end:c ();
   trace t ~category:"tentative" "r=%d by=%d %s" r h.Header.proposer
     (Fl_crypto.Hex.short (Block.hash block));
   t.output.on_tentative ~round:r block;
@@ -639,6 +670,7 @@ let own_version t r =
 
 let recovery t r =
   incr_c t "recoveries";
+  let recovery_start = now t in
   trace t ~category:"recovery" "start r=%d era=%d" r t.era;
   Fl_metrics.Recorder.mark (recorder t) "recoveries" ~now:(now t) 1;
   Detector.invalidate t.detector;
@@ -745,6 +777,12 @@ let recovery t r =
   t.proposer <- Rotation.eligible t.rotation ~round:t.round ~recent candidate;
   trace t ~category:"recovery" "done r=%d rescinded=%d new-round=%d" r
     !rescinded t.round;
+  obs_span t ~name:"recovery" ~round:r
+    ~args:
+      [ ("era", string_of_int (t.era - 1));
+        ("rescinded", string_of_int !rescinded);
+        ("new_round", string_of_int t.round) ]
+    ~t_begin:recovery_start ~t_end:(now t) ();
   mark_definite t
 
 let enqueue_proof t proof =
@@ -824,6 +862,9 @@ let equivocate_push t =
 
 let nil_path t ~k =
   incr_c t "wrb_nil";
+  obs_instant t ~name:"nil_round" ~round:t.round
+    ~args:[ ("proposer", string_of_int k) ]
+    ();
   trace t ~category:"nil" "r=%d proposer=%d" t.round k;
   Detector.record_timeout t.detector ~proposer:k;
   t.full_mode <- true;
@@ -848,6 +889,7 @@ let maybe_catch_up t =
   let target = max_stash_round t - (f_of t + 2) in
   if target >= t.round + f_of t + 4 then begin
     incr_c t "catch_ups";
+    let catch_up_start = now t and from_round = t.round in
     trace t ~category:"catchup" "from=%d target=%d" t.round target;
     let abort = Some t.abort in
     let pull_timeout = min (Timer.current t.timer) (Time.ms 200) in
@@ -899,6 +941,10 @@ let maybe_catch_up t =
       | None -> 0
     in
     t.proposer <- Rotation.eligible t.rotation ~round:t.round ~recent candidate;
+    obs_span t ~name:"catch_up" ~round:from_round
+      ~args:
+        [ ("target", string_of_int target); ("at", string_of_int t.round) ]
+      ~t_begin:catch_up_start ~t_end:(now t) ();
     trace t ~category:"catchup" "done at=%d" t.round
   end
 

@@ -18,8 +18,8 @@ type t = {
 let create ?(seed = 42) ?(latency = Latency.single_dc)
     ?(cost = Fl_crypto.Cost_model.default) ?(cores = 4)
     ?(bandwidth_bps = Nic.ten_gbps) ?(behavior = fun _ -> Instance.Honest)
-    ?valid ?trace ?(keep_log = false) ?(on_deliver = fun ~node:_ _ -> ())
-    ~config ~workers () =
+    ?valid ?trace ?obs ?(keep_log = false)
+    ?(on_deliver = fun ~node:_ _ -> ()) ~config ~workers () =
   Config.validate config;
   if workers <= 0 then invalid_arg "Flo.Cluster.create: workers";
   let n = config.Config.n in
@@ -35,15 +35,26 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
   let cpus = Array.init n (fun _ -> Cpu.create engine ~cores) in
   let nets =
     Array.init workers (fun w ->
-        Net.create engine
-          (Rng.named_split rng (Printf.sprintf "net-%d" w))
-          ~nics ~latency)
+        let net =
+          Net.create engine
+            (Rng.named_split rng (Printf.sprintf "net-%d" w))
+            ~nics ~latency
+        in
+        (match obs with
+        | Some sink -> Net.set_obs ~worker:w net (Some sink)
+        | None -> ());
+        net)
   in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      Fl_obs.Obs.attach_engine sink engine ();
+      Array.iteri (fun i cpu -> Fl_obs.Obs.attach_cpu sink ~node:i cpu) cpus);
   let nodes =
     Array.init n (fun i ->
         Node.create ~engine ~recorder ~node_id:i ~n_workers:workers ~keep_log
           ~on_deliver:(fun d -> on_deliver ~node:i d)
-          ())
+          ?obs ())
   in
   let workers_arr =
     Array.init n (fun i ->
@@ -64,7 +75,9 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
                 f = config.Config.f;
                 seed = seed + (1_000_003 * w);
                 label = Printf.sprintf "w%d" w;
-                trace }
+                trace;
+                obs;
+                worker = w }
             in
             Instance.create env ~config ~behavior:(behavior i) ?valid
               ~output:(Node.output_for nodes.(i) ~worker:w)

@@ -29,6 +29,7 @@ val create :
   ?behavior:(int -> Fl_fireledger.Instance.behavior) ->
   ?valid:(Fl_chain.Block.t -> bool) ->
   ?trace:Fl_sim.Trace.t ->
+  ?obs:Fl_obs.Obs.t ->
   ?keep_log:bool ->
   ?on_deliver:(node:int -> Node.delivery -> unit) ->
   config:Fl_fireledger.Config.t ->

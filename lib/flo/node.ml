@@ -29,10 +29,11 @@ type t = {
   mutable delivered_blocks : int;
   mutable delivered_txs : int;
   on_deliver : delivery -> unit;
+  obs : Fl_obs.Obs.t option;
 }
 
 let create ~engine ~recorder ~node_id ~n_workers ?(keep_log = false)
-    ?(on_deliver = fun _ -> ()) () =
+    ?(on_deliver = fun _ -> ()) ?obs () =
   if n_workers <= 0 then invalid_arg "Flo.Node.create: n_workers";
   { engine;
     recorder;
@@ -46,7 +47,8 @@ let create ~engine ~recorder ~node_id ~n_workers ?(keep_log = false)
     log_len = 0;
     delivered_blocks = 0;
     delivered_txs = 0;
-    on_deliver }
+    on_deliver;
+    obs }
 
 let log_push t tx =
   if t.log_len = Array.length !(t.log) then begin
@@ -78,6 +80,22 @@ let rec drain t =
         (max 0 (now - p.p_times.Fl_fireledger.Instance.d));
       Fl_metrics.Recorder.observe t.recorder "latency_e2e"
         (max 0 (now - p.p_times.Fl_fireledger.Instance.a));
+      let times = p.p_times in
+      Fl_obs.Decomp.record t.recorder
+        (Fl_obs.Decomp.of_times ~a:times.Fl_fireledger.Instance.a
+           ~b:times.Fl_fireledger.Instance.b ~c:times.Fl_fireledger.Instance.c
+           ~d:times.Fl_fireledger.Instance.d ~e:now);
+      if Fl_obs.Obs.enabled t.obs then begin
+        Fl_obs.Obs.span t.obs ~cat:"flo" ~name:"merge_wait" ~node:t.node_id
+          ~worker ~round:p.p_round
+          ~t_begin:times.Fl_fireledger.Instance.d ~t_end:now ();
+        Fl_obs.Obs.instant t.obs ~cat:"flo" ~name:"deliver" ~node:t.node_id
+          ~worker ~round:p.p_round
+          ~args:
+            [ ("txs",
+               string_of_int p.p_block.Fl_chain.Block.header.Fl_chain.Header.tx_count) ]
+          ~at:now ()
+      end;
       t.on_deliver
         { worker;
           round = p.p_round;

@@ -33,10 +33,15 @@ val create :
   n_workers:int ->
   ?keep_log:bool ->
   ?on_deliver:(delivery -> unit) ->
+  ?obs:Fl_obs.Obs.t ->
   unit ->
   t
 (** [keep_log] (default false) retains every delivered transaction for
-    the {!read} path — examples only; benchmarks keep it off. *)
+    the {!read} path — examples only; benchmarks keep it off. [obs]
+    adds a ["flo"] category ["merge_wait"] span (D → E) and a
+    ["deliver"] instant per delivered block. Independent of [obs],
+    every delivery records the {!Fl_obs.Decomp} phase histograms
+    ([phase_*]) into [recorder] — they telescope to [latency_e2e]. *)
 
 val output_for : t -> worker:int -> Fl_fireledger.Instance.output
 (** The output sink to pass to worker [worker]'s [Instance.create]. *)

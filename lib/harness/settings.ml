@@ -44,6 +44,7 @@ type flo_setting = {
   duration : Time.t;
   faults : faults;
   config_tweaks : Fl_fireledger.Config.t -> Fl_fireledger.Config.t;
+  obs : Fl_obs.Obs.t option;
 }
 
 let flo ~n ~workers ~batch ~tx_size =
@@ -58,7 +59,8 @@ let flo ~n ~workers ~batch ~tx_size =
     warmup = Time.s 1;
     duration = Time.s 4;
     faults = no_faults;
-    config_tweaks = Fun.id }
+    config_tweaks = Fun.id;
+    obs = None }
 
 type result = {
   tps : float;
@@ -80,6 +82,12 @@ type result = {
   messages : int;
   recorder : Fl_metrics.Recorder.t;
 }
+
+let default_obs : Fl_obs.Obs.t option ref = ref None
+let set_default_obs o = default_obs := o
+
+let effective_obs s =
+  match s.obs with Some _ as o -> o | None -> !default_obs
 
 let latency_of ~net ~n =
   match net with
@@ -170,7 +178,7 @@ let build_flo s =
       ~latency:(latency_of ~net:s.net ~n:s.n)
       ~cost:s.machine.cost ~cores:s.machine.cores
       ~bandwidth_bps:s.machine.bandwidth_bps ~behavior ~config
-      ~workers:s.workers ()
+      ?obs:(effective_obs s) ~workers:s.workers ()
   in
   Fl_metrics.Recorder.set_window cluster.Fl_flo.Cluster.recorder
     ~start:s.warmup ~stop:(s.warmup + s.duration);
@@ -209,9 +217,25 @@ let build_flo s =
 let run_cluster s cluster =
   Fl_flo.Cluster.start cluster;
   Fl_flo.Cluster.run ~until:(s.warmup + s.duration) cluster;
-  distil ~n:s.n ~recorder:cluster.Fl_flo.Cluster.recorder
-    ~cpus:cluster.Fl_flo.Cluster.cpus ~nets:cluster.Fl_flo.Cluster.nets
-    ~engine:cluster.Fl_flo.Cluster.engine
+  let r =
+    distil ~n:s.n ~recorder:cluster.Fl_flo.Cluster.recorder
+      ~cpus:cluster.Fl_flo.Cluster.cpus ~nets:cluster.Fl_flo.Cluster.nets
+      ~engine:cluster.Fl_flo.Cluster.engine
+  in
+  (* Per-run rollup on the cluster-wide track: the measurement window
+     with its headline numbers, so an exported trace is
+     self-describing. *)
+  Fl_obs.Obs.span (effective_obs s) ~cat:"harness" ~name:"measurement_window"
+    ~args:
+      [ ("n", string_of_int s.n);
+        ("workers", string_of_int s.workers);
+        ("batch", string_of_int s.batch);
+        ("tx_size", string_of_int s.tx_size);
+        ("seed", string_of_int s.seed);
+        ("tps", Printf.sprintf "%.0f" r.tps);
+        ("lat_p50_ms", Printf.sprintf "%.2f" r.lat_p50_ms) ]
+    ~t_begin:s.warmup ~t_end:(s.warmup + s.duration) ();
+  r
 
 let run_flo s = run_cluster s (build_flo s)
 

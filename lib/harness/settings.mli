@@ -52,6 +52,10 @@ type flo_setting = {
   faults : faults;
   config_tweaks : Fl_fireledger.Config.t -> Fl_fireledger.Config.t;
       (** applied last — ablation switches *)
+  obs : Fl_obs.Obs.t option;
+      (** span sink threaded through every layer of the cluster
+          ([None] = off); the run also emits a ["harness"]
+          ["measurement_window"] rollup span into it *)
 }
 
 val flo : n:int -> workers:int -> batch:int -> tx_size:int -> flo_setting
@@ -78,6 +82,11 @@ type result = {
   messages : int;
   recorder : Fl_metrics.Recorder.t;
 }
+
+val set_default_obs : Fl_obs.Obs.t option -> unit
+(** Process-wide fallback sink, used by [run_flo] whenever a setting's
+    own [obs] is [None] — how [fl_trace] captures experiment drivers
+    that build their settings internally. Pass [None] to clear. *)
 
 val run_flo : flo_setting -> result
 

@@ -19,11 +19,51 @@ let record t v =
 
 let count t = t.len
 
+(* In-place sort of [a.(lo) .. a.(hi-1)] with monomorphic int
+   comparisons: insertion sort for short runs, median-of-three
+   quicksort above. Sorting happens at query time on the hot
+   full-grid experiment paths, where the generic [Array.sort compare]
+   (polymorphic compare plus an [Array.sub] copy) dominated. *)
+let rec sort_range a lo hi =
+  let len = hi - lo in
+  if len <= 16 then
+    for i = lo + 1 to hi - 1 do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  else begin
+    let pivot =
+      let x = a.(lo) and y = a.(lo + (len / 2)) and z = a.(hi - 1) in
+      max (min x y) (min (max x y) z)
+    in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        let tmp = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range a lo (!j + 1);
+    sort_range a !i hi
+  end
+
 let ensure_sorted t =
   if not t.sorted then begin
-    let view = Array.sub t.data 0 t.len in
-    Array.sort compare view;
-    Array.blit view 0 t.data 0 t.len;
+    sort_range t.data 0 t.len;
     t.sorted <- true
   end
 
@@ -51,13 +91,19 @@ let max_value t =
     t.data.(t.len - 1)
   end
 
+(* Nearest-rank quantile: the smallest 1-based rank r with
+   r/len >= q, i.e. r = ceil(q * len) (clamped to [1, len]). The
+   previous [int_of_float (q *. (len-1))] truncated towards zero and
+   so biased every reported quantile low — e.g. p95 of 1..10 came
+   out as 9 instead of 10. *)
 let quantile t q =
   if t.len = 0 then 0
   else begin
     ensure_sorted t;
     let q = Float.max 0.0 (Float.min 1.0 q) in
-    let idx = int_of_float (q *. float_of_int (t.len - 1)) in
-    t.data.(idx)
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.len)) in
+    let rank = max 1 (min t.len rank) in
+    t.data.(rank - 1)
   end
 
 let cdf t ~points =

@@ -15,7 +15,11 @@ val min_value : t -> int
 val max_value : t -> int
 
 val quantile : t -> float -> int
-(** [quantile t q] with q in [0,1]; 0 on an empty histogram. *)
+(** [quantile t q] with q in [0,1]; 0 on an empty histogram.
+    Nearest-rank definition: the value at the smallest 1-based rank r
+    with r/count >= q, i.e. r = ceil(q * count) — so
+    [quantile t 0.0] is the minimum and [quantile t 1.0] the
+    maximum, with no interpolation (exact recorded samples only). *)
 
 val cdf : t -> points:int -> (int * float) list
 (** [(value, fraction <= value)] at [points] evenly spaced fractions —

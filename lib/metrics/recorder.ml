@@ -69,3 +69,15 @@ let rate_per_s t name =
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.histos []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let marks t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.marks []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let window t =
+  if t.window_stop > t.window_start then Some (t.window_start, t.window_stop)
+  else None

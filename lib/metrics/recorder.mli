@@ -40,3 +40,14 @@ val windowed_count : t -> string -> int
 
 val counters : t -> (string * int) list
 (** All counters, sorted by name — for debugging dumps. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** All histograms, sorted by name — the Prometheus exporter walks
+    this to render quantile summaries. *)
+
+val marks : t -> (string * int) list
+(** All windowed series with their in-window counts, sorted by
+    name. *)
+
+val window : t -> (Time.t * Time.t) option
+(** The measurement window, if one was declared. *)

@@ -14,6 +14,8 @@ type 'm t = {
   loss : (int, float) Hashtbl.t;  (* per-node outbound drop probability *)
   mutable delivered : int;
   mutable dropped : int;
+  mutable obs : Fl_obs.Obs.t option;
+  mutable obs_worker : int;
 }
 
 let create engine rng ~nics ~latency =
@@ -29,7 +31,13 @@ let create engine rng ~nics ~latency =
     groups = None;
     loss = Hashtbl.create 4;
     delivered = 0;
-    dropped = 0 }
+    dropped = 0;
+    obs = None;
+    obs_worker = -1 }
+
+let set_obs ?(worker = -1) t obs =
+  t.obs <- obs;
+  t.obs_worker <- worker
 
 let n t = Array.length t.nics
 let inbox t i = t.inboxes.(i)
@@ -45,9 +53,15 @@ let set_partition t groups =
           ids.(i) <- g)
         members)
     groups;
-  t.groups <- Some ids
+  t.groups <- Some ids;
+  Fl_obs.Obs.instant t.obs ~cat:"net" ~name:"partition"
+    ~args:[ ("groups", string_of_int (List.length groups)) ]
+    ~at:(Engine.now t.engine) ()
 
-let heal t = t.groups <- None
+let heal t =
+  t.groups <- None;
+  Fl_obs.Obs.instant t.obs ~cat:"net" ~name:"heal" ~at:(Engine.now t.engine)
+    ()
 let partitioned t = t.groups <> None
 
 let set_loss t ~node prob =
@@ -79,15 +93,36 @@ let deliver t ~src ~dst ~at msg =
          Mailbox.send t.inboxes.(dst) (src, msg)))
 
 let send t ~src ~dst ~size msg =
-  if not (deliverable t ~src ~dst) then t.dropped <- t.dropped + 1
+  if not (deliverable t ~src ~dst) then begin
+    t.dropped <- t.dropped + 1;
+    Fl_obs.Obs.instant t.obs ~cat:"net" ~name:"drop" ~node:src
+      ~worker:t.obs_worker
+      ~args:[ ("dst", string_of_int dst); ("bytes", string_of_int size) ]
+      ~at:(Engine.now t.engine) ()
+  end
   else begin
     let now = Engine.now t.engine in
     let propagation = Latency.sample t.latency t.rng ~src ~dst in
     if src = dst then deliver t ~src ~dst ~at:(now + propagation) msg
     else begin
+      if Fl_obs.Obs.enabled t.obs then
+        Fl_obs.Obs.gauge t.obs ~cat:"net" ~name:"nic_tx_backlog" ~node:src
+          ~at:now
+          (float_of_int (Nic.tx_backlog t.nics.(src) ~now));
       let tx_done = Nic.tx_finish t.nics.(src) ~now ~bytes:size in
       let arrival = tx_done + propagation in
       let rx_done = Nic.rx_finish t.nics.(dst) ~arrival ~bytes:size in
+      if Fl_obs.Obs.enabled t.obs then begin
+        let ser = Nic.serialization t.nics.(src) size in
+        Fl_obs.Obs.span t.obs ~cat:"net" ~name:"nic_tx" ~node:src
+          ~worker:t.obs_worker
+          ~args:[ ("dst", string_of_int dst); ("bytes", string_of_int size) ]
+          ~t_begin:(tx_done - ser) ~t_end:tx_done ();
+        Fl_obs.Obs.span t.obs ~cat:"net" ~name:"link" ~node:src
+          ~worker:t.obs_worker
+          ~args:[ ("dst", string_of_int dst); ("bytes", string_of_int size) ]
+          ~t_begin:tx_done ~t_end:rx_done ()
+      end;
       deliver t ~src ~dst ~at:rx_done msg
     end
   end

@@ -71,3 +71,13 @@ val set_loss : 'm t -> node:int -> float -> unit
 
 val messages_delivered : 'm t -> int
 val messages_dropped : 'm t -> int
+
+val set_obs : ?worker:int -> 'm t -> Fl_obs.Obs.t option -> unit
+(** Install (or remove, with [None]) an observability sink. With a
+    sink, every wire transmission emits a ["nic_tx"] serialisation
+    span and a ["link"] tx→rx span on the sender's track, plus a
+    ["nic_tx_backlog"] gauge sampled just before enqueueing; drops
+    emit ["drop"] instants and [set_partition]/[heal] emit cluster
+    instants. [worker] (default [-1]) tags the emitting FLO worker
+    when several [Net.t] share the node's NICs. Observe-only: the
+    delivery schedule is unchanged (see {!Fl_obs.Obs}). *)

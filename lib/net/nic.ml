@@ -23,6 +23,8 @@ let create ~bandwidth_bps =
 let serialization t bytes =
   max 1 (int_of_float (t.ns_per_byte *. float_of_int bytes))
 
+let tx_backlog t ~now = max 0 (t.tx_free - now)
+
 let tx_finish t ~now ~bytes =
   let start = max now t.tx_free in
   let finish = start + serialization t bytes in

@@ -21,6 +21,14 @@ val ten_gbps : float
 (** 10 Gb/s in bits per second — the paper's m5.xlarge link ("up to
     10 Gbps"). *)
 
+val serialization : t -> int -> Time.t
+(** Wire time for a frame of the given byte size (at least 1 ns). *)
+
+val tx_backlog : t -> now:Time.t -> Time.t
+(** How far the transmit cursor is ahead of [now] — the queueing delay
+    the next outgoing frame would see before its first byte leaves.
+    [0] when the NIC is idle. *)
+
 val tx_finish : t -> now:Time.t -> bytes:int -> Time.t
 (** Enqueue an outgoing frame; returns when its last byte leaves. *)
 

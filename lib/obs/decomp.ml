@@ -1,0 +1,26 @@
+type components = {
+  dissemination : Fl_sim.Time.t;
+  quorum_wait : Fl_sim.Time.t;
+  finality_delay : Fl_sim.Time.t;
+  merge_wait : Fl_sim.Time.t;
+}
+
+let of_times ~a ~b ~c ~d ~e =
+  { dissemination = b - a;
+    quorum_wait = c - b;
+    finality_delay = d - c;
+    merge_wait = e - d }
+
+let total c = c.dissemination + c.quorum_wait + c.finality_delay + c.merge_wait
+
+let names =
+  [ "phase_dissemination";
+    "phase_quorum_wait";
+    "phase_finality_delay";
+    "phase_merge_wait" ]
+
+let record recorder c =
+  Fl_metrics.Recorder.observe recorder "phase_dissemination" c.dissemination;
+  Fl_metrics.Recorder.observe recorder "phase_quorum_wait" c.quorum_wait;
+  Fl_metrics.Recorder.observe recorder "phase_finality_delay" c.finality_delay;
+  Fl_metrics.Recorder.observe recorder "phase_merge_wait" c.merge_wait

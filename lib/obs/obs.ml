@@ -1,0 +1,96 @@
+open Fl_sim
+
+type kind =
+  | Span of { t_begin : Time.t; t_end : Time.t }
+  | Instant of { at : Time.t }
+  | Gauge of { at : Time.t; value : float }
+
+type event = {
+  seq : int;
+  cat : string;
+  name : string;
+  node : int;
+  worker : int;
+  round : int;
+  kind : kind;
+  args : (string * string) list;
+}
+
+type t = {
+  capacity : int;
+  buffer : event Queue.t;
+  mutable total : int;
+  last_gauges : (string * int, float) Hashtbl.t;
+}
+
+let create ?(capacity = 1_000_000) () =
+  if capacity <= 0 then invalid_arg "Obs.create: capacity";
+  { capacity;
+    buffer = Queue.create ();
+    total = 0;
+    last_gauges = Hashtbl.create 32 }
+
+let enabled = function Some _ -> true | None -> false
+
+let push t ~cat ~name ~node ~worker ~round ~kind ~args =
+  let ev = { seq = t.total; cat; name; node; worker; round; kind; args } in
+  Queue.push ev t.buffer;
+  t.total <- t.total + 1;
+  if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+
+let span t ~cat ~name ?(node = -1) ?(worker = -1) ?(round = -1) ?(args = [])
+    ~t_begin ~t_end () =
+  match t with
+  | None -> ()
+  | Some t ->
+      push t ~cat ~name ~node ~worker ~round ~kind:(Span { t_begin; t_end })
+        ~args
+
+let instant t ~cat ~name ?(node = -1) ?(worker = -1) ?(round = -1)
+    ?(args = []) ~at () =
+  match t with
+  | None -> ()
+  | Some t ->
+      push t ~cat ~name ~node ~worker ~round ~kind:(Instant { at }) ~args
+
+let gauge t ~cat ~name ?(node = -1) ~at value =
+  match t with
+  | None -> ()
+  | Some t ->
+      Hashtbl.replace t.last_gauges (name, node) value;
+      push t ~cat ~name ~node ~worker:(-1) ~round:(-1)
+        ~kind:(Gauge { at; value }) ~args:[]
+
+let events t = List.of_seq (Queue.to_seq t.buffer)
+let count t = t.total
+let dropped t = t.total - Queue.length t.buffer
+
+let gauges t =
+  Hashtbl.fold (fun (name, node) v acc -> (name, node, v) :: acc)
+    t.last_gauges []
+  |> List.sort compare
+
+let time_of ev =
+  match ev.kind with
+  | Span { t_begin; _ } -> t_begin
+  | Instant { at } -> at
+  | Gauge { at; _ } -> at
+
+let attach_engine t engine ?(every = 4096) () =
+  if every <= 0 then invalid_arg "Obs.attach_engine: every";
+  Engine.set_probe engine
+    (Some
+       (fun ~now ~processed ~pending ->
+         if processed mod every = 0 then begin
+           gauge (Some t) ~cat:"sim" ~name:"engine_pending" ~at:now
+             (float_of_int pending);
+           gauge (Some t) ~cat:"sim" ~name:"engine_events" ~at:now
+             (float_of_int processed)
+         end))
+
+let attach_cpu t ~node cpu =
+  Cpu.set_probe cpu
+    (Some
+       (fun ~start ~dur ->
+         span (Some t) ~cat:"sim" ~name:"cpu_busy" ~node ~t_begin:start
+           ~t_end:(start + dur) ()))

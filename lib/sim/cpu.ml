@@ -4,11 +4,19 @@ type t = {
   mutable busy : int;
   waiters : (unit -> unit) Queue.t;
   mutable busy_ns : int;
+  mutable probe : (start:Time.t -> dur:Time.t -> unit) option;
 }
 
 let create engine ~cores =
   if cores <= 0 then invalid_arg "Cpu.create: cores must be positive";
-  { engine; cores; busy = 0; waiters = Queue.create (); busy_ns = 0 }
+  { engine;
+    cores;
+    busy = 0;
+    waiters = Queue.create ();
+    busy_ns = 0;
+    probe = None }
+
+let set_probe t probe = t.probe <- probe
 
 let cores t = t.cores
 
@@ -26,9 +34,11 @@ let release t =
 let charge t ns =
   if ns > 0 then begin
     acquire t;
+    let start = Engine.now t.engine in
     Fiber.sleep t.engine ns;
     t.busy_ns <- t.busy_ns + ns;
-    release t
+    release t;
+    match t.probe with None -> () | Some p -> p ~start ~dur:ns
   end
 
 let busy_time t = t.busy_ns

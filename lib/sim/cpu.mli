@@ -21,3 +21,9 @@ val busy_time : t -> Time.t
 
 val utilization : t -> now:Time.t -> float
 (** [busy_time / (cores * now)], in [0,1]. *)
+
+val set_probe : t -> (start:Time.t -> dur:Time.t -> unit) option -> unit
+(** Observability hook, invoked after each completed [charge] with the
+    interval a core was held ([start] is the instant the core was
+    acquired, [dur] the charged nanoseconds). Observe-only; must not
+    perturb the schedule. [None] (the default) is free. *)

@@ -13,6 +13,7 @@ type t = {
   mutable next_seq : int;
   mutable stopped : bool;
   mutable processed : int;
+  mutable probe : (now:Time.t -> processed:int -> pending:int -> unit) option;
 }
 
 let cmp_event a b =
@@ -24,7 +25,10 @@ let create () =
     queue = Heap.create ~cmp:cmp_event;
     next_seq = 0;
     stopped = false;
-    processed = 0 }
+    processed = 0;
+    probe = None }
+
+let set_probe t probe = t.probe <- probe
 
 let now t = t.now
 
@@ -67,7 +71,12 @@ let run ?until ?max_events t =
                 t.now <- ev.time;
                 t.processed <- t.processed + 1;
                 decr budget;
-                ev.action ()
+                ev.action ();
+                match t.probe with
+                | None -> ()
+                | Some p ->
+                    p ~now:t.now ~processed:t.processed
+                      ~pending:(Heap.length t.queue)
               end
             end)
   done;

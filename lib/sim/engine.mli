@@ -40,3 +40,12 @@ val pending : t -> int
 
 val processed : t -> int
 (** Events executed so far — for tests and sanity reporting. *)
+
+val set_probe :
+  t -> (now:Time.t -> processed:int -> pending:int -> unit) option -> unit
+(** Observability hook, invoked synchronously after every executed
+    (non-cancelled) event with the clock, the cumulative event count
+    and the queue depth. The probe must only observe — it must not
+    schedule, cancel or stop, or determinism is forfeit. [None]
+    (the default) is free. This is how the {!Fl_obs} layer samples
+    fiber-wakeup activity without the engine depending on it. *)

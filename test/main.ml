@@ -20,4 +20,5 @@ let () =
       ("edges", Test_edges.suite);
       ("adversarial", Test_adversarial.suite);
       ("app", Test_app.suite);
-      ("resilience", Test_resilience.suite) ]
+      ("resilience", Test_resilience.suite);
+      ("obs", Test_obs.suite) ]

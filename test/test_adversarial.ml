@@ -81,7 +81,7 @@ let test_obbc_forged_evidence () =
               ~validate_evidence:(String.equal "REAL")
               ~my_evidence:(fun () -> None)
               ~on_pgd:(fun ~src:_ _ -> ())
-              ~pgd_size:String.length
+              ~pgd_size:String.length ()
           in
           let d = Obbc.propose inst ~vote:false ~pgd:None () in
           results.(idx) <- Some d))
@@ -117,7 +117,7 @@ let test_obbc_byzantine_cannot_fake_fast_path () =
               ~validate_evidence:(String.equal "REAL")
               ~my_evidence:(fun () -> if i = 0 then Some "REAL" else None)
               ~on_pgd:(fun ~src:_ _ -> ())
-              ~pgd_size:String.length
+              ~pgd_size:String.length ()
           in
           let d = Obbc.propose inst ~vote:(i = 0) ~pgd:None () in
           results.(idx) <- Some d))

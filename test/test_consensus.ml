@@ -90,7 +90,7 @@ let run_obbc ?(seed = 5) ~n votes =
             ~my_evidence:(fun () ->
               if votes.(i) then Some evidence_blob else None)
             ~on_pgd:(fun ~src p -> pgds.(i) <- (src, p) :: pgds.(i))
-            ~pgd_size:String.length
+            ~pgd_size:String.length ()
         in
         let pgd = if i = 0 then Some "piggy" else None in
         let d = Obbc.propose inst ~vote:votes.(i) ~pgd () in

@@ -83,8 +83,70 @@ let test_recorder_no_window_is_inert () =
     (Recorder.windowed_count r "x");
   Alcotest.(check (float 0.001)) "rate 0" 0.0 (Recorder.rate_per_s r "x")
 
+(* Nearest-rank edges: the old truncating formula reported p95 of
+   1..10 as 9; the nearest-rank definition (r = ceil(q*len)) gives
+   10. Also: empty -> 0, single sample answers every q, ties, and
+   out-of-range q values clamp. *)
+let test_histogram_quantile_edges () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty" 0 (Histogram.quantile h 0.5);
+  Histogram.record h 42;
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "single sample q=%.2f" q)
+        42 (Histogram.quantile h q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  let h = Histogram.create () in
+  for i = 1 to 10 do
+    Histogram.record h i
+  done;
+  Alcotest.(check int) "p95 of 1..10 is 10 (nearest rank)" 10
+    (Histogram.quantile h 0.95);
+  Alcotest.(check int) "p90 of 1..10 is 9" 9 (Histogram.quantile h 0.90);
+  Alcotest.(check int) "p10 of 1..10 is 1" 1 (Histogram.quantile h 0.10);
+  Alcotest.(check int) "q clamped below" 1 (Histogram.quantile h (-0.5));
+  Alcotest.(check int) "q clamped above" 10 (Histogram.quantile h 2.0);
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 5; 5; 5; 1 ];
+  Alcotest.(check int) "ties p50" 5 (Histogram.quantile h 0.5);
+  Alcotest.(check int) "ties p25" 1 (Histogram.quantile h 0.25)
+
+let prop_quantile_matches_spec =
+  QCheck.Test.make ~name:"histogram: quantile = nearest-rank spec"
+    ~count:200
+    QCheck.(
+      pair (list_of_size Gen.(1 -- 50) (int_range (-1000) 1000)) (float_range 0.0 1.0))
+    (fun (xs, q) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let sorted = List.sort compare xs in
+      let len = List.length xs in
+      let rank =
+        max 1 (min len (int_of_float (Float.ceil (q *. float_of_int len))))
+      in
+      Histogram.quantile h q = List.nth sorted (rank - 1))
+
+(* Window edges: start is inclusive, stop exclusive. *)
+let test_recorder_window_edges () =
+  let r = Recorder.create () in
+  Recorder.set_window r ~start:1000 ~stop:2000;
+  Recorder.mark r "x" ~now:1000 1;  (* exactly at start: counted *)
+  Recorder.mark r "x" ~now:1999 2;  (* last instant inside *)
+  Recorder.mark r "x" ~now:2000 4;  (* exactly at stop: excluded *)
+  Alcotest.(check int) "start inclusive, stop exclusive" 3
+    (Recorder.windowed_count r "x");
+  Alcotest.check_raises "empty window rejected"
+    (Invalid_argument "Recorder.set_window: empty window") (fun () ->
+      Recorder.set_window r ~start:5 ~stop:5)
+
 let suite =
   [ Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram quantile edges" `Quick
+      test_histogram_quantile_edges;
+    QCheck_alcotest.to_alcotest prop_quantile_matches_spec;
+    Alcotest.test_case "recorder window edges" `Quick
+      test_recorder_window_edges;
     Alcotest.test_case "histogram interleaved" `Quick
       test_histogram_interleaved_reads;
     Alcotest.test_case "histogram trimmed mean" `Quick

@@ -57,10 +57,14 @@ let summarise (s : Explorer.summary) =
     s.Explorer.reports;
   print_string (Fl_harness.Table.render tbl)
 
-let run seeds base_seed budget_ms n replay plan_str inject_fork no_shrink
+let run seeds base_seed budget_ms n replay plan_str inject_fork disk no_shrink
     verbose =
   let n = if n = 0 then None else Some n in
   let inject_fork = if inject_fork then Some true else None in
+  let with_disk_faults = if disk then Some true else None in
+  let persist =
+    if disk then Some Fl_persist.Node.default_config else None
+  in
   let finish_failure (r : Explorer.report) =
     if Explorer.failed r then begin
       if not no_shrink then begin
@@ -83,18 +87,22 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork no_shrink
           Printf.eprintf "bad --plan: %s\n" e;
           2
       | Ok plan ->
-          let r = Explorer.run_plan ?inject_fork ~budget_ms plan in
+          let r = Explorer.run_plan ?inject_fork ?persist ~budget_ms plan in
           pp_report true r;
           finish_failure r)
   | None -> (
       match replay with
       | Some seed ->
-          let r = Explorer.run_seed ?inject_fork ?n ~budget_ms seed in
+          let r =
+            Explorer.run_seed ?inject_fork ?with_disk_faults ?persist ?n
+              ~budget_ms seed
+          in
           pp_report true r;
           finish_failure r
       | None ->
           let s =
-            Explorer.explore ?inject_fork ?n ~seeds ~base_seed ~budget_ms ()
+            Explorer.explore ?inject_fork ?with_disk_faults ?persist ?n ~seeds
+              ~base_seed ~budget_ms ()
           in
           if verbose || List.length s.Explorer.reports <= 40 then summarise s;
           Printf.printf
@@ -109,7 +117,10 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork no_shrink
               let seed = first.Explorer.plan.Plan.seed in
               Printf.printf "\nfirst failure: seed %d\n" seed;
               (* replay the exact seed to confirm determinism *)
-              let again = Explorer.run_seed ?inject_fork ?n ~budget_ms seed in
+              let again =
+                Explorer.run_seed ?inject_fork ?with_disk_faults ?persist ?n
+                  ~budget_ms seed
+              in
               Printf.printf "replay    %s\n"
                 (if
                    again.Explorer.total_violations
@@ -154,6 +165,15 @@ let cmd =
       & info [ "inject-fork" ]
           ~doc:"Plant a forked-chain bug in one node's output (oracle self-test).")
   in
+  let disk =
+    Arg.(
+      value & flag
+      & info [ "disk" ]
+          ~doc:
+            "Give every node a durability layer and draw disk faults too \
+             (torn WAL tails, disk loss, fsync stalls); recovery and \
+             application-state oracles apply.")
+  in
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip shrinking on failure.")
   in
@@ -165,6 +185,6 @@ let cmd =
           oracles, seed replay and shrinking.")
     Term.(
       const run $ seeds $ base_seed $ budget_ms $ n $ replay $ plan
-      $ inject_fork $ no_shrink $ verbose)
+      $ inject_fork $ disk $ no_shrink $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -149,3 +149,7 @@ let broadcast t ~tag payload =
 let stop t =
   if not t.stopped then
     t.channel.Channel.send ~dst:t.channel.Channel.self ~size:0 Stop
+
+(* Synchronous stop for teardown paths where the [stop] self-send
+   cannot be delivered any more (cold restart replaced the inbox). *)
+let halt t = t.stopped <- true

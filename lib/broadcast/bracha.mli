@@ -42,3 +42,7 @@ val broadcast : 'a t -> tag:int -> 'a -> unit
     by the same origin). *)
 
 val stop : 'a t -> unit
+
+val halt : 'a t -> unit
+(** Synchronous teardown (no self-send): for cold restarts where the
+    inbox was replaced and a [Stop] message would never arrive. *)

@@ -47,10 +47,49 @@ let forked_output n inner =
         in
         inner.Instance.on_definite ~round block ~times) }
 
-let run_plan ?(inject_fork = false) ?obs ~budget_ms (plan : Plan.t) =
+(* Per-node KV state machine driven from the definite stream: one
+   deterministic [Put] per definite block (key folded into a small
+   space so snapshots carry real overwrite history, value = block
+   hash). Convergence of the resulting state hashes across nodes —
+   including recovered ones — is the end-of-run application oracle. *)
+let kv_app kv =
+  { Fl_persist.Recovery.app_apply =
+      (fun block ->
+        let r = block.Fl_chain.Block.header.Fl_chain.Header.round in
+        ignore
+          (Fl_app.Kv.apply !kv
+             (Fl_app.Command.Put
+                { key = Printf.sprintf "r%d" (r mod 97);
+                  value = Fl_chain.Block.hash block })));
+    app_snapshot = (fun () -> Fl_app.Kv.snapshot !kv);
+    app_restore =
+      (fun s ->
+        match Fl_app.Kv.restore s with
+        | Ok kv' ->
+            kv := kv';
+            true
+        | Error _ -> false);
+    app_reset = (fun () -> kv := Fl_app.Kv.create ());
+    app_hash = (fun () -> Fl_app.Kv.state_hash !kv) }
+
+let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
   (match Plan.validate plan with
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Explorer.run_plan: %s" e));
+  (* disk faults need a durability layer under every node *)
+  let persist =
+    match persist with
+    | Some _ as p -> p
+    | None ->
+        if Plan.has_disk_faults plan then Some Fl_persist.Node.default_config
+        else None
+  in
+  let kvs =
+    Array.init plan.Plan.n (fun _ -> ref (Fl_app.Kv.create ()))
+  in
+  let persist_app i =
+    match persist with None -> None | Some _ -> Some (kv_app kvs.(i))
+  in
   let config = base_config ~n:plan.Plan.n ~f:plan.Plan.f in
   (* The oracle is built before the cluster (whose engine provides the
      clock), so give it an indirected [now]; nothing fires before the
@@ -67,11 +106,17 @@ let run_plan ?(inject_fork = false) ?obs ~budget_ms (plan : Plan.t) =
       ~output:(fun i ->
         let out = Oracle.output_for oracle i in
         if inject_fork && i = 0 then forked_output plan.Plan.n out else out)
-      ~config ()
+      ?persist ~persist_app ~config ()
   in
   clock := (fun () -> Engine.now cluster.Cluster.engine);
   Oracle.attach_stores oracle
     (Array.map Instance.store cluster.Cluster.instances);
+  Cluster.set_on_restart cluster (fun i ->
+      (* the rebuilt instance has a fresh store and will re-emit its
+         recovered definite prefix *)
+      Oracle.note_restart oracle i;
+      Oracle.attach_stores oracle
+        (Array.map Instance.store cluster.Cluster.instances));
   Plan.apply plan ~engine:cluster.Cluster.engine ~cluster;
   Cluster.start cluster;
   let until = Time.ms budget_ms in
@@ -82,6 +127,30 @@ let run_plan ?(inject_fork = false) ?obs ~budget_ms (plan : Plan.t) =
   Oracle.finish oracle ~cluster ~faulty
     ~expect_progress:(Plan.expect_liveness plan && not truncated)
     ~min_rounds:(min_rounds_for ~budget_ms);
+  (* Application oracle: each surviving node's live KV state must
+     equal a from-scratch fold over its own definite prefix — a
+     recovery that double-applied, skipped or mis-restored blocks
+     shows up here even when the chains agree. *)
+  (match persist with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun i ->
+          if not (Hashtbl.mem cluster.Cluster.crashed i) then begin
+            let inst = cluster.Cluster.instances.(i) in
+            let fresh = ref (Fl_app.Kv.create ()) in
+            let app = kv_app fresh in
+            let store = Instance.store inst in
+            for r = 0 to Instance.definite_upto inst do
+              match Fl_chain.Store.get store r with
+              | Some b -> app.Fl_persist.Recovery.app_apply b
+              | None -> ()
+            done;
+            Oracle.check_app_state oracle ~node:i
+              ~live:(Fl_app.Kv.state_hash !(kvs.(i)))
+              ~replayed:(app.Fl_persist.Recovery.app_hash ())
+          end)
+        (List.init plan.Plan.n Fun.id));
   let correct = List.filter (fun i -> not (List.mem i faulty))
       (List.init plan.Plan.n Fun.id)
   in
@@ -107,8 +176,9 @@ let run_plan ?(inject_fork = false) ?obs ~budget_ms (plan : Plan.t) =
     events = Engine.processed cluster.Cluster.engine;
     truncated }
 
-let run_seed ?inject_fork ?n ~budget_ms seed =
-  run_plan ?inject_fork ~budget_ms (Plan.generate ?n ~seed ~budget_ms ())
+let run_seed ?inject_fork ?with_disk_faults ?persist ?n ~budget_ms seed =
+  run_plan ?inject_fork ?persist ~budget_ms
+    (Plan.generate ?with_disk_faults ?n ~seed ~budget_ms ())
 
 type summary = {
   seeds : int;
@@ -118,9 +188,12 @@ type summary = {
   total_events : int;
 }
 
-let explore ?inject_fork ?n ~seeds ~base_seed ~budget_ms () =
+let explore ?inject_fork ?with_disk_faults ?persist ?n ~seeds ~base_seed
+    ~budget_ms () =
   let reports =
-    List.init seeds (fun k -> run_seed ?inject_fork ?n ~budget_ms (base_seed + k))
+    List.init seeds (fun k ->
+        run_seed ?inject_fork ?with_disk_faults ?persist ?n ~budget_ms
+          (base_seed + k))
   in
   { seeds;
     base_seed;
@@ -183,6 +256,16 @@ let weaken (fault : Plan.fault) : Plan.fault list =
       if Float.abs (factor -. 1.0) > 0.2 then
         [ Plan.Clock_skew { node; factor = towards_1 } ]
       else []
+  (* disk faults weaken to a plain crash-restart (same timing, intact
+     media) — if the failure persists, the media damage was a red
+     herring *)
+  | Plan.Torn_tail { node; at_ms; restart_ms }
+  | Plan.Disk_loss { node; at_ms; restart_ms } ->
+      [ Plan.Crash { node; at_ms; restart_ms = Some restart_ms } ]
+  | Plan.Fsync_stall { node; from_ms; to_ms } ->
+      if to_ms - from_ms > 100 then
+        [ Plan.Fsync_stall { node; from_ms; to_ms = from_ms + ((to_ms - from_ms) / 2) } ]
+      else []
 
 let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
 
@@ -201,7 +284,8 @@ let reduce_n (p : Plan.t) : Plan.t option =
           match fault with
           | Plan.Crash { node; _ } | Plan.Loss { node; _ }
           | Plan.Equivocate { node } | Plan.Slow_nic { node; _ }
-          | Plan.Clock_skew { node; _ } ->
+          | Plan.Clock_skew { node; _ } | Plan.Torn_tail { node; _ }
+          | Plan.Disk_loss { node; _ } | Plan.Fsync_stall { node; _ } ->
               if keep node then Some fault else None
           | Plan.Partition { groups; at_ms; heal_ms } ->
               let groups =

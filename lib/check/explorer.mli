@@ -22,7 +22,12 @@ type report = {
 val failed : report -> bool
 
 val run_plan :
-  ?inject_fork:bool -> ?obs:Fl_obs.Obs.t -> budget_ms:int -> Plan.t -> report
+  ?inject_fork:bool ->
+  ?obs:Fl_obs.Obs.t ->
+  ?persist:Fl_persist.Node.config ->
+  budget_ms:int ->
+  Plan.t ->
+  report
 (** Build a cluster for the plan (cluster seed = [plan.seed]), attach
     the oracles, schedule the faults, run for [budget_ms] of simulated
     time (with an engine step budget), then run the end-of-run
@@ -30,9 +35,20 @@ val run_plan :
     block for one node from definite round 3 on — a planted safety
     bug that must be caught (self-test of the oracle layer). [obs]
     installs a span sink on the cluster (observe-only; the report is
-    unchanged) — how [fl_trace plan] captures adversarial runs. *)
+    unchanged) — how [fl_trace plan] captures adversarial runs.
+    [persist] puts a durability layer (plus a per-node KV state
+    machine checked by the end-of-run app-state oracle) under every
+    node; plans containing disk faults get one implicitly
+    ([Fl_persist.Node.default_config]). *)
 
-val run_seed : ?inject_fork:bool -> ?n:int -> budget_ms:int -> int -> report
+val run_seed :
+  ?inject_fork:bool ->
+  ?with_disk_faults:bool ->
+  ?persist:Fl_persist.Node.config ->
+  ?n:int ->
+  budget_ms:int ->
+  int ->
+  report
 (** Generate the seed's plan and run it. *)
 
 type summary = {
@@ -44,7 +60,8 @@ type summary = {
 }
 
 val explore :
-  ?inject_fork:bool -> ?n:int -> seeds:int -> base_seed:int ->
+  ?inject_fork:bool -> ?with_disk_faults:bool ->
+  ?persist:Fl_persist.Node.config -> ?n:int -> seeds:int -> base_seed:int ->
   budget_ms:int -> unit -> summary
 (** Run seeds [base_seed .. base_seed + seeds - 1]. *)
 

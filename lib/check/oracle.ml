@@ -21,6 +21,10 @@ type node_state = {
   definite : (int, string) Hashtbl.t;  (* round -> hash, as reported *)
   window : int Queue.t;  (* proposers of the last f+1 definite blocks *)
   mutable recoveries : int;
+  mutable restarted : bool;
+      (* a cold restart wiped the node's volatile state: the next
+         on_definite legitimately rewinds the per-node stream cursor
+         (re-emission of the recovered/caught-up prefix) *)
 }
 
 type t = {
@@ -44,7 +48,8 @@ let create ~now ~n ~f () =
             prev_hash = Block.genesis_hash;
             definite = Hashtbl.create 64;
             window = Queue.create ();
-            recoveries = 0 });
+            recoveries = 0;
+            restarted = false });
     canonical = Hashtbl.create 64;
     stores = None;
     violations = [];
@@ -61,11 +66,28 @@ let flag t ~oracle ~node ~round fmt =
 
 let attach_stores t stores = t.stores <- Some stores
 
+(* A cold restart rebuilt node [i] from its durable media (or from
+   genesis + catch-up): its definite stream restarts at the recovered
+   watermark, below what we already saw. Arm a one-shot rewind; the
+   re-emitted prefix is still checked against the canonical hashes, so
+   a divergent recovery cannot hide behind a restart. *)
+let note_restart t i =
+  let ns = t.nodes.(i) in
+  ns.restarted <- true
+
 (* ---------- streaming checks ---------- *)
 
 let on_definite t i ~round (block : Block.t) =
   let ns = t.nodes.(i) in
   let h = Block.hash block in
+  if ns.restarted then begin
+    ns.restarted <- false;
+    if round <= ns.next_definite then begin
+      ns.next_definite <- round;
+      ns.prev_hash <- block.Block.header.Header.prev_hash
+    end;
+    Queue.clear ns.window
+  end;
   (* exactly once, in order *)
   if round <> ns.next_definite then
     flag t ~oracle:"definite-order" ~node:i ~round
@@ -182,6 +204,19 @@ let finish t ~cluster ~faulty ~expect_progress ~min_rounds =
             d min_rounds
       end
     done
+
+(* Replicated-application self-consistency: a node's live KV state —
+   built from snapshot restore + WAL replay + the live definite stream
+   across any number of crashes — must equal a from-scratch fold over
+   the node's own definite prefix. A recovery that double-applied,
+   skipped or mis-restored blocks is caught here even when the chains
+   agree. *)
+let check_app_state t ~node ~live ~replayed =
+  if not (String.equal live replayed) then
+    flag t ~oracle:"app-state" ~node ~round:(-1)
+      "live application state (%s) differs from a replay of the node's own \
+       definite prefix (%s)"
+      live replayed
 
 let violations t = List.rev t.violations
 let total t = t.total

@@ -44,7 +44,14 @@ val output_for : t -> int -> Fl_fireledger.Instance.output
 
 val attach_stores : t -> Fl_chain.Store.t array -> unit
 (** Give the rescission oracle read access to the nodes' stores; call
-    after [Cluster.create], before the run. *)
+    after [Cluster.create], before the run — and again after a cold
+    restart replaced an instance (the old store is stale). *)
+
+val note_restart : t -> int -> unit
+(** Node [i] cold-restarted: its next definite report legitimately
+    rewinds the per-node stream cursor (the recovered/caught-up prefix
+    is re-emitted). Re-emitted rounds are still checked against the
+    canonical hashes. Wire to {!Fl_fireledger.Cluster.set_on_restart}. *)
 
 val finish :
   t ->
@@ -57,6 +64,11 @@ val finish :
     integrity over non-crashed nodes, and — when [expect_progress] —
     bounded-progress liveness: every node outside [faulty] must have
     ≥ [min_rounds] definite rounds. *)
+
+val check_app_state : t -> node:int -> live:string -> replayed:string -> unit
+(** End-of-run application oracle: flag an ["app-state"] violation
+    when the node's [live] state-machine hash differs from [replayed],
+    a from-scratch fold over the node's own definite prefix. *)
 
 val violations : t -> violation list
 (** In detection order, capped at 100 (see {!total}). *)

@@ -7,6 +7,9 @@ type fault =
   | Equivocate of { node : int }
   | Slow_nic of { node : int; factor : float }
   | Clock_skew of { node : int; factor : float }
+  | Torn_tail of { node : int; at_ms : int; restart_ms : int }
+  | Disk_loss of { node : int; at_ms : int; restart_ms : int }
+  | Fsync_stall of { node : int; from_ms : int; to_ms : int }
 
 type t = { n : int; f : int; seed : int; faults : fault list }
 
@@ -23,7 +26,10 @@ let byzantine t =
 let crashed t =
   dedup
     (List.filter_map
-       (function Crash { node; _ } -> Some node | _ -> None)
+       (function
+         | Crash { node; _ } | Torn_tail { node; _ } | Disk_loss { node; _ } ->
+             Some node
+         | _ -> None)
        t.faults)
 
 let faulty t = dedup (byzantine t @ crashed t)
@@ -32,14 +38,25 @@ let restarted t =
   dedup
     (List.filter_map
        (function
-         | Crash { node; restart_ms = Some _; _ } -> Some node | _ -> None)
+         | Crash { node; restart_ms = Some _; _ }
+         | Torn_tail { node; _ }
+         | Disk_loss { node; _ } ->
+             Some node
+         | _ -> None)
        t.faults)
+
+let has_disk_faults t =
+  List.exists
+    (function
+      | Torn_tail _ | Disk_loss _ | Fsync_stall _ -> true | _ -> false)
+    t.faults
 
 let expect_liveness t =
   List.for_all
     (function
-      | Crash _ | Equivocate _ -> true
-      | Partition _ | Loss _ | Slow_nic _ | Clock_skew _ -> false)
+      | Crash _ | Equivocate _ | Torn_tail _ | Disk_loss _ -> true
+      | Partition _ | Loss _ | Slow_nic _ | Clock_skew _ | Fsync_stall _ ->
+          false)
     t.faults
 
 (* ---------- generation ---------- *)
@@ -56,7 +73,7 @@ let distinct_nodes rng ~n ~k ~avoid =
   done;
   !picked
 
-let generate ?n ~seed ~budget_ms () =
+let generate ?(with_disk_faults = false) ?n ~seed ~budget_ms () =
   let rng = Rng.named_split (Rng.create seed) "plan" in
   let n = match n with Some n -> n | None -> if Rng.bool rng then 4 else 7 in
   let f = (n - 1) / 3 in
@@ -108,6 +125,33 @@ let generate ?n ~seed ~budget_ms () =
     let factor = if Rng.bool rng then 0.5 +. Rng.float rng 0.4 else 1.25 +. Rng.float rng 1.75 in
     faults := Clock_skew { node; factor } :: !faults
   end;
+  (* Disk faults last: drawn behind a flag, strictly after every other
+     draw, so persistence-off plans for a given seed are byte-identical
+     with and without this feature compiled in. *)
+  if with_disk_faults then begin
+    let used = byz @ crash_nodes in
+    let spare = f - List.length used in
+    (if spare > 0 && Rng.bool rng then
+       match distinct_nodes rng ~n ~k:1 ~avoid:used with
+       | [ node ] ->
+           let at_ms = early 10 40 in
+           let restart_ms =
+             Rng.int_in rng (at_ms + 100) (budget_ms * 70 / 100)
+           in
+           let fault =
+             if Rng.bool rng then Torn_tail { node; at_ms; restart_ms }
+             else Disk_loss { node; at_ms; restart_ms }
+           in
+           faults := fault :: !faults
+       | _ -> ());
+    (* device-level, benign: may hit anyone *)
+    if Rng.int rng 3 = 0 then begin
+      let node = Rng.int rng n in
+      let from_ms = early 5 30 in
+      let to_ms = Rng.int_in rng (from_ms + 50) (budget_ms * 60 / 100) in
+      faults := Fsync_stall { node; from_ms; to_ms } :: !faults
+    end
+  end;
   { n; f; seed; faults = List.rev !faults }
 
 (* ---------- validation ---------- *)
@@ -154,6 +198,17 @@ let validate t =
             | Clock_skew { node; factor } ->
                 if not (in_range node) then err "skew: node %d" node
                 else if factor <= 0.0 then err "skew: factor %f" factor
+                else Ok ()
+            | Torn_tail { node; at_ms; restart_ms }
+            | Disk_loss { node; at_ms; restart_ms } ->
+                if not (in_range node) then err "disk: node %d" node
+                else if at_ms < 0 then err "disk: at %d" at_ms
+                else if restart_ms <= at_ms then
+                  err "disk: restart %d <= at %d" restart_ms at_ms
+                else Ok ()
+            | Fsync_stall { node; from_ms; to_ms } ->
+                if not (in_range node) then err "stall: node %d" node
+                else if to_ms <= from_ms then err "stall: window"
                 else Ok ()))
       (Ok ()) t.faults
 
@@ -203,7 +258,31 @@ let apply t ~engine ~cluster =
           at heal_ms (fun () -> Fl_net.Net.heal net)
       | Loss { node; prob; from_ms; to_ms } ->
           at from_ms (fun () -> Fl_net.Net.set_loss net ~node prob);
-          at to_ms (fun () -> Fl_net.Net.set_loss net ~node 0.0))
+          at to_ms (fun () -> Fl_net.Net.set_loss net ~node 0.0)
+      | Torn_tail { node; at_ms; restart_ms } ->
+          (* power cut mid-write: the WAL tail frame is torn *)
+          at at_ms (fun () ->
+              Fl_fireledger.Cluster.crash ~torn:true cluster node);
+          at restart_ms (fun () ->
+              Fl_fireledger.Cluster.restart cluster node)
+      | Disk_loss { node; at_ms; restart_ms } ->
+          (* crash plus device death: recovery finds empty media and
+             must fall back to genesis + network catch-up *)
+          at at_ms (fun () ->
+              Fl_fireledger.Cluster.crash cluster node;
+              match Fl_fireledger.Cluster.persist_node cluster node with
+              | Some p -> Fl_persist.Node.lose_media p
+              | None -> ());
+          at restart_ms (fun () ->
+              Fl_fireledger.Cluster.restart cluster node)
+      | Fsync_stall { node; from_ms; to_ms } ->
+          at from_ms (fun () ->
+              match Fl_fireledger.Cluster.persist_node cluster node with
+              | Some p ->
+                  Fl_persist.Disk.set_stall
+                    (Fl_persist.Node.disk p)
+                    ~until:(Time.ms to_ms)
+              | None -> ()))
     t.faults
 
 (* ---------- serialisation ---------- *)
@@ -225,6 +304,12 @@ let string_of_fault = function
   | Equivocate { node } -> Printf.sprintf "eq=%d" node
   | Slow_nic { node; factor } -> Printf.sprintf "slow=%d:%.2f" node factor
   | Clock_skew { node; factor } -> Printf.sprintf "skew=%d:%.2f" node factor
+  | Torn_tail { node; at_ms; restart_ms } ->
+      Printf.sprintf "torn=%d@%d/%d" node at_ms restart_ms
+  | Disk_loss { node; at_ms; restart_ms } ->
+      Printf.sprintf "disklost=%d@%d/%d" node at_ms restart_ms
+  | Fsync_stall { node; from_ms; to_ms } ->
+      Printf.sprintf "stall=%d@%d-%d" node from_ms to_ms
 
 let to_string t =
   String.concat ";"
@@ -295,6 +380,32 @@ let parse_fault tok =
                 and factor = float_of_string factor in
                 if String.equal key "slow" then Ok (Slow_nic { node; factor })
                 else Ok (Clock_skew { node; factor })
+            | _ -> invalid ())
+        | "torn" | "disklost" -> (
+            match String.split_on_char '@' v with
+            | [ node; times ] -> (
+                let node = int_of_string node in
+                match String.split_on_char '/' times with
+                | [ a; r ] ->
+                    let at_ms = int_of_string a
+                    and restart_ms = int_of_string r in
+                    if String.equal key "torn" then
+                      Ok (Torn_tail { node; at_ms; restart_ms })
+                    else Ok (Disk_loss { node; at_ms; restart_ms })
+                | _ -> invalid ())
+            | _ -> invalid ())
+        | "stall" -> (
+            match String.split_on_char '@' v with
+            | [ node; window ] -> (
+                let node = int_of_string node in
+                match String.split_on_char '-' window with
+                | [ a; b ] ->
+                    Ok
+                      (Fsync_stall
+                         { node;
+                           from_ms = int_of_string a;
+                           to_ms = int_of_string b })
+                | _ -> invalid ())
             | _ -> invalid ())
         | _ -> invalid ()
       with Failure _ -> invalid ())

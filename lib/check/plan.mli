@@ -33,6 +33,18 @@ type fault =
   | Clock_skew of { node : int; factor : float }
       (** [node]'s WRB timer parameters are scaled by [factor]
           (< 1 = fast clock, spurious timeouts; > 1 = slow clock). *)
+  | Torn_tail of { node : int; at_ms : int; restart_ms : int }
+      (** Power-fail [node] at [at_ms] mid-write — its WAL media keeps
+          a torn tail fragment — then cold-restart it at [restart_ms];
+          recovery must discard the fragment. Requires a cluster built
+          with persistence. *)
+  | Disk_loss of { node : int; at_ms : int; restart_ms : int }
+      (** Crash [node] and destroy its durable media; the restart at
+          [restart_ms] finds empty media and must fall back to genesis
+          + network catch-up. *)
+  | Fsync_stall of { node : int; from_ms : int; to_ms : int }
+      (** [node]'s storage device completes no fsync during the window
+          (firmware GC pause / write-cache flush storm). *)
 
 type t = {
   n : int;
@@ -41,11 +53,15 @@ type t = {
   faults : fault list;
 }
 
-val generate : ?n:int -> seed:int -> budget_ms:int -> unit -> t
+val generate :
+  ?with_disk_faults:bool -> ?n:int -> seed:int -> budget_ms:int -> unit -> t
 (** Derive a plan from [seed]. All fault times land inside
     [budget_ms]; partitions heal and loss windows close by 60% of the
     budget. [n] pins the cluster size (default: seed-derived from
-    {4, 7}). *)
+    {4, 7}). [with_disk_faults] (default false) additionally draws
+    torn-tail / disk-loss / fsync-stall faults — strictly after every
+    other draw, so plans without the flag are unchanged for a given
+    seed. *)
 
 val byzantine : t -> int list
 val crashed : t -> int list
@@ -56,6 +72,9 @@ val faulty : t -> int list
     generated plans. *)
 
 val restarted : t -> int list
+
+val has_disk_faults : t -> bool
+(** The plan needs a persistence-enabled cluster. *)
 
 val validate : t -> (unit, string) result
 (** Structural checks: node ids in range, windows ordered, process

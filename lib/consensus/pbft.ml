@@ -464,5 +464,11 @@ let stop t =
   if not t.stopped then
     t.channel.Channel.send ~dst:t.channel.Channel.self ~size:0 Stop
 
+(* Synchronous stop for teardown paths where the self-send of [stop]
+   would never be delivered (e.g. the node's inbox was just replaced
+   by a cold restart). The dispatcher and watchdog fibers observe the
+   flag on their next wake-up and exit. *)
+let halt t = t.stopped <- true
+
 let view t = t.view
 let last_executed t = t.last_exec

@@ -84,5 +84,11 @@ val submit : 'a t -> 'a -> unit
 val stop : 'a t -> unit
 (** Tear the replica down (end of experiment). *)
 
+val halt : 'a t -> unit
+(** Synchronous teardown: set the stop flag directly instead of
+    self-sending [Stop]. Needed when the node's inbox has already been
+    replaced (cold restart) so a message-based stop would never
+    arrive. Fibers exit on their next wake-up. *)
+
 val view : 'a t -> int
 val last_executed : 'a t -> int

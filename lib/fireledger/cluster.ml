@@ -11,6 +11,10 @@ type t = {
   net : Msg.t Net.t;
   instances : Instance.t array;
   crashed : (int, unit) Hashtbl.t;
+  persist : Fl_persist.Node.t option array;
+  incarnation : int array;
+  rebuild : int -> int -> Instance.t;  (* node id, incarnation *)
+  mutable on_restart : int -> unit;
 }
 
 let create ?(seed = 42) ?(latency = Latency.single_dc)
@@ -18,7 +22,7 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
     ?(bandwidth_bps = Nic.ten_gbps) ?bandwidth_of
     ?(behavior = fun _ -> Instance.Honest) ?valid ?trace ?obs
     ?(config_of = fun _ c -> c) ?(output = fun _ -> Instance.null_output)
-    ~config () =
+    ?persist:persist_config ?(persist_app = fun _ -> None) ~config () =
   Config.validate config;
   let n = config.Config.n in
   let engine = Engine.create () in
@@ -42,41 +46,74 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
       Fl_obs.Obs.attach_engine sink engine ();
       Array.iteri (fun i cpu -> Fl_obs.Obs.attach_cpu sink ~node:i cpu) cpus);
   let crashed = Hashtbl.create 4 in
-  let instances =
-    Array.init n (fun i ->
-        let hub = Hub.create engine ~inbox:(Net.inbox net i) ~key:Msg.key in
-        let env =
-          { Env.engine;
-            rng = Rng.named_split rng (Printf.sprintf "node-%d" i);
-            recorder;
-            registry;
-            cost;
-            cpu = cpus.(i);
-            net;
-            hub;
-            me = i;
-            f = config.Config.f;
-            seed;
-            label = "w0";
-            trace;
-            obs;
-            worker = 0 }
-        in
-        let config =
-          let c = config_of i config in
-          (* Per-node tweaks may skew timers etc. but never the
-             cluster shape. *)
-          if c.Config.n <> config.Config.n || c.Config.f <> config.Config.f
-          then invalid_arg "Cluster.create: config_of must preserve n and f";
-          Config.validate c;
-          c
-        in
-        Instance.create env ~config ~behavior:(behavior i) ?valid
-          ~output:(output i) ())
+  (* Durability layers outlive instance rebuilds: one per node for the
+     whole cluster lifetime, so a cold restart finds the frozen media
+     of the crashed incarnation. Absent entirely when persistence is
+     off — zero engine events, traces byte-identical. *)
+  let persist =
+    match persist_config with
+    | None -> Array.make n None
+    | Some pc ->
+        Array.init n (fun i ->
+            Some
+              (Fl_persist.Node.create engine ?obs ~node:i ?app:(persist_app i)
+                 ~config:pc ()))
   in
-  { engine; rng; recorder; registry; nics; cpus; net; instances; crashed }
+  let mk_instance i ~incarnation =
+    let hub = Hub.create engine ~inbox:(Net.inbox net i) ~key:Msg.key in
+    let env =
+      { Env.engine;
+        (* [named_split] is label-keyed (same label → same stream), so
+           each incarnation needs its own label or the rebuilt node
+           would replay the dead one's random choices from the top. *)
+        rng =
+          Rng.named_split rng
+            (if incarnation = 0 then Printf.sprintf "node-%d" i
+             else Printf.sprintf "node-%d-r%d" i incarnation);
+        recorder;
+        registry;
+        cost;
+        cpu = cpus.(i);
+        net;
+        hub;
+        me = i;
+        f = config.Config.f;
+        seed;
+        label = "w0";
+        trace;
+        obs;
+        worker = 0 }
+    in
+    let config =
+      let c = config_of i config in
+      (* Per-node tweaks may skew timers etc. but never the
+         cluster shape. *)
+      if c.Config.n <> config.Config.n || c.Config.f <> config.Config.f
+      then invalid_arg "Cluster.create: config_of must preserve n and f";
+      Config.validate c;
+      c
+    in
+    Instance.create env ~config ~behavior:(behavior i) ?valid
+      ?persist:persist.(i) ~output:(output i) ()
+  in
+  let instances = Array.init n (fun i -> mk_instance i ~incarnation:0) in
+  { engine;
+    rng;
+    recorder;
+    registry;
+    nics;
+    cpus;
+    net;
+    instances;
+    crashed;
+    persist;
+    incarnation = Array.make n 0;
+    rebuild = (fun i inc -> mk_instance i ~incarnation:inc);
+    on_restart = (fun _ -> ()) }
 
 let start t = Array.iter Instance.start t.instances
+let set_on_restart t f = t.on_restart <- f
+let persist_node t i = t.persist.(i)
 
 let crash_filter t =
   if Hashtbl.length t.crashed = 0 then None
@@ -85,13 +122,38 @@ let crash_filter t =
       (fun ~src ~dst ->
         (not (Hashtbl.mem t.crashed src)) && not (Hashtbl.mem t.crashed dst))
 
-let crash t i =
+let crash ?(torn = false) t i =
   Hashtbl.replace t.crashed i ();
-  Net.set_filter t.net (crash_filter t)
+  Net.set_filter t.net (crash_filter t);
+  match t.persist.(i) with
+  | Some p -> Fl_persist.Node.power_fail p ~torn
+  | None -> ()
 
-let restart t i =
+let restart ?(warm = false) t i =
   Hashtbl.remove t.crashed i;
-  Net.set_filter t.net (crash_filter t)
+  Net.set_filter t.net (crash_filter t);
+  if warm then (
+    (* Legacy semantics: the node's volatile state survived (the
+       "crash" was mere disconnection). Re-enable the durability layer
+       without adopting anything from it — the live state is ahead of
+       the media anyway. *)
+    match t.persist.(i) with
+    | Some p -> ignore (Fl_persist.Node.recover p)
+    | None -> ())
+  else begin
+    (* A real crash loses all volatile state. Tear the dead
+       incarnation down synchronously, abandon its inbox (parked
+       fibers never wake), and build a fresh instance that either
+       recovers from its durability layer or starts from genesis and
+       network-catches-up. *)
+    Instance.shutdown t.instances.(i);
+    Net.reset_inbox t.net i;
+    t.incarnation.(i) <- t.incarnation.(i) + 1;
+    let fresh = t.rebuild i t.incarnation.(i) in
+    t.instances.(i) <- fresh;
+    Instance.start fresh;
+    t.on_restart i
+  end
 
 let run ?until t = Engine.run ?until t.engine
 

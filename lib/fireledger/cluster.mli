@@ -18,7 +18,15 @@ type t = {
   cpus : Cpu.t array;
   net : Msg.t Net.t;
   instances : Instance.t array;
+      (** entries are replaced in place by cold restarts — re-read
+          after a restart rather than caching an [Instance.t] *)
   crashed : (int, unit) Hashtbl.t;
+  persist : Fl_persist.Node.t option array;
+      (** per-node durability layers ([None] when persistence is off);
+          they outlive instance rebuilds *)
+  incarnation : int array;  (** cold restarts per node *)
+  rebuild : int -> int -> Instance.t;
+  mutable on_restart : int -> unit;
 }
 
 val create :
@@ -34,6 +42,8 @@ val create :
   ?obs:Fl_obs.Obs.t ->
   ?config_of:(int -> Config.t -> Config.t) ->
   ?output:(int -> Instance.output) ->
+  ?persist:Fl_persist.Node.config ->
+  ?persist_app:(int -> Fl_persist.Recovery.app option) ->
   config:Config.t ->
   unit ->
   t
@@ -43,19 +53,41 @@ val create :
     per-node config tweak (e.g. clock-skewed timer parameters for the
     schedule explorer) — it must preserve [n] and [f]. [obs] installs
     a span sink across every layer (engine, CPUs, net, consensus,
-    instances) — observe-only, so trace fingerprints are unchanged. *)
+    instances) — observe-only, so trace fingerprints are unchanged.
+    [persist] gives every node a durability layer (WAL + snapshots on
+    a simulated disk); [persist_app] optionally supplies the per-node
+    application hooks (e.g. the KV state machine) the layer snapshots
+    and replays. Without [persist] the run schedules zero disk events
+    and traces are byte-identical to a persistence-less build. *)
 
 val start : t -> unit
 (** Start every instance's fibers. *)
 
-val crash : t -> int -> unit
-(** Drop all traffic from/to a node from now on. *)
+val set_on_restart : t -> (int -> unit) -> unit
+(** Hook fired after a cold restart replaced [instances.(i)] — the
+    schedule explorer uses it to re-point its oracles at the fresh
+    instance's store. *)
 
-val restart : t -> int -> unit
-(** Undo {!crash}: reconnect the node. Its fibers kept running while
-    disconnected (a crash is only observable as silence), so this
-    models a crash-recovery with intact local state; the catch-up
-    sync pulls whatever the node missed. *)
+val persist_node : t -> int -> Fl_persist.Node.t option
+(** Node [i]'s durability layer. *)
+
+val crash : ?torn:bool -> t -> int -> unit
+(** Drop all traffic from/to a node from now on. If the node has a
+    durability layer, the crash is a power failure: its media freezes
+    at the durable watermark — with [torn] (default false) plus a
+    partial fragment of the first in-flight frame, the classic torn
+    tail write that replay must detect and discard. *)
+
+val restart : ?warm:bool -> t -> int -> unit
+(** Undo {!crash}: reconnect the node. By default the restart is
+    {e cold} — a real crash lost all volatile state, so the old
+    instance is torn down, its inbox abandoned, and a fresh instance
+    built in place: it recovers chain, definite watermark and era from
+    its durability layer when one is attached, and otherwise starts
+    from genesis and relies on the catch-up sync to pull the missing
+    prefix from peers. [warm:true] keeps the legacy semantics: fibers
+    kept running while disconnected (the "crash" was only observable
+    as silence) and local state is intact. *)
 
 val run : ?until:Time.t -> t -> unit
 

@@ -64,6 +64,11 @@ type t = {
   mutable next_tx_id : int;
   halves : int list * int list;  (* equivocation split *)
   mutable stopped : bool;
+  (* durability *)
+  persist : Fl_persist.Node.t option;
+  mutable boot_delay : Time.t;
+      (* time the boot path spends reading the media back (disk scan +
+         per-block hashing); charged before the main loop starts *)
 }
 
 (* ---------- small helpers ---------- *)
@@ -571,6 +576,9 @@ let mark_definite t =
           b.Block.header.Header.tx_count;
         if b.Block.header.Header.proposer = me t then
           Hashtbl.remove t.own_in_flight b.Block.header.Header.body_hash;
+        (match t.persist with
+        | Some per -> Fl_persist.Node.log_definite per ~upto:r ~era:t.era b
+        | None -> ());
         t.output.on_definite ~round:r b ~times
     | None -> ()
   done
@@ -610,6 +618,11 @@ let accept_block t (p : Types.proposal) txs ~header_at =
       Fmt.failwith "instance %d: append round %d: %a" (me t) r Store.pp_error
         e);
   Hashtbl.replace t.signed_headers r p.Types.sh;
+  (match t.persist with
+  | Some per ->
+      Fl_persist.Node.log_append per ~block
+        ~signature:p.Types.sh.Types.signature
+  | None -> ());
   let a =
     match Hashtbl.find_opt t.body_arrival h.Header.body_hash with
     | Some at -> at
@@ -748,6 +761,16 @@ let recovery t r =
           (List.map fst v.Types.blocks)
       with
       | Ok () ->
+          (match t.persist with
+          | Some per ->
+              (* the WAL must mirror the store surgery: a truncate
+                 record, then the adopted suffix re-appended *)
+              Fl_persist.Node.log_truncate per ~from:first_round;
+              List.iter
+                (fun (b, s) ->
+                  Fl_persist.Node.log_append per ~block:b ~signature:s)
+                v.Types.blocks
+          | None -> ());
           List.iter
             (fun (b, s) ->
               Hashtbl.replace t.signed_headers b.Block.header.Header.round
@@ -763,6 +786,12 @@ let recovery t r =
   Fl_metrics.Recorder.add (recorder t) "blocks_rescinded" !rescinded;
   Hashtbl.remove t.version_boxes r;
   t.era <- t.era + 1;
+  (match t.persist with
+  | Some per ->
+      (* the completed-recovery count must survive a crash, or the
+         restarted node re-keys its OBBC channels under a stale era *)
+      Fl_persist.Node.log_watermark per ~upto:t.definite_upto ~era:t.era
+  | None -> ());
   t.round <- Store.length t.store;
   t.attempt <- 0;
   t.full_mode <- true;
@@ -1120,8 +1149,59 @@ let spawn_service_fiber t =
 
 (* ---------- construction ---------- *)
 
-let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ~output
-    () =
+(* Seed a freshly built instance from what recovery read off the
+   media: copy the recovered chain into the (immutable-field) store,
+   restore signed headers, definiteness watermark and era, and
+   position the round/proposer cursors exactly as the recovery path
+   does after adopting a version. The per-block hashing a real node
+   pays to re-verify its chain is folded into [boot_delay]. *)
+let adopt_recovered t (r : Fl_persist.Recovery.recovered) =
+  let src = r.Fl_persist.Recovery.r_store in
+  let body_bytes_total = ref 0 in
+  for i = 0 to Store.length src - 1 do
+    match Store.get src i with
+    | Some b -> (
+        body_bytes_total := !body_bytes_total + b.Block.header.Header.body_size;
+        match Store.append ~check_body:false t.store b with
+        | Ok () -> ()
+        | Error e ->
+            Fmt.failwith "instance %d: recovered append round %d: %a" (me t) i
+              Store.pp_error e)
+    | None -> ()
+  done;
+  if Store.pruned_below src > 0 then
+    Store.prune t.store ~keep_from:(Store.pruned_below src);
+  List.iter
+    (fun (round, signature) ->
+      match Store.get t.store round with
+      | Some b ->
+          Hashtbl.replace t.signed_headers round
+            { Types.header = b.Block.header; signature }
+      | None -> ())
+    r.Fl_persist.Recovery.r_sigs;
+  t.definite_upto <-
+    min r.Fl_persist.Recovery.r_definite (Store.length t.store - 1);
+  t.era <- r.Fl_persist.Recovery.r_era;
+  t.round <- Store.length t.store;
+  t.attempt <- 0;
+  t.full_mode <- true;
+  let recent = recent_proposers t (f_of t) in
+  let candidate =
+    match Store.last t.store with
+    | Some b ->
+        Rotation.successor t.rotation ~round:t.round
+          b.Block.header.Header.proposer
+    | None -> 0
+  in
+  t.proposer <- Rotation.eligible t.rotation ~round:t.round ~recent candidate;
+  t.boot_delay <-
+    t.boot_delay
+    + Fl_crypto.Cost_model.hash_cost t.env.Env.cost ~bytes:!body_bytes_total;
+  trace t ~category:"recovery" "boot: recovered len=%d definite=%d era=%d"
+    (Store.length t.store) t.definite_upto t.era
+
+let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ?persist
+    ~output () =
   Config.validate config;
   let engine = env.Env.engine in
   let halves =
@@ -1135,7 +1215,8 @@ let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ~output
     in
     split (config.Config.n / 2) [] l
   in
-  { env;
+  let t =
+    { env;
     config;
     behavior;
     valid;
@@ -1168,9 +1249,28 @@ let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ~output
     rb = None;
     ab = None;
     rb_tag = 0;
-    next_tx_id = 0;
-    halves;
-    stopped = false }
+      next_tx_id = 0;
+      halves;
+      stopped = false;
+      persist;
+      boot_delay = 0 }
+  in
+  (match persist with
+  | None -> ()
+  | Some per ->
+      Fl_persist.Node.attach_chain per (fun () ->
+          (t.store, t.definite_upto, t.era));
+      (* A node whose persistence layer is frozen (power failure) boots
+         by scanning its media back in: charge the sequential read. *)
+      if not (Fl_persist.Node.live per) then
+        t.boot_delay <-
+          Fl_persist.Disk.read_delay
+            (Fl_persist.Node.disk per)
+            ~bytes:(Fl_persist.Node.media_bytes per);
+      match Fl_persist.Node.recover per with
+      | None -> ()  (* first boot, or nothing durable: cold start *)
+      | Some r -> adopt_recovered t r);
+  t
 
 let start t =
   let engine = engine t in
@@ -1224,15 +1324,38 @@ let start t =
         if max_stash_round t - (f_of t + 2) >= t.round + f_of t + 4 then
           ignore (Ivar.try_fill t.abort ())
       done);
-  Fiber.spawn engine (fun () -> main_loop t)
+  (match t.persist with
+  | Some per -> Fl_persist.Node.maybe_start_flusher per
+  | None -> ());
+  Fiber.spawn engine (fun () ->
+      if t.boot_delay > 0 then begin
+        Fiber.sleep engine t.boot_delay;
+        obs_instant t ~name:"boot_replay_done" ~round:t.round ()
+      end;
+      main_loop t)
 
 let stop t = t.stopped <- true
+
+(* Synchronous teardown for cold restarts: the node's inbox is about
+   to be replaced, so message-based [stop]s would never arrive. Parks
+   every consensus component; orphaned service fibers stay blocked on
+   the abandoned mailboxes forever, which is harmless (and free) in
+   the simulator. *)
+let shutdown t =
+  t.stopped <- true;
+  t.pending_proofs <- [];
+  ignore (Ivar.try_fill t.abort ());
+  Hashtbl.iter (fun _ o -> Obbc.close o) t.open_obbcs;
+  Hashtbl.reset t.open_obbcs;
+  (match t.rb with Some rb -> Fl_broadcast.Bracha.halt rb | None -> ());
+  match t.ab with Some ab -> Pbft.halt ab | None -> ()
 let store t = t.store
 let mempool t = t.mempool
 let round t = t.round
 let definite_upto t = t.definite_upto
 let recoveries t = Fl_metrics.Recorder.counter (recorder t) "recoveries"
 let era t = t.era
+let persist t = t.persist
 
 let tee_output a b =
   { on_tentative =

@@ -47,11 +47,18 @@ val create :
   config:Config.t ->
   ?behavior:behavior ->
   ?valid:(Block.t -> bool) ->
+  ?persist:Fl_persist.Node.t ->
   output:output ->
   unit ->
   t
 (** Build the instance state. [valid] is the external validity
-    predicate of VPBC (default: accept). *)
+    predicate of VPBC (default: accept). [persist] attaches a
+    durability layer: appends, definiteness watermarks and recovery
+    adoptions are WAL-logged, and if the layer holds frozen media from
+    a power failure the instance boots from it — chain, signed
+    headers, definite watermark and era restored — before its first
+    round, charging the media scan plus per-block hashing as a boot
+    delay. *)
 
 val start : t -> unit
 (** Spawn the instance's fibers (main loop, dissemination and service
@@ -59,6 +66,12 @@ val start : t -> unit
 
 val stop : t -> unit
 (** Stop proposing/advancing after the current round. *)
+
+val shutdown : t -> unit
+(** Synchronous teardown for cold restarts: stops the instance AND its
+    consensus components (OBBCs, RB, AB) directly, without relying on
+    message delivery — required when the node's inbox is about to be
+    replaced by {!Fl_net.Net.reset_inbox}. *)
 
 val store : t -> Store.t
 val mempool : t -> Mempool.t
@@ -69,6 +82,9 @@ val recoveries : t -> int
 val era : t -> int
 (** Completed recoveries at this instance — advances exactly once per
     executed recovery (it keys post-recovery OBBC instances). *)
+
+val persist : t -> Fl_persist.Node.t option
+(** The durability layer this instance logs to, if any. *)
 
 val tee_output : output -> output -> output
 (** Compose two sinks: every event goes to [a] first, then [b] — how

@@ -13,13 +13,16 @@ type t = {
   nodes : Node.t array;
   workers : Instance.t array array;
   crashed : (int, unit) Hashtbl.t;
+  disks : Fl_persist.Disk.t option array;  (* one device per node *)
+  persist : Fl_persist.Node.t option array array;  (* [node].(worker) *)
 }
 
 let create ?(seed = 42) ?(latency = Latency.single_dc)
     ?(cost = Fl_crypto.Cost_model.default) ?(cores = 4)
     ?(bandwidth_bps = Nic.ten_gbps) ?(behavior = fun _ -> Instance.Honest)
     ?valid ?trace ?obs ?(keep_log = false)
-    ?(on_deliver = fun ~node:_ _ -> ()) ~config ~workers () =
+    ?(on_deliver = fun ~node:_ _ -> ()) ?persist:persist_config ~config
+    ~workers () =
   Config.validate config;
   if workers <= 0 then invalid_arg "Flo.Cluster.create: workers";
   let n = config.Config.n in
@@ -56,6 +59,28 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
           ~on_deliver:(fun d -> on_deliver ~node:i d)
           ?obs ())
   in
+  (* One storage device per node, shared by its ω workers' durability
+     layers — WAL appends and fsyncs of different workers queue on the
+     same device, the disk-side twin of the shared-NIC contention. *)
+  let disks =
+    match persist_config with
+    | None -> Array.make n None
+    | Some (pc : Fl_persist.Node.config) ->
+        Array.init n (fun i ->
+            Some
+              (Fl_persist.Disk.create engine ?obs ~node:i
+                 ~profile:pc.Fl_persist.Node.profile ()))
+  in
+  let persist =
+    match persist_config with
+    | None -> Array.make n (Array.make workers None)
+    | Some pc ->
+        Array.init n (fun i ->
+            Array.init workers (fun w ->
+                Some
+                  (Fl_persist.Node.create engine ?obs ~node:i ~worker:w
+                     ?disk:disks.(i) ~config:pc ())))
+  in
   let workers_arr =
     Array.init n (fun i ->
         Array.init workers (fun w ->
@@ -80,6 +105,7 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
                 worker = w }
             in
             Instance.create env ~config ~behavior:(behavior i) ?valid
+              ?persist:persist.(i).(w)
               ~output:(Node.output_for nodes.(i) ~worker:w)
               ()))
   in
@@ -93,7 +119,9 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
     nets;
     nodes;
     workers = workers_arr;
-    crashed = Hashtbl.create 4 }
+    crashed = Hashtbl.create 4;
+    disks;
+    persist }
 
 let start t =
   Array.iter (fun per_node -> Array.iter Instance.start per_node) t.workers

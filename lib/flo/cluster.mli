@@ -18,6 +18,10 @@ type t = {
   nodes : Node.t array;
   workers : Fl_fireledger.Instance.t array array;  (** [node].(worker) *)
   crashed : (int, unit) Hashtbl.t;
+  disks : Fl_persist.Disk.t option array;
+      (** per node, shared by its ω workers' durability layers —
+          [None] when persistence is off *)
+  persist : Fl_persist.Node.t option array array;  (** [node].(worker) *)
 }
 
 val create :
@@ -32,10 +36,15 @@ val create :
   ?obs:Fl_obs.Obs.t ->
   ?keep_log:bool ->
   ?on_deliver:(node:int -> Node.delivery -> unit) ->
+  ?persist:Fl_persist.Node.config ->
   config:Fl_fireledger.Config.t ->
   workers:int ->
   unit ->
   t
+(** [persist] gives every (node, worker) instance a durability layer;
+    the ω layers of one node share a single simulated disk, so WAL
+    appends and fsyncs contend on the device exactly as the workers'
+    network traffic contends on the shared NIC. *)
 
 val start : t -> unit
 

@@ -45,7 +45,37 @@ type flo_setting = {
   faults : faults;
   config_tweaks : Fl_fireledger.Config.t -> Fl_fireledger.Config.t;
   obs : Fl_obs.Obs.t option;
+  persist : Fl_persist.Node.config option;
 }
+
+(* "never" | "group_commit" | "group_commit:5ms" | "every_block",
+   optionally prefixed by a disk profile: "ssd/group_commit". *)
+let persist_of_string s =
+  let profile, policy =
+    match String.index_opt s '/' with
+    | Some i -> (
+        let p = String.sub s 0 i in
+        match Fl_persist.Disk.profile_of_string p with
+        | Some profile ->
+            (profile, String.sub s (i + 1) (String.length s - i - 1))
+        | None -> invalid_arg (Printf.sprintf "persist_of_string: disk %S" p))
+    | None -> (Fl_persist.Disk.nvme, s)
+  in
+  let sync =
+    match String.split_on_char ':' policy with
+    | [ "never" ] -> Fl_persist.Node.Never
+    | [ "group_commit" ] -> Fl_persist.Node.Group_commit (Time.ms 2)
+    | [ "group_commit"; iv ] ->
+        let iv =
+          match String.index_opt iv 'm' with
+          | Some i -> int_of_string (String.sub iv 0 i)
+          | None -> int_of_string iv
+        in
+        Fl_persist.Node.Group_commit (Time.ms iv)
+    | [ "every_block" ] -> Fl_persist.Node.Every_block
+    | _ -> invalid_arg (Printf.sprintf "persist_of_string: %S" s)
+  in
+  { Fl_persist.Node.default_config with Fl_persist.Node.profile; sync }
 
 let flo ~n ~workers ~batch ~tx_size =
   { n;
@@ -60,7 +90,8 @@ let flo ~n ~workers ~batch ~tx_size =
     duration = Time.s 4;
     faults = no_faults;
     config_tweaks = Fun.id;
-    obs = None }
+    obs = None;
+    persist = None }
 
 type result = {
   tps : float;
@@ -178,7 +209,7 @@ let build_flo s =
       ~latency:(latency_of ~net:s.net ~n:s.n)
       ~cost:s.machine.cost ~cores:s.machine.cores
       ~bandwidth_bps:s.machine.bandwidth_bps ~behavior ~config
-      ?obs:(effective_obs s) ~workers:s.workers ()
+      ?obs:(effective_obs s) ?persist:s.persist ~workers:s.workers ()
   in
   Fl_metrics.Recorder.set_window cluster.Fl_flo.Cluster.recorder
     ~start:s.warmup ~stop:(s.warmup + s.duration);

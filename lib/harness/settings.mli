@@ -56,7 +56,16 @@ type flo_setting = {
       (** span sink threaded through every layer of the cluster
           ([None] = off); the run also emits a ["harness"]
           ["measurement_window"] rollup span into it *)
+  persist : Fl_persist.Node.config option;
+      (** give every (node, worker) instance a durability layer; [None]
+          (the default) keeps the run purely in-memory *)
 }
+
+val persist_of_string : string -> Fl_persist.Node.config
+(** ["never"], ["group_commit"], ["group_commit:5ms"] or
+    ["every_block"], optionally prefixed by a disk profile —
+    ["ssd/group_commit"], ["hdd/every_block"]. Raises
+    [Invalid_argument] on anything else. *)
 
 val flo : n:int -> workers:int -> batch:int -> tx_size:int -> flo_setting
 (** A default single-DC fault-free setting (m5.xlarge, 1 s warmup,

@@ -42,6 +42,11 @@ let set_obs ?(worker = -1) t obs =
 let n t = Array.length t.nics
 let inbox t i = t.inboxes.(i)
 
+let reset_inbox t i =
+  if i < 0 || i >= Array.length t.inboxes then
+    invalid_arg "Net.reset_inbox: node id";
+  t.inboxes.(i) <- Mailbox.create t.engine
+
 let set_partition t groups =
   let n = Array.length t.nics in
   let ids = Array.make n (List.length groups) in

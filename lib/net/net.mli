@@ -29,6 +29,13 @@ val n : 'm t -> int
 val inbox : 'm t -> int -> (int * 'm) Mailbox.t
 (** Node [i]'s inbox; messages arrive as [(src, msg)]. *)
 
+val reset_inbox : 'm t -> int -> unit
+(** Replace node [i]'s inbox with a fresh, empty mailbox. Fibers
+    blocked on the old mailbox stay parked forever — this is how a
+    cold restart abandons the previous incarnation's dispatcher:
+    queued pre-crash messages vanish with the old mailbox and new
+    traffic flows to the rebuilt node's hub. *)
+
 val send : 'm t -> src:int -> dst:int -> size:int -> 'm -> unit
 (** Transmit a message of [size] wire bytes. Self-sends skip the NIC
     and incur only loopback latency. *)

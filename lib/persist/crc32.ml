@@ -1,0 +1,35 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+   checksum of the write-ahead log. Torn tail writes leave a partial
+   frame on the simulated medium; the CRC (or a length underflow) is
+   what lets replay detect and discard it instead of applying
+   garbage. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let crc = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let digest s = update 0l s
+
+(* As a non-negative int that fits a Codec u32. *)
+let to_int c = Int32.to_int (Int32.logand c 0xFFFFFFFFl) land 0xFFFFFFFF
+let digest_int s = to_int (digest s)

@@ -1,0 +1,92 @@
+(* Periodic durable snapshots: the definite chain prefix (headers
+   always, bodies where not pruned) plus an opaque application payload
+   and its state hash. A snapshot at definite round [upto] supersedes
+   every WAL record about rounds <= [upto], enabling {!Wal.truncate};
+   recovery reloads it and replays only the WAL suffix.
+
+   The chain prefix reuses {!Fl_chain.Serial.encode_chain} on a copy
+   of the store truncated to [upto] — the store is the authority on
+   hash links, and decode re-validates every link on the way back. *)
+
+open Fl_chain
+open Fl_wire
+
+let magic = "FLSNAP1\x01"
+
+type t = {
+  upto : int;  (** definite rounds 0..upto are contained *)
+  era : int;  (** completed recoveries at snapshot time *)
+  app : string;  (** opaque application payload ("" = no app attached) *)
+  app_hash : string;  (** application state hash at [upto] *)
+  chain : string;  (** [Serial.encode_chain] of the definite prefix *)
+}
+
+(* Copy rounds 0..upto of [store] into a fresh store (bodies kept
+   where present), pruned to the source's boundary so the encoding is
+   faithful. *)
+let chain_prefix store ~upto =
+  let prefix = Store.create () in
+  let r = ref 0 in
+  let ok = ref true in
+  while !ok && !r <= upto do
+    (match Store.get store !r with
+    | Some b -> (
+        match Store.append ~check_body:false prefix b with
+        | Ok () -> ()
+        | Error _ -> ok := false)
+    | None -> ok := false);
+    incr r
+  done;
+  if !ok then begin
+    Store.prune prefix ~keep_from:(min (Store.pruned_below store) (upto + 1));
+    Some prefix
+  end
+  else None
+
+let build ~store ~upto ~era ~app ~app_hash =
+  match chain_prefix store ~upto with
+  | None -> None
+  | Some prefix ->
+      Some { upto; era; app; app_hash; chain = Serial.encode_chain prefix }
+
+let encode t =
+  let w = Codec.Writer.create ~capacity:(String.length t.chain + 256) () in
+  Codec.Writer.raw w magic;
+  Codec.Writer.varint w t.upto;
+  Codec.Writer.varint w t.era;
+  Codec.Writer.bytes w t.app;
+  Codec.Writer.bytes w t.app_hash;
+  Codec.Writer.bytes w t.chain;
+  let payload = Codec.Writer.contents w in
+  let framed = Codec.Writer.create ~capacity:(String.length payload + 8) () in
+  Codec.Writer.u32 framed (String.length payload);
+  Codec.Writer.u32 framed (Crc32.digest_int payload);
+  Codec.Writer.raw framed payload;
+  Codec.Writer.contents framed
+
+let decode s =
+  match
+    let r = Codec.Reader.of_string s in
+    let plen = Codec.Reader.u32 r in
+    let crc = Codec.Reader.u32 r in
+    let payload = Codec.Reader.raw r plen in
+    if not (Codec.Reader.at_end r) then Error "snapshot: trailing bytes"
+    else if Crc32.digest_int payload <> crc then Error "snapshot: bad CRC"
+    else begin
+      let r = Codec.Reader.of_string payload in
+      if not (String.equal (Codec.Reader.raw r 8) magic) then
+        Error "snapshot: bad magic"
+      else begin
+        let upto = Codec.Reader.varint r in
+        let era = Codec.Reader.varint r in
+        let app = Codec.Reader.bytes r in
+        let app_hash = Codec.Reader.bytes r in
+        let chain = Codec.Reader.bytes r in
+        Ok { upto; era; app; app_hash; chain }
+      end
+    end
+  with
+  | result -> result
+  | exception Codec.Reader.Underflow -> Error "snapshot: truncated"
+
+let restore_chain t = Serial.decode_chain t.chain

@@ -20,5 +20,6 @@ let () =
       ("edges", Test_edges.suite);
       ("adversarial", Test_adversarial.suite);
       ("app", Test_app.suite);
+      ("persist", Test_persist.suite);
       ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite) ]

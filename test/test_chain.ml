@@ -125,6 +125,147 @@ let test_tx_digest () =
     (Fl_crypto.Hex.encode (Tx.digest p));
   Alcotest.(check int) "payload sets size" 10 p.Tx.size
 
+(* ---- replace_suffix × prune interaction ---- *)
+
+let test_store_prune_then_replace () =
+  let store = chain_of_blocks [ 0; 1; 2; 3; 0; 1; 2; 3 ] in
+  Store.prune store ~keep_from:4;
+  Alcotest.(check int) "pruned_below" 4 (Store.pruned_below store);
+  (match Store.get store 2 with
+  | Some b -> Alcotest.(check int) "pruned body dropped" 0 (Array.length b.Block.txs)
+  | None -> Alcotest.fail "pruned header must survive");
+  Alcotest.(check bool) "integrity with pruned prefix" true
+    (Store.check_integrity store);
+  (* Replace the tentative suffix strictly above the prune boundary. *)
+  let prev =
+    match Store.get store 5 with
+    | Some b -> Block.hash b
+    | None -> Alcotest.fail "missing block 5"
+  in
+  let b6 = Block.create ~round:6 ~proposer:1 ~prev_hash:prev (mk_txs ~base:60 2) in
+  let b7 =
+    Block.create ~round:7 ~proposer:2 ~prev_hash:(Block.hash b6)
+      (mk_txs ~base:70 2)
+  in
+  let b8 =
+    Block.create ~round:8 ~proposer:3 ~prev_hash:(Block.hash b7)
+      (mk_txs ~base:80 2)
+  in
+  (match Store.replace_suffix store ~from:6 [ b6; b7; b8 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "replace above prune boundary: %a" Store.pp_error e);
+  Alcotest.(check int) "grew by one" 9 (Store.length store);
+  Alcotest.(check int) "prune boundary untouched" 4 (Store.pruned_below store);
+  Alcotest.(check bool) "integrity after replace" true (Store.check_integrity store);
+  (* Pruning further, past the replaced rounds, must stay coherent. *)
+  Store.prune store ~keep_from:7;
+  Alcotest.(check bool) "integrity after second prune" true
+    (Store.check_integrity store);
+  match Store.get store 6 with
+  | Some b -> Alcotest.(check int) "newly pruned body dropped" 0 (Array.length b.Block.txs)
+  | None -> Alcotest.fail "missing block 6"
+
+let test_store_replace_at_prune_boundary () =
+  let store = chain_of_blocks [ 0; 1; 2; 3; 0; 1 ] in
+  Store.prune store ~keep_from:4;
+  (* The first replacement block links to the hash of a pruned block —
+     pruning keeps headers and memoised hashes, so this must work. *)
+  let prev =
+    match Store.get store 3 with
+    | Some b -> Block.hash b
+    | None -> Alcotest.fail "missing block 3"
+  in
+  let b4 = Block.create ~round:4 ~proposer:3 ~prev_hash:prev (mk_txs ~base:40 2) in
+  (match Store.replace_suffix store ~from:4 [ b4 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "replace at boundary: %a" Store.pp_error e);
+  (* The chain shrank to 5 rounds; the boundary survives and integrity
+     holds (rounds < pruned_below skip the body check, the replaced
+     round carries a full body again). *)
+  Alcotest.(check int) "shrunk" 5 (Store.length store);
+  Alcotest.(check int) "boundary survives" 4 (Store.pruned_below store);
+  Alcotest.(check bool) "integrity" true (Store.check_integrity store);
+  (* A broken replacement at the boundary is rejected and rolls back. *)
+  let bogus =
+    Block.create ~round:4 ~proposer:0 ~prev_hash:Block.genesis_hash (mk_txs 1)
+  in
+  (match Store.replace_suffix store ~from:4 [ bogus ] with
+  | Error Store.Broken_link -> ()
+  | _ -> Alcotest.fail "expected Broken_link at boundary");
+  Alcotest.(check bool) "intact after rejected replace" true
+    (Store.check_integrity store)
+
+(* ---- Serial round-trips ---- *)
+
+let check_same_chain msg original decoded =
+  Alcotest.(check int) (msg ^ ": length") (Store.length original)
+    (Store.length decoded);
+  Alcotest.(check string) (msg ^ ": tip hash") (Store.last_hash original)
+    (Store.last_hash decoded);
+  Alcotest.(check int) (msg ^ ": pruned_below") (Store.pruned_below original)
+    (Store.pruned_below decoded);
+  Alcotest.(check bool) (msg ^ ": integrity") true (Store.check_integrity decoded);
+  for r = 0 to Store.length original - 1 do
+    match (Store.get original r, Store.get decoded r) with
+    | Some a, Some b ->
+        if not (String.equal (Block.hash a) (Block.hash b)) then
+          Alcotest.failf "%s: hash mismatch at round %d" msg r
+    | _ -> Alcotest.failf "%s: missing round %d" msg r
+  done
+
+let test_serial_chain_roundtrip_pruned () =
+  let store = chain_of_blocks [ 0; 1; 2; 3; 0; 1; 2 ] in
+  Store.prune store ~keep_from:3;
+  let bytes = Serial.encode_chain store in
+  (match Serial.decode_chain bytes with
+  | Ok decoded -> check_same_chain "pruned chain" store decoded
+  | Error e -> Alcotest.failf "decode: %s" e);
+  (* Corrupt one byte anywhere past the header: decode must fail, not
+     produce a silently different chain. *)
+  let corrupt =
+    let b = Bytes.of_string bytes in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  in
+  match Serial.decode_chain corrupt with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted chain must not decode"
+
+let test_serial_explorer_chain_roundtrip () =
+  (* Round-trip chains produced by a real adversarial run (the same
+     cluster machinery the schedule explorer drives), not hand-built
+     ones: crash and cold-restart a node mid-run so the stores carry
+     recovery-shaped history. *)
+  let open Fl_fireledger in
+  let config =
+    { (Config.default ~n:4) with
+      Config.batch_size = 20;
+      tx_size = 64;
+      initial_timeout = Fl_sim.Time.ms 20 }
+  in
+  let cluster = Cluster.create ~seed:11 ~config () in
+  Cluster.start cluster;
+  ignore
+    (Fl_sim.Engine.schedule cluster.Cluster.engine ~delay:(Fl_sim.Time.ms 150)
+       (fun () -> Cluster.crash cluster 2));
+  ignore
+    (Fl_sim.Engine.schedule cluster.Cluster.engine ~delay:(Fl_sim.Time.ms 300)
+       (fun () -> Cluster.restart cluster 2));
+  Cluster.run ~until:(Fl_sim.Time.s 1) cluster;
+  Array.iteri
+    (fun i inst ->
+      let store = Instance.store inst in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d made progress" i)
+        true
+        (Store.length store > 5);
+      match Serial.decode_chain (Serial.encode_chain store) with
+      | Ok decoded ->
+          check_same_chain (Printf.sprintf "node %d" i) store decoded
+      | Error e -> Alcotest.failf "node %d decode: %s" i e)
+    cluster.Cluster.instances
+
 let prop_store_roundtrip =
   QCheck.Test.make ~name:"store: append then get returns the block"
     ~count:50
@@ -147,6 +288,14 @@ let suite =
     Alcotest.test_case "store replace rejects broken" `Quick
       test_store_replace_rejects_broken;
     Alcotest.test_case "store sub" `Quick test_store_sub;
+    Alcotest.test_case "store prune then replace" `Quick
+      test_store_prune_then_replace;
+    Alcotest.test_case "store replace at prune boundary" `Quick
+      test_store_replace_at_prune_boundary;
+    Alcotest.test_case "serial roundtrip (pruned chain)" `Quick
+      test_serial_chain_roundtrip_pruned;
+    Alcotest.test_case "serial roundtrip (adversarial cluster chains)" `Quick
+      test_serial_explorer_chain_roundtrip;
     Alcotest.test_case "mempool" `Quick test_mempool;
     Alcotest.test_case "tx digest" `Quick test_tx_digest;
     QCheck_alcotest.to_alcotest prop_store_roundtrip ]

@@ -1,0 +1,414 @@
+(* Unit tests for the durable-persistence layer (lib/persist):
+   WAL framing/replay/power-fail images, snapshot round-trips,
+   the recovery procedure, the simulated disk model, and the per-node
+   facade end-to-end (power fail → recover). *)
+
+open Fl_sim
+open Fl_chain
+open Fl_persist
+
+(* Build [count] well-linked blocks (rounds 0..count-1). *)
+let mk_blocks count =
+  let store = Test_chain.chain_of_blocks (List.init count (fun i -> i mod 4)) in
+  Store.sub store ~from:0
+
+let sig_of round = Printf.sprintf "sig-%d" round
+
+let record_eq a b = String.equal (Wal.encode_record a) (Wal.encode_record b)
+
+(* ---- WAL ---- *)
+
+let test_wal_record_roundtrip () =
+  let blocks = mk_blocks 2 in
+  let records =
+    [ Wal.Append { block = List.nth blocks 0; signature = sig_of 0 };
+      Wal.Append { block = List.nth blocks 1; signature = sig_of 1 };
+      Wal.Truncate { from = 1 };
+      (* upto = -1 is a legal bare era watermark (pre-first-definite) *)
+      Wal.Definite { upto = -1; era = 2 };
+      Wal.Definite { upto = 7; era = 3 } ]
+  in
+  List.iter
+    (fun r ->
+      match Wal.decode_record (Wal.encode_record r) with
+      | Ok r' ->
+          Alcotest.(check bool) "record round-trips" true (record_eq r r')
+      | Error e -> Alcotest.failf "decode: %s" e)
+    records;
+  (match Wal.decode_record "\x09garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag must not decode");
+  match Wal.decode_record "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty record must not decode"
+
+let test_wal_replay_prefix () =
+  let wal = Wal.create ~segment_bytes:(1 lsl 16) in
+  let blocks = mk_blocks 5 in
+  let records =
+    List.mapi (fun i b -> Wal.Append { block = b; signature = sig_of i }) blocks
+  in
+  List.iter (fun r -> ignore (Wal.append wal r)) records;
+  (* Only the first three frames are durable. *)
+  Wal.mark_durable_upto wal 3;
+  Alcotest.(check int) "pending" 2 (Wal.pending_frames wal);
+  let clean = Wal.power_fail_image wal ~torn:false in
+  let r = Wal.replay_media clean in
+  Alcotest.(check int) "durable prefix survives" 3 (List.length r.Wal.records);
+  Alcotest.(check bool) "no torn tail" false r.Wal.torn;
+  List.iteri
+    (fun i rec_ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d intact" i)
+        true
+        (record_eq rec_ (List.nth records i)))
+    r.Wal.records;
+  (* A torn tail: the same prefix plus a fragment of frame 4 — replay
+     must detect and discard it. *)
+  let torn = Wal.power_fail_image wal ~torn:true in
+  Alcotest.(check bool) "torn image is longer" true
+    (String.length torn > String.length clean);
+  let r = Wal.replay_media torn in
+  Alcotest.(check int) "torn fragment discarded" 3 (List.length r.Wal.records);
+  Alcotest.(check bool) "torn detected" true r.Wal.torn
+
+let test_wal_corrupt_frame () =
+  let wal = Wal.create ~segment_bytes:(1 lsl 16) in
+  List.iteri
+    (fun i b -> ignore (Wal.append wal (Wal.Append { block = b; signature = sig_of i })))
+    (mk_blocks 3);
+  Wal.mark_durable wal;
+  let media = Wal.power_fail_image wal ~torn:false in
+  (* Flip a payload byte in the middle: CRC must catch it and replay
+     must stop at the corrupt frame, keeping the prefix. *)
+  let b = Bytes.of_string media in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+  let r = Wal.replay_media (Bytes.to_string b) in
+  Alcotest.(check bool) "corruption detected" true r.Wal.torn;
+  Alcotest.(check bool) "prefix only" true (List.length r.Wal.records < 3)
+
+let test_wal_segments_truncate () =
+  (* Tiny segments: every append seals one. *)
+  let wal = Wal.create ~segment_bytes:64 in
+  let blocks = mk_blocks 6 in
+  List.iteri
+    (fun i b -> ignore (Wal.append wal (Wal.Append { block = b; signature = sig_of i })))
+    blocks;
+  Wal.mark_durable wal;
+  Alcotest.(check bool) "multiple segments" true (Wal.segments wal > 3);
+  let before = Wal.total_frames wal in
+  (* A snapshot at round 3 supersedes segments whose records all
+     concern rounds <= 3. *)
+  let dropped = Wal.truncate wal ~upto:3 in
+  Alcotest.(check bool) "segments dropped" true (dropped > 0);
+  Alcotest.(check bool) "frames reclaimed" true (Wal.total_frames wal < before);
+  Alcotest.(check int) "truncated counter" dropped (Wal.truncated_segments wal);
+  (* The survivors still replay cleanly and cover the suffix. *)
+  let r = Wal.replay_media (Wal.power_fail_image wal ~torn:false) in
+  Alcotest.(check bool) "suffix replays" false r.Wal.torn;
+  List.iter
+    (fun rec_ ->
+      Alcotest.(check bool) "only suffix rounds survive" true
+        (Wal.round_of rec_ > 3))
+    r.Wal.records
+
+(* ---- Snapshot ---- *)
+
+let test_snapshot_roundtrip () =
+  let store = Test_chain.chain_of_blocks [ 0; 1; 2; 3; 0; 1 ] in
+  Store.prune store ~keep_from:2;
+  let snap =
+    match
+      Snapshot.build ~store ~upto:4 ~era:2 ~app:"app-payload" ~app_hash:"abcd"
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "build failed"
+  in
+  (match Snapshot.decode (Snapshot.encode snap) with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok s ->
+      Alcotest.(check int) "upto" 4 s.Snapshot.upto;
+      Alcotest.(check int) "era" 2 s.Snapshot.era;
+      Alcotest.(check string) "app" "app-payload" s.Snapshot.app;
+      Alcotest.(check string) "app hash" "abcd" s.Snapshot.app_hash;
+      match Snapshot.restore_chain s with
+      | Error e -> Alcotest.failf "restore: %s" e
+      | Ok prefix ->
+          Alcotest.(check int) "prefix length" 5 (Store.length prefix);
+          Alcotest.(check int) "prune boundary carried" 2
+            (Store.pruned_below prefix);
+          Alcotest.(check bool) "prefix integrity" true
+            (Store.check_integrity prefix);
+          let tip_src =
+            match Store.get store 4 with Some b -> Block.hash b | None -> ""
+          in
+          Alcotest.(check string) "tip hash" tip_src (Store.last_hash prefix));
+  (* Corruption anywhere must be rejected. *)
+  let enc = Snapshot.encode snap in
+  let b = Bytes.of_string enc in
+  Bytes.set b (Bytes.length b - 3)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b - 3)) lxor 0x10));
+  (match Snapshot.decode (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt snapshot must not decode");
+  match Snapshot.decode (String.sub enc 0 (String.length enc - 5)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated snapshot must not decode"
+
+(* ---- Recovery ---- *)
+
+let wal_media_of records =
+  let wal = Wal.create ~segment_bytes:(1 lsl 16) in
+  List.iter (fun r -> ignore (Wal.append wal r)) records;
+  Wal.mark_durable wal;
+  Wal.power_fail_image wal ~torn:false
+
+let test_recovery_snapshot_plus_suffix () =
+  let blocks = mk_blocks 8 in
+  let store = Test_chain.chain_of_blocks (List.init 8 (fun i -> i mod 4)) in
+  let snap =
+    match Snapshot.build ~store ~upto:4 ~era:1 ~app:"" ~app_hash:"" with
+    | Some s -> Snapshot.encode s
+    | None -> Alcotest.fail "snapshot build"
+  in
+  let suffix =
+    List.filteri (fun i _ -> i > 4) blocks
+    |> List.map (fun b ->
+           Wal.Append
+             { block = b;
+               signature = sig_of b.Block.header.Header.round })
+  in
+  let media = wal_media_of (suffix @ [ Wal.Definite { upto = 5; era = 1 } ]) in
+  let r = Recovery.run ~snapshot_media:(Some snap) ~wal_media:media ~app:None in
+  Alcotest.(check bool) "from snapshot" true r.Recovery.r_from_snapshot;
+  Alcotest.(check bool) "not torn" false r.Recovery.r_torn;
+  Alcotest.(check int) "full chain rebuilt" 8 (Store.length r.Recovery.r_store);
+  Alcotest.(check int) "definite watermark" 5 r.Recovery.r_definite;
+  Alcotest.(check bool) "store integrity" true
+    (Store.check_integrity r.Recovery.r_store);
+  Alcotest.(check (list int)) "sigs for WAL suffix only" [ 5; 6; 7 ]
+    (List.map fst r.Recovery.r_sigs);
+  List.iter
+    (fun (round, s) -> Alcotest.(check string) "sig content" (sig_of round) s)
+    r.Recovery.r_sigs
+
+let test_recovery_truncate_replay () =
+  (* WAL: append 0..4, recovery truncates from 3, appends new 3',4'. *)
+  let store = Test_chain.chain_of_blocks [ 0; 1; 2; 3; 0 ] in
+  let old_blocks = Store.sub store ~from:0 in
+  let prev = match Store.get store 2 with Some b -> Block.hash b | None -> "" in
+  let b3 =
+    Block.create ~round:3 ~proposer:1 ~prev_hash:prev
+      (Test_chain.mk_txs ~base:300 2)
+  in
+  let b4 =
+    Block.create ~round:4 ~proposer:2 ~prev_hash:(Block.hash b3)
+      (Test_chain.mk_txs ~base:400 2)
+  in
+  let records =
+    List.map
+      (fun b ->
+        Wal.Append
+          { block = b; signature = sig_of b.Block.header.Header.round })
+      old_blocks
+    @ [ Wal.Truncate { from = 3 };
+        Wal.Append { block = b3; signature = "sig-3b" };
+        Wal.Append { block = b4; signature = "sig-4b" };
+        Wal.Definite { upto = 2; era = 0 } ]
+  in
+  let r =
+    Recovery.run ~snapshot_media:None ~wal_media:(wal_media_of records)
+      ~app:None
+  in
+  Alcotest.(check int) "length" 5 (Store.length r.Recovery.r_store);
+  Alcotest.(check bool) "integrity" true
+    (Store.check_integrity r.Recovery.r_store);
+  (match Store.get r.Recovery.r_store 3 with
+  | Some b ->
+      Alcotest.(check string) "replacement adopted" (Block.hash b3)
+        (Block.hash b)
+  | None -> Alcotest.fail "missing round 3");
+  (* the replaced rounds carry the replacement signatures *)
+  Alcotest.(check string) "sig replaced" "sig-3b"
+    (List.assoc 3 r.Recovery.r_sigs)
+
+let test_recovery_nothing_durable () =
+  let r = Recovery.run ~snapshot_media:None ~wal_media:"" ~app:None in
+  Alcotest.(check int) "empty store" 0 (Store.length r.Recovery.r_store);
+  Alcotest.(check int) "no definite" (-1) r.Recovery.r_definite;
+  Alcotest.(check bool) "not from snapshot" false r.Recovery.r_from_snapshot
+
+(* ---- Disk model ---- *)
+
+let test_disk_model () =
+  let e = Engine.create () in
+  let d = Disk.create e ~profile:Disk.nvme () in
+  let f1 = Disk.write d ~bytes:4096 in
+  let f2 = Disk.write d ~bytes:4096 in
+  Alcotest.(check bool) "writes serialize" true (f2 > f1);
+  Alcotest.(check int) "bytes accounted" 8192 (Disk.bytes_written d);
+  (* fsync from a fiber blocks past the queue drain and any stall. *)
+  Disk.set_stall d ~until:(Time.ms 50);
+  let done_at = ref 0 in
+  Fiber.spawn e (fun () ->
+      Disk.fsync d;
+      done_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check bool)
+    (Printf.sprintf "stall delays fsync (done at %d)" !done_at)
+    true
+    (!done_at >= Time.ms 50);
+  Alcotest.(check int) "fsync counted" 1 (Disk.fsyncs d);
+  Alcotest.(check bool) "not lost" false (Disk.lost d);
+  Disk.lose d;
+  Alcotest.(check bool) "lost" true (Disk.lost d)
+
+(* ---- Node facade end-to-end ---- *)
+
+let node_config =
+  { Node.default_config with
+    Node.sync = Node.Never;
+    (* manual sync in these tests *)
+    snapshot_interval = 0 }
+
+let test_node_power_fail_recover () =
+  let e = Engine.create () in
+  let n = Node.create e ~config:node_config () in
+  let blocks = mk_blocks 6 in
+  Fiber.spawn e (fun () ->
+      (* 0..3 logged and synced; 4..5 logged but never durable *)
+      List.iteri
+        (fun i b ->
+          if i < 4 then
+            Node.log_append n ~block:b
+              ~signature:(sig_of b.Block.header.Header.round))
+        blocks;
+      Node.log_definite n ~upto:1 ~era:0 (List.nth blocks 1);
+      Node.sync n;
+      List.iteri
+        (fun i b ->
+          if i >= 4 then
+            Node.log_append n ~block:b
+              ~signature:(sig_of b.Block.header.Header.round))
+        blocks);
+  Engine.run e;
+  Node.power_fail n ~torn:true;
+  Alcotest.(check bool) "dead after power fail" false (Node.live n);
+  Alcotest.(check bool) "media non-empty" true (Node.media_bytes n > 0);
+  (match Node.recover n with
+  | None -> Alcotest.fail "expected recovered state"
+  | Some r ->
+      Alcotest.(check int) "durable prefix only" 4
+        (Store.length r.Recovery.r_store);
+      Alcotest.(check int) "definite watermark" 1 r.Recovery.r_definite;
+      Alcotest.(check bool) "torn tail discarded" true r.Recovery.r_torn);
+  Alcotest.(check bool) "live again" true (Node.live n);
+  let st = Node.stats n in
+  Alcotest.(check int) "one recovery" 1 st.Node.s_recovers;
+  Alcotest.(check int) "one torn discard" 1 st.Node.s_torn_discards;
+  Alcotest.(check bool) "records replayed" true (st.Node.s_replayed >= 5)
+
+let test_node_disk_loss () =
+  let e = Engine.create () in
+  let n = Node.create e ~config:node_config () in
+  Fiber.spawn e (fun () ->
+      List.iter
+        (fun b ->
+          Node.log_append n ~block:b
+            ~signature:(sig_of b.Block.header.Header.round))
+        (mk_blocks 3);
+      Node.sync n);
+  Engine.run e;
+  Node.lose_media n;
+  Alcotest.(check int) "nothing on media" 0 (Node.media_bytes n);
+  (match Node.recover n with
+  | None -> () (* cold start: caller catches up over the network *)
+  | Some _ -> Alcotest.fail "disk loss must leave nothing to recover");
+  Alcotest.(check bool) "live again" true (Node.live n)
+
+let test_node_snapshot_truncates_wal () =
+  let e = Engine.create () in
+  let store = Test_chain.chain_of_blocks (List.init 12 (fun i -> i mod 4)) in
+  let config =
+    { Node.default_config with
+      Node.sync = Node.Never;
+      segment_bytes = 128;
+      (* force many sealed segments *)
+      snapshot_interval = 4 }
+  in
+  let n = Node.create e ~config () in
+  Node.attach_chain n (fun () -> (store, 8, 0));
+  Fiber.spawn e (fun () ->
+      Store.iter store (fun b ->
+          Node.log_append n ~block:b
+            ~signature:(sig_of b.Block.header.Header.round));
+      for upto = 0 to 8 do
+        match Store.get store upto with
+        | Some b -> Node.log_definite n ~upto ~era:0 b
+        | None -> ()
+      done;
+      Node.sync n);
+  Engine.run e;
+  let st = Node.stats n in
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshots taken (%d)" st.Node.s_snapshots)
+    true (st.Node.s_snapshots >= 1);
+  (* Crash and recover: the snapshot is the base, the WAL suffix tops
+     it up to the full chain. *)
+  Node.power_fail n ~torn:false;
+  match Node.recover n with
+  | None -> Alcotest.fail "expected durable state"
+  | Some r ->
+      Alcotest.(check bool) "recovered from snapshot" true
+        r.Recovery.r_from_snapshot;
+      Alcotest.(check int) "full chain back" 12
+        (Store.length r.Recovery.r_store);
+      Alcotest.(check int) "definite watermark" 8 r.Recovery.r_definite;
+      Alcotest.(check bool) "integrity" true
+        (Store.check_integrity r.Recovery.r_store)
+
+let test_node_group_commit_flusher () =
+  let e = Engine.create () in
+  let config =
+    { node_config with Node.sync = Node.Group_commit (Time.ms 2) }
+  in
+  let n = Node.create e ~config () in
+  Node.maybe_start_flusher n;
+  Fiber.spawn e (fun () ->
+      List.iter
+        (fun b ->
+          Node.log_append n ~block:b
+            ~signature:(sig_of b.Block.header.Header.round))
+        (mk_blocks 4));
+  (* Run well past a few flush intervals; the group-commit flusher
+     must have made everything durable without an explicit sync. *)
+  Engine.run ~until:(Time.ms 20) e;
+  Node.power_fail n ~torn:false;
+  match Node.recover n with
+  | None -> Alcotest.fail "expected durable state"
+  | Some r ->
+      Alcotest.(check int) "group commit flushed all" 4
+        (Store.length r.Recovery.r_store)
+
+let suite =
+  [ Alcotest.test_case "wal record roundtrip" `Quick test_wal_record_roundtrip;
+    Alcotest.test_case "wal replay durable prefix" `Quick test_wal_replay_prefix;
+    Alcotest.test_case "wal corrupt frame" `Quick test_wal_corrupt_frame;
+    Alcotest.test_case "wal segments + truncate" `Quick
+      test_wal_segments_truncate;
+    Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "recovery snapshot+suffix" `Quick
+      test_recovery_snapshot_plus_suffix;
+    Alcotest.test_case "recovery truncate replay" `Quick
+      test_recovery_truncate_replay;
+    Alcotest.test_case "recovery nothing durable" `Quick
+      test_recovery_nothing_durable;
+    Alcotest.test_case "disk model" `Quick test_disk_model;
+    Alcotest.test_case "node power fail + recover" `Quick
+      test_node_power_fail_recover;
+    Alcotest.test_case "node disk loss" `Quick test_node_disk_loss;
+    Alcotest.test_case "node snapshot truncates wal" `Quick
+      test_node_snapshot_truncates_wal;
+    Alcotest.test_case "node group commit flusher" `Quick
+      test_node_group_commit_flusher ]

@@ -67,6 +67,24 @@ let mini_pbft () =
   Fl_baselines.Pbft_cluster.start pb;
   Fl_baselines.Pbft_cluster.run ~until:(Fl_sim.Time.ms 200) pb
 
+(* Codec micro-bench: the wire codec sits on every message hop, so its
+   cost is part of the simulator's own overhead (not simulated time).
+   The key kernels compare [Msg.ob_key]'s plain concatenation against
+   the [Printf.sprintf "ob:%d:%d:%d"] it replaced — the ~6x gap cited
+   in lib/fireledger/msg.ml is measured here. *)
+let codec_msg =
+  let txs = Array.init 100 (fun i -> Fl_chain.Tx.create ~id:i ~size:128) in
+  let block =
+    Fl_chain.Block.create ~round:1 ~proposer:0
+      ~prev_hash:Fl_chain.Block.genesis_hash txs
+  in
+  Fl_fireledger.Msg.Body
+    { body_hash = block.Fl_chain.Block.header.Fl_chain.Header.body_hash;
+      txs;
+      ttl = 1 }
+
+let codec_msg_bytes = Fl_fireledger.Msg.encode codec_msg
+
 let micro_tests =
   [ (* Figure 5 calibration: the real crypto kernels. *)
     Test.make ~name:"fig5/sha256-4KiB"
@@ -89,6 +107,17 @@ let micro_tests =
       (Staged.stage
          (let leaves = List.init 1000 string_of_int in
           fun () -> Fl_crypto.Merkle.root leaves));
+    (* Codec kernels: encode/decode of a 100-tx block body frame and
+       the per-dispatch channel-key builders. *)
+    Test.make ~name:"codec/encode-body-100tx"
+      (Staged.stage (fun () -> Fl_fireledger.Msg.encode codec_msg));
+    Test.make ~name:"codec/decode-body-100tx"
+      (Staged.stage (fun () -> Fl_fireledger.Msg.decode codec_msg_bytes));
+    Test.make ~name:"codec/ob-key-concat"
+      (Staged.stage (fun () ->
+           Fl_fireledger.Msg.ob_key ~era:3 ~round:12345 ~attempt:2));
+    Test.make ~name:"codec/ob-key-sprintf"
+      (Staged.stage (fun () -> Printf.sprintf "ob:%d:%d:%d" 3 12345 2));
     (* One miniature kernel per simulated table/figure. *)
     Test.make ~name:"table1/fireledger-round-kernel"
       (Staged.stage (mini_flo ~n:4 ~workers:1 ~batch:10 ~byzantine:false));

@@ -19,6 +19,9 @@ let pp_report verbose (r : Explorer.report) =
   Printf.printf "plan      %s\n" (Plan.to_string r.Explorer.plan);
   Printf.printf "progress  min-definite=%d max-round=%d recoveries=%d\n"
     r.Explorer.min_definite r.Explorer.max_round r.Explorer.recoveries;
+  if r.Explorer.corrupted > 0 || r.Explorer.decode_errors > 0 then
+    Printf.printf "wire      corrupted=%d decode-errors=%d\n"
+      r.Explorer.corrupted r.Explorer.decode_errors;
   Printf.printf "engine    events=%d%s\n" r.Explorer.events
     (if r.Explorer.truncated then " (step budget exhausted)" else "");
   if r.Explorer.total_violations = 0 then
@@ -40,8 +43,8 @@ let summarise (s : Explorer.summary) =
   let tbl =
     Fl_harness.Table.create ~title:"schedule exploration"
       ~columns:
-        [ "seed"; "n"; "faults"; "min-def"; "max-round"; "recov"; "events";
-          "violations" ]
+        [ "seed"; "n"; "faults"; "min-def"; "max-round"; "recov"; "corrupt";
+          "decode-err"; "events"; "violations" ]
   in
   List.iter
     (fun (r : Explorer.report) ->
@@ -52,16 +55,19 @@ let summarise (s : Explorer.summary) =
           string_of_int r.Explorer.min_definite;
           string_of_int r.Explorer.max_round;
           string_of_int r.Explorer.recoveries;
+          string_of_int r.Explorer.corrupted;
+          string_of_int r.Explorer.decode_errors;
           Fl_harness.Table.cell_i r.Explorer.events;
           string_of_int r.Explorer.total_violations ])
     s.Explorer.reports;
   print_string (Fl_harness.Table.render tbl)
 
-let run seeds base_seed budget_ms n replay plan_str inject_fork disk no_shrink
-    verbose =
+let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
+    no_shrink verbose =
   let n = if n = 0 then None else Some n in
   let inject_fork = if inject_fork then Some true else None in
   let with_disk_faults = if disk then Some true else None in
+  let with_corrupt_faults = if corrupt then Some true else None in
   let persist =
     if disk then Some Fl_persist.Node.default_config else None
   in
@@ -94,15 +100,15 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork disk no_shrink
       match replay with
       | Some seed ->
           let r =
-            Explorer.run_seed ?inject_fork ?with_disk_faults ?persist ?n
-              ~budget_ms seed
+            Explorer.run_seed ?inject_fork ?with_disk_faults
+              ?with_corrupt_faults ?persist ?n ~budget_ms seed
           in
           pp_report true r;
           finish_failure r
       | None ->
           let s =
-            Explorer.explore ?inject_fork ?with_disk_faults ?persist ?n ~seeds
-              ~base_seed ~budget_ms ()
+            Explorer.explore ?inject_fork ?with_disk_faults
+              ?with_corrupt_faults ?persist ?n ~seeds ~base_seed ~budget_ms ()
           in
           if verbose || List.length s.Explorer.reports <= 40 then summarise s;
           Printf.printf
@@ -118,8 +124,8 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork disk no_shrink
               Printf.printf "\nfirst failure: seed %d\n" seed;
               (* replay the exact seed to confirm determinism *)
               let again =
-                Explorer.run_seed ?inject_fork ?with_disk_faults ?persist ?n
-                  ~budget_ms seed
+                Explorer.run_seed ?inject_fork ?with_disk_faults
+                  ?with_corrupt_faults ?persist ?n ~budget_ms seed
               in
               Printf.printf "replay    %s\n"
                 (if
@@ -174,6 +180,16 @@ let cmd =
              (torn WAL tails, disk loss, fsync stalls); recovery and \
              application-state oracles apply.")
   in
+  let corrupt =
+    Arg.(
+      value & flag
+      & info [ "corrupt" ]
+          ~doc:
+            "Additionally draw byte-corruption windows: wire frames are \
+             bit-flipped or truncated in flight and receivers must \
+             CRC-reject them (observable as decode errors, never as an \
+             exception or an oracle violation).")
+  in
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip shrinking on failure.")
   in
@@ -185,6 +201,6 @@ let cmd =
           oracles, seed replay and shrinking.")
     Term.(
       const run $ seeds $ base_seed $ budget_ms $ n $ replay $ plan
-      $ inject_fork $ disk $ no_shrink $ verbose)
+      $ inject_fork $ disk $ corrupt $ no_shrink $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,7 @@
 open Fl_sim
 open Fl_net
 open Fl_chain
+open Fl_wire
 
 type qc = { qc_view : int; qc_hash : string }
 
@@ -18,6 +19,62 @@ type msg =
   | Vote of { view : int; hash : string }
   | New_view of { view : int; qc : qc }
 
+(* HotStuff's own top-level codec: like every protocol, it travels the
+   network as framed bytes and the NIC is charged the encoding's
+   length. *)
+let write_qc w q =
+  Codec.Writer.varint w q.qc_view;
+  Codec.Writer.bytes w q.qc_hash
+
+let read_qc r =
+  let qc_view = Codec.Reader.varint r in
+  let qc_hash = Codec.Reader.bytes r in
+  { qc_view; qc_hash }
+
+let write_block w b =
+  Codec.Writer.varint w b.b_view;
+  Codec.Writer.bytes w b.b_parent;
+  write_qc w b.b_justify;
+  Serial.encode_txs w b.b_txs;
+  Codec.Writer.bytes w b.b_hash;
+  Codec.Writer.varint w b.b_created
+
+let read_block r =
+  let b_view = Codec.Reader.varint r in
+  let b_parent = Codec.Reader.bytes r in
+  let b_justify = read_qc r in
+  let b_txs = Serial.decode_txs r in
+  let b_hash = Codec.Reader.bytes r in
+  let b_created = Codec.Reader.varint r in
+  { b_view; b_parent; b_justify; b_txs; b_hash; b_created }
+
+let encode = function
+  | Proposal b -> Envelope.seal ~tag:0 (fun w -> write_block w b)
+  | Vote { view; hash } ->
+      Envelope.seal ~tag:1 (fun w ->
+          Codec.Writer.varint w view;
+          Codec.Writer.bytes w hash)
+  | New_view { view; qc } ->
+      Envelope.seal ~tag:2 (fun w ->
+          Codec.Writer.varint w view;
+          write_qc w qc)
+
+let decode s =
+  Msg_codec.decode_frame
+    (fun tag r ->
+      match tag with
+      | 0 -> Proposal (read_block r)
+      | 1 ->
+          let view = Codec.Reader.varint r in
+          let hash = Codec.Reader.bytes r in
+          Vote { view; hash }
+      | 2 ->
+          let view = Codec.Reader.varint r in
+          let qc = read_qc r in
+          New_view { view; qc }
+      | t -> raise (Codec.Malformed (Printf.sprintf "hotstuff: tag %d" t)))
+    s
+
 let genesis_hash = Fl_crypto.Sha256.digest "hotstuff-genesis"
 let genesis_qc = { qc_view = 0; qc_hash = genesis_hash }
 
@@ -33,7 +90,7 @@ type replica = {
   recorder : Fl_metrics.Recorder.t;
   cost : Fl_crypto.Cost_model.t;
   cpu : Cpu.t;
-  net : msg Net.t;
+  net : Net.t;
   batch_size : int;
   tx_size : int;
   mutable view : int;
@@ -66,9 +123,6 @@ let charge_hash r ~bytes =
   Cpu.charge r.cpu (Fl_crypto.Cost_model.hash_cost r.cost ~bytes)
 
 let body_bytes txs = Array.fold_left (fun acc tx -> acc + tx.Tx.size) 0 txs
-
-let proposal_size b =
-  Array.fold_left (fun acc tx -> acc + Tx.wire_size tx) 200 b.b_txs
 
 let reset_deadline r =
   let t = r.base_timeout * (1 lsl min 8 r.timeouts) in
@@ -157,7 +211,7 @@ let propose r ~view =
        pre-inserting the block would make the handler treat it as a
        duplicate and lose the leader's vote, which is fatal when the
        quorum is all n. *)
-    Net.broadcast r.net ~src:r.id ~size:(proposal_size b) (Proposal b)
+    Net.broadcast r.net ~src:r.id (encode (Proposal b))
   end
 
 let add_set tbl key src =
@@ -201,8 +255,7 @@ let handle r (src, m) =
           Fl_metrics.Recorder.incr r.recorder "hs_signatures";
           Net.send r.net ~src:r.id
             ~dst:(leader_of r (b.b_view + 1))
-            ~size:96
-            (Vote { view = b.b_view; hash = b.b_hash })
+            (encode (Vote { view = b.b_view; hash = b.b_hash }))
         end
       end
   | Vote { view; hash } ->
@@ -236,8 +289,8 @@ let pacemaker r =
       r.view <- r.view + 1;
       Fl_metrics.Recorder.incr r.recorder "hs_timeouts";
       reset_deadline r;
-      Net.send r.net ~src:r.id ~dst:(leader_of r r.view) ~size:128
-        (New_view { view = r.view; qc = r.high_qc })
+      Net.send r.net ~src:r.id ~dst:(leader_of r r.view)
+        (encode (New_view { view = r.view; qc = r.high_qc }))
     end;
     loop ()
   in
@@ -300,11 +353,15 @@ let start t =
       | Some r ->
           reset_deadline r;
           (* bootstrap: everyone nominates the first leader *)
-          Net.send r.net ~src:r.id ~dst:(leader_of r 1) ~size:128
-            (New_view { view = 1; qc = genesis_qc });
+          Net.send r.net ~src:r.id ~dst:(leader_of r 1)
+            (encode (New_view { view = 1; qc = genesis_qc }));
           Fiber.spawn r.engine (fun () ->
               while true do
-                handle r (Mailbox.recv (Net.inbox r.net r.id))
+                let src, frame = Mailbox.recv (Net.inbox r.net r.id) in
+                match decode frame with
+                | Some m -> handle r (src, m)
+                | None ->
+                    Fl_metrics.Recorder.incr r.recorder "decode_errors"
               done);
           Fiber.spawn r.engine (fun () -> pacemaker r))
     t.replicas

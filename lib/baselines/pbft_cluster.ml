@@ -2,6 +2,20 @@ open Fl_sim
 open Fl_net
 open Fl_chain
 open Fl_consensus
+open Fl_wire
+
+(* The baseline's top-level codec: PBFT's in-body codec under a
+   one-tag envelope, with wire-true transactions as payloads. *)
+let encode_msg m =
+  Envelope.seal ~tag:0 (fun w -> Pbft.write_msg Serial.encode_tx w m)
+
+let decode_msg s =
+  Msg_codec.decode_frame
+    (fun tag r ->
+      if tag <> 0 then
+        raise (Codec.Malformed (Printf.sprintf "pbft_cluster: tag %d" tag));
+      Pbft.read_msg Serial.decode_tx r)
+    s
 
 type node = {
   id : int;
@@ -41,9 +55,7 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
     match inflight_per_node with Some w -> w | None -> batch_size
   in
   let config =
-    { (Pbft.default_config ~payload_size:Tx.wire_size
-         ~payload_digest:tx_digest)
-      with
+    { (Pbft.default_config ~payload_digest:tx_digest) with
       Pbft.max_batch = batch_size;
       window = 8;
       base_timeout = Time.ms 300;
@@ -63,10 +75,15 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
     (fun i _ ->
       if not (crashed i) then begin
         let hub_key (_ : Tx.t Pbft.msg) = "pbft" in
-        let hub = Hub.create engine ~inbox:(Net.inbox net i) ~key:hub_key in
+        let hub =
+          Hub.create engine ~inbox:(Net.inbox net i) ~decode:decode_msg
+            ~on_malformed:(fun ~src:_ ~bytes:_ ->
+              Fl_metrics.Recorder.incr recorder "decode_errors")
+            ~key:hub_key ()
+        in
         let channel =
-          Channel.of_hub hub ~key:"pbft" ~net ~self:i ~f ~inj:Fun.id
-            ~prj:Fun.id
+          Channel.of_hub hub ~key:"pbft" ~net ~self:i ~f ~encode:encode_msg
+            ~inj:Fun.id ~prj:Fun.id
         in
         (* The deliver closure reads the node through its slot, which
            is filled right below — delivery can only happen once the

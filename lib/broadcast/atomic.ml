@@ -2,9 +2,8 @@ open Fl_consensus
 
 type 'a t = { pbft : 'a Pbft.t }
 
-let create engine ~recorder ~channel ~cpu ~payload_size ~payload_digest
-    ~deliver =
-  let config = Pbft.default_config ~payload_size ~payload_digest in
+let create engine ~recorder ~channel ~cpu ~payload_digest ~deliver =
+  let config = Pbft.default_config ~payload_digest in
   let pbft =
     Pbft.create engine ~recorder ~channel ~cpu ~config
       ~deliver:(fun ~seq:_ payload -> deliver payload)

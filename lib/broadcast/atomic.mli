@@ -17,7 +17,6 @@ val create :
   recorder:Fl_metrics.Recorder.t ->
   channel:'a Fl_consensus.Pbft.msg Channel.t ->
   cpu:Cpu.t ->
-  payload_size:('a -> int) ->
   payload_digest:('a -> string) ->
   deliver:('a -> unit) ->
   'a t

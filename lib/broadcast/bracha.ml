@@ -1,11 +1,40 @@
 open Fl_sim
 open Fl_net
+open Fl_wire
 
 type 'a msg =
   | Send of { origin : int; tag : int; payload : 'a }
   | Echo of { origin : int; tag : int; payload : 'a }
   | Ready of { origin : int; tag : int; payload : 'a }
   | Stop
+
+(* In-body codec, parameterized over the payload codec; the carrier
+   protocol (WRB's [Rb]) owns the envelope. *)
+let write_msg write_payload w m =
+  let body tag origin inst payload =
+    Codec.Writer.u8 w tag;
+    Codec.Writer.varint w origin;
+    Codec.Writer.varint w inst;
+    write_payload w payload
+  in
+  match m with
+  | Send { origin; tag; payload } -> body 0 origin tag payload
+  | Echo { origin; tag; payload } -> body 1 origin tag payload
+  | Ready { origin; tag; payload } -> body 2 origin tag payload
+  | Stop -> Codec.Writer.u8 w 3
+
+let read_msg read_payload r =
+  match Codec.Reader.u8 r with
+  | 3 -> Stop
+  | t when t <= 2 ->
+      let origin = Codec.Reader.varint r in
+      let tag = Codec.Reader.varint r in
+      let payload = read_payload r in
+      (match t with
+      | 0 -> Send { origin; tag; payload }
+      | 1 -> Echo { origin; tag; payload }
+      | _ -> Ready { origin; tag; payload })
+  | t -> raise (Codec.Malformed (Printf.sprintf "bracha: tag %d" t))
 
 (* Per (origin, tag) instance. Votes are keyed by payload digest so an
    equivocating origin cannot assemble a quorum across payloads. *)
@@ -22,7 +51,6 @@ type 'a t = {
   engine : Engine.t;
   recorder : Fl_metrics.Recorder.t;
   channel : 'a msg Channel.t;
-  payload_size : 'a -> int;
   payload_digest : 'a -> string;
   deliver : origin:int -> tag:int -> 'a -> unit;
   instances : (int * int, 'a instance) Hashtbl.t;
@@ -64,12 +92,7 @@ let vote_count tbl digest =
   | Some s -> Hashtbl.length s
   | None -> 0
 
-let msg_wire_size t = function
-  | Send { payload; _ } | Echo { payload; _ } | Ready { payload; _ } ->
-      t.payload_size payload + 16
-  | Stop -> 0
-
-let bcast t m = t.channel.Channel.bcast ~size:(msg_wire_size t m) m
+let bcast t m = t.channel.Channel.bcast m
 
 let send_ready t key i payload digest =
   if not i.readied then begin
@@ -124,12 +147,11 @@ let handle t (src, msg) =
         try_deliver t (origin, tag) i digest
       end
 
-let create engine ~recorder ~channel ~payload_size ~payload_digest ~deliver =
+let create engine ~recorder ~channel ~payload_digest ~deliver =
   let t =
     { engine;
       recorder;
       channel;
-      payload_size;
       payload_digest;
       deliver;
       instances = Hashtbl.create 16;
@@ -148,7 +170,7 @@ let broadcast t ~tag payload =
 
 let stop t =
   if not t.stopped then
-    t.channel.Channel.send ~dst:t.channel.Channel.self ~size:0 Stop
+    t.channel.Channel.send ~dst:t.channel.Channel.self Stop
 
 (* Synchronous stop for teardown paths where the [stop] self-send
    cannot be delivered any more (cold restart replaced the inbox). *)

@@ -24,13 +24,25 @@ type 'a msg =
 (** Exposed so tests and Byzantine adversaries can inject raw protocol
     traffic (e.g. an equivocating SEND). *)
 
+val write_msg :
+  (Fl_wire.Codec.Writer.t -> 'a -> unit) ->
+  Fl_wire.Codec.Writer.t ->
+  'a msg ->
+  unit
+(** In-body codec, parameterized over the payload codec; the carrier
+    protocol owns the envelope. *)
+
+val read_msg :
+  (Fl_wire.Codec.Reader.t -> 'a) -> Fl_wire.Codec.Reader.t -> 'a msg
+(** Inverse of {!write_msg}; raises {!Fl_wire.Codec.Malformed} /
+    {!Fl_wire.Codec.Reader.Underflow} on bad input. *)
+
 type 'a t
 
 val create :
   Engine.t ->
   recorder:Fl_metrics.Recorder.t ->
   channel:'a msg Channel.t ->
-  payload_size:('a -> int) ->
   payload_digest:('a -> string) ->
   deliver:(origin:int -> tag:int -> 'a -> unit) ->
   'a t

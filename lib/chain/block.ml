@@ -34,11 +34,6 @@ let body_matches t =
   t.header.Header.tx_count = Array.length t.txs
   && String.equal t.header.Header.body_hash (body_hash t.txs)
 
-let body_wire_size t =
-  Array.fold_left (fun acc tx -> acc + Tx.wire_size tx) 16 t.txs
-
-let wire_size t = Header.wire_size + body_wire_size t
-
 let equal a b =
   Header.equal a.header b.header
   && Array.length a.txs = Array.length b.txs

@@ -20,11 +20,5 @@ val body_matches : t -> bool
 (** Does the header's [body_hash] commit to exactly these
     transactions? *)
 
-val body_wire_size : t -> int
-(** Bytes of the block body on the wire (transactions + framing). *)
-
-val wire_size : t -> int
-(** Header + body wire bytes. *)
-
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

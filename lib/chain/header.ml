@@ -21,9 +21,6 @@ let encode t =
 
 let hash t = Fl_crypto.Sha256.digest (encode t)
 
-(* round(8) + proposer(4) + two digests(64) + tx_count(4) + size(8) *)
-let wire_size = 88
-
 let equal a b =
   a.round = b.round && a.proposer = b.proposer
   && String.equal a.prev_hash b.prev_hash

@@ -23,9 +23,5 @@ val encode : t -> string
 val hash : t -> string
 (** SHA-256 of [encode]. *)
 
-val wire_size : int
-(** Fixed wire footprint of a header (canonical encoding is
-    near-constant; varint variance is below NIC-model resolution). *)
-
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -7,9 +7,28 @@
     self-describing enough to reject corrupt or truncated files. *)
 
 val encode_tx : Fl_wire.Codec.Writer.t -> Tx.t -> unit
+(** Wire-true: synthetic transactions are padded to their declared
+    [size], so an encoding's [String.length] is the true NIC charge. *)
+
 val decode_tx : Fl_wire.Codec.Reader.t -> Tx.t
 
+val encode_txs : Fl_wire.Codec.Writer.t -> Tx.t array -> unit
+(** Count-prefixed transaction sequence. *)
+
+val decode_txs : Fl_wire.Codec.Reader.t -> Tx.t array
+(** Inverse of {!encode_txs}; the claimed count is validated against
+    the bytes present before allocating. *)
+
+val encode_header : Fl_wire.Codec.Writer.t -> Header.t -> unit
+val decode_header : Fl_wire.Codec.Reader.t -> Header.t
+
 val encode_block : Fl_wire.Codec.Writer.t -> Block.t -> unit
+
+val read_block : Fl_wire.Codec.Reader.t -> Block.t
+(** Structural parse only (raises {!Fl_wire.Codec.Reader.Underflow} /
+    {!Fl_wire.Codec.Malformed} on bad input); commitment checks are
+    the caller's — the wire path must observe a mismatched body to
+    classify it as Byzantine. *)
 
 val decode_block : Fl_wire.Codec.Reader.t -> (Block.t, string) result
 (** Structural decode plus commitment re-check: the decoded body must
@@ -20,10 +39,14 @@ val block_of_string : string -> (Block.t, string) result
 
 val encode_chain : Store.t -> string
 (** The whole store (pruned bodies encode as empty; their headers are
-    marked so integrity checks stay meaningful after reload). *)
+    marked so integrity checks stay meaningful after reload), as one
+    CRC-sealed {!Fl_wire.Envelope} — byte corruption anywhere in the
+    image is detected even where the structural decode would not see
+    it (e.g. inside synthetic-transaction padding). *)
 
 val decode_chain : string -> (Store.t, string) result
-(** Rebuild a store, re-validating every hash link. *)
+(** Rebuild a store, re-validating the envelope CRC and every hash
+    link. *)
 
 val save : Store.t -> path:string -> unit
 val load : path:string -> (Store.t, string) result

@@ -18,7 +18,5 @@ let digest t =
     Bytes.unsafe_to_string b
   end
 
-let envelope_size = 12 (* id + length framing *)
-let wire_size t = t.size + envelope_size
 let equal a b = a.id = b.id && a.size = b.size && String.equal a.payload b.payload
 let pp fmt t = Format.fprintf fmt "tx#%d(%dB)" t.id t.size

@@ -4,8 +4,10 @@
     client. Benchmark workloads generate *synthetic* transactions that
     carry only their declared size — the simulator never materialises
     megabytes of random bytes per block; the CPU cost of hashing those
-    bytes is charged through {!Fl_crypto.Cost_model} and the wire cost
-    through the NIC model. Application examples use real payloads. *)
+    bytes is charged through {!Fl_crypto.Cost_model}, and on the wire
+    {!Serial.encode_tx} pads the frame to the declared size so the NIC
+    model sees the true byte count. Application examples use real
+    payloads. *)
 
 type t = { id : int; size : int; payload : string }
 (** [payload] is [""] for synthetic transactions; [size] is the
@@ -20,9 +22,6 @@ val create_payload : id:int -> string -> t
 val digest : t -> string
 (** 32-byte commitment: SHA-256 of the payload when present, a
     canonical id-derived tag otherwise. *)
-
-val wire_size : t -> int
-(** Bytes on the wire: payload plus the id/length envelope. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

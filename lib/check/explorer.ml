@@ -9,6 +9,8 @@ type report = {
   min_definite : int;
   max_round : int;
   recoveries : int;
+  corrupted : int;
+  decode_errors : int;
   events : int;
   truncated : bool;
 }
@@ -173,12 +175,17 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
     max_round;
     recoveries =
       Fl_metrics.Recorder.counter cluster.Cluster.recorder "recoveries";
+    corrupted = Fl_net.Net.messages_corrupted cluster.Cluster.net;
+    decode_errors =
+      Fl_metrics.Recorder.counter cluster.Cluster.recorder "decode_errors";
     events = Engine.processed cluster.Cluster.engine;
     truncated }
 
-let run_seed ?inject_fork ?with_disk_faults ?persist ?n ~budget_ms seed =
+let run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults ?persist ?n
+    ~budget_ms seed =
   run_plan ?inject_fork ?persist ~budget_ms
-    (Plan.generate ?with_disk_faults ?n ~seed ~budget_ms ())
+    (Plan.generate ?with_disk_faults ?with_corrupt_faults ?n ~seed ~budget_ms
+       ())
 
 type summary = {
   seeds : int;
@@ -188,12 +195,12 @@ type summary = {
   total_events : int;
 }
 
-let explore ?inject_fork ?with_disk_faults ?persist ?n ~seeds ~base_seed
-    ~budget_ms () =
+let explore ?inject_fork ?with_disk_faults ?with_corrupt_faults ?persist ?n
+    ~seeds ~base_seed ~budget_ms () =
   let reports =
     List.init seeds (fun k ->
-        run_seed ?inject_fork ?with_disk_faults ?persist ?n ~budget_ms
-          (base_seed + k))
+        run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults ?persist
+          ?n ~budget_ms (base_seed + k))
   in
   { seeds;
     base_seed;
@@ -266,6 +273,15 @@ let weaken (fault : Plan.fault) : Plan.fault list =
       if to_ms - from_ms > 100 then
         [ Plan.Fsync_stall { node; from_ms; to_ms = from_ms + ((to_ms - from_ms) / 2) } ]
       else []
+  | Plan.Corrupt { node; prob; from_ms; to_ms } ->
+      (if to_ms - from_ms > 100 then
+         [ Plan.Corrupt
+             { node; prob; from_ms; to_ms = from_ms + ((to_ms - from_ms) / 2) } ]
+       else [])
+      @
+      if prob > 0.1 then
+        [ Plan.Corrupt { node; prob = prob /. 2.0; from_ms; to_ms } ]
+      else []
 
 let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
 
@@ -285,7 +301,8 @@ let reduce_n (p : Plan.t) : Plan.t option =
           | Plan.Crash { node; _ } | Plan.Loss { node; _ }
           | Plan.Equivocate { node } | Plan.Slow_nic { node; _ }
           | Plan.Clock_skew { node; _ } | Plan.Torn_tail { node; _ }
-          | Plan.Disk_loss { node; _ } | Plan.Fsync_stall { node; _ } ->
+          | Plan.Disk_loss { node; _ } | Plan.Fsync_stall { node; _ }
+          | Plan.Corrupt { node; _ } ->
               if keep node then Some fault else None
           | Plan.Partition { groups; at_ms; heal_ms } ->
               let groups =

@@ -15,6 +15,11 @@ type report = {
   min_definite : int;  (** over correct (non-faulty) nodes *)
   max_round : int;
   recoveries : int;  (** summed over nodes *)
+  corrupted : int;  (** wire frames mutated by byte-fault windows *)
+  decode_errors : int;
+      (** frames the receivers' codec rejected (CRC / malformed) —
+          with [Corrupt] faults this must be > 0 when [corrupted] is,
+          or the corruption never reached a decoder *)
   events : int;  (** engine events executed *)
   truncated : bool;  (** engine step budget exhausted *)
 }
@@ -44,6 +49,7 @@ val run_plan :
 val run_seed :
   ?inject_fork:bool ->
   ?with_disk_faults:bool ->
+  ?with_corrupt_faults:bool ->
   ?persist:Fl_persist.Node.config ->
   ?n:int ->
   budget_ms:int ->
@@ -60,7 +66,7 @@ type summary = {
 }
 
 val explore :
-  ?inject_fork:bool -> ?with_disk_faults:bool ->
+  ?inject_fork:bool -> ?with_disk_faults:bool -> ?with_corrupt_faults:bool ->
   ?persist:Fl_persist.Node.config -> ?n:int -> seeds:int -> base_seed:int ->
   budget_ms:int -> unit -> summary
 (** Run seeds [base_seed .. base_seed + seeds - 1]. *)

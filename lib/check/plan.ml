@@ -10,6 +10,7 @@ type fault =
   | Torn_tail of { node : int; at_ms : int; restart_ms : int }
   | Disk_loss of { node : int; at_ms : int; restart_ms : int }
   | Fsync_stall of { node : int; from_ms : int; to_ms : int }
+  | Corrupt of { node : int; prob : float; from_ms : int; to_ms : int }
 
 type t = { n : int; f : int; seed : int; faults : fault list }
 
@@ -51,11 +52,15 @@ let has_disk_faults t =
       | Torn_tail _ | Disk_loss _ | Fsync_stall _ -> true | _ -> false)
     t.faults
 
+let has_corrupt_faults t =
+  List.exists (function Corrupt _ -> true | _ -> false) t.faults
+
 let expect_liveness t =
   List.for_all
     (function
       | Crash _ | Equivocate _ | Torn_tail _ | Disk_loss _ -> true
-      | Partition _ | Loss _ | Slow_nic _ | Clock_skew _ | Fsync_stall _ ->
+      | Partition _ | Loss _ | Slow_nic _ | Clock_skew _ | Fsync_stall _
+      | Corrupt _ ->
           false)
     t.faults
 
@@ -73,7 +78,8 @@ let distinct_nodes rng ~n ~k ~avoid =
   done;
   !picked
 
-let generate ?(with_disk_faults = false) ?n ~seed ~budget_ms () =
+let generate ?(with_disk_faults = false) ?(with_corrupt_faults = false) ?n
+    ~seed ~budget_ms () =
   let rng = Rng.named_split (Rng.create seed) "plan" in
   let n = match n with Some n -> n | None -> if Rng.bool rng then 4 else 7 in
   let f = (n - 1) / 3 in
@@ -152,6 +158,23 @@ let generate ?(with_disk_faults = false) ?n ~seed ~budget_ms () =
       faults := Fsync_stall { node; from_ms; to_ms } :: !faults
     end
   end;
+  (* Byte-fault windows last of all: behind their own flag, drawn
+     strictly after both the base draws and the disk-fault draws, so
+     every plan a given seed produced before this feature existed is
+     byte-identical with the flag off. Corruption is benign in the BFT
+     model (a correct receiver CRC-drops the frame — it degenerates to
+     omission), so any node may be hit; but like loss it can stall
+     progress past any fixed bound, hence [expect_liveness] is false. *)
+  if with_corrupt_faults then begin
+    let n_windows = 1 + Rng.int rng 2 in
+    for _ = 1 to n_windows do
+      let node = Rng.int rng n in
+      let prob = 0.05 +. Rng.float rng 0.45 in
+      let from_ms = early 5 30 in
+      let to_ms = Rng.int_in rng (from_ms + 50) (budget_ms * 60 / 100) in
+      faults := Corrupt { node; prob; from_ms; to_ms } :: !faults
+    done
+  end;
   { n; f; seed; faults = List.rev !faults }
 
 (* ---------- validation ---------- *)
@@ -209,6 +232,12 @@ let validate t =
             | Fsync_stall { node; from_ms; to_ms } ->
                 if not (in_range node) then err "stall: node %d" node
                 else if to_ms <= from_ms then err "stall: window"
+                else Ok ()
+            | Corrupt { node; prob; from_ms; to_ms } ->
+                if not (in_range node) then err "corrupt: node %d" node
+                else if prob < 0.0 || prob > 1.0 then
+                  err "corrupt: prob %f" prob
+                else if to_ms <= from_ms then err "corrupt: window"
                 else Ok ()))
       (Ok ()) t.faults
 
@@ -259,6 +288,11 @@ let apply t ~engine ~cluster =
       | Loss { node; prob; from_ms; to_ms } ->
           at from_ms (fun () -> Fl_net.Net.set_loss net ~node prob);
           at to_ms (fun () -> Fl_net.Net.set_loss net ~node 0.0)
+      | Corrupt { node; prob; from_ms; to_ms } ->
+          (* byte faults on the wire: the receiver's envelope CRC must
+             catch and drop them — observable as decode_errors *)
+          at from_ms (fun () -> Fl_net.Net.set_corrupt net ~node prob);
+          at to_ms (fun () -> Fl_net.Net.set_corrupt net ~node 0.0)
       | Torn_tail { node; at_ms; restart_ms } ->
           (* power cut mid-write: the WAL tail frame is torn *)
           at at_ms (fun () ->
@@ -310,6 +344,8 @@ let string_of_fault = function
       Printf.sprintf "disklost=%d@%d/%d" node at_ms restart_ms
   | Fsync_stall { node; from_ms; to_ms } ->
       Printf.sprintf "stall=%d@%d-%d" node from_ms to_ms
+  | Corrupt { node; prob; from_ms; to_ms } ->
+      Printf.sprintf "corrupt=%d:%.2f@%d-%d" node prob from_ms to_ms
 
 let to_string t =
   String.concat ";"
@@ -358,19 +394,20 @@ let parse_fault tok =
                            heal_ms = int_of_string h })
                 | _ -> invalid ())
             | _ -> invalid ())
-        | "loss" -> (
+        | "loss" | "corrupt" -> (
             match String.split_on_char '@' v with
             | [ np; window ] -> (
                 match
                   (String.split_on_char ':' np, String.split_on_char '-' window)
                 with
                 | [ node; prob ], [ a; b ] ->
-                    Ok
-                      (Loss
-                         { node = int_of_string node;
-                           prob = float_of_string prob;
-                           from_ms = int_of_string a;
-                           to_ms = int_of_string b })
+                    let node = int_of_string node
+                    and prob = float_of_string prob
+                    and from_ms = int_of_string a
+                    and to_ms = int_of_string b in
+                    if String.equal key "loss" then
+                      Ok (Loss { node; prob; from_ms; to_ms })
+                    else Ok (Corrupt { node; prob; from_ms; to_ms })
                 | _ -> invalid ())
             | _ -> invalid ())
         | "slow" | "skew" -> (

@@ -45,6 +45,13 @@ type fault =
   | Fsync_stall of { node : int; from_ms : int; to_ms : int }
       (** [node]'s storage device completes no fsync during the window
           (firmware GC pause / write-cache flush storm). *)
+  | Corrupt of { node : int; prob : float; from_ms : int; to_ms : int }
+      (** Mutate each of [node]'s outbound wire frames with probability
+          [prob] during the window — a bit flip or truncation on the
+          wire, which correct receivers must detect via the envelope
+          CRC and drop (degenerating to omission). Benign in the BFT
+          model, so may hit anyone; like {!Loss} it suspends the
+          liveness expectation. *)
 
 type t = {
   n : int;
@@ -54,14 +61,22 @@ type t = {
 }
 
 val generate :
-  ?with_disk_faults:bool -> ?n:int -> seed:int -> budget_ms:int -> unit -> t
+  ?with_disk_faults:bool ->
+  ?with_corrupt_faults:bool ->
+  ?n:int ->
+  seed:int ->
+  budget_ms:int ->
+  unit ->
+  t
 (** Derive a plan from [seed]. All fault times land inside
     [budget_ms]; partitions heal and loss windows close by 60% of the
     budget. [n] pins the cluster size (default: seed-derived from
     {4, 7}). [with_disk_faults] (default false) additionally draws
     torn-tail / disk-loss / fsync-stall faults — strictly after every
     other draw, so plans without the flag are unchanged for a given
-    seed. *)
+    seed. [with_corrupt_faults] (default false) further appends 1–2
+    byte-corruption windows, drawn after even the disk faults for the
+    same replay-stability reason. *)
 
 val byzantine : t -> int list
 val crashed : t -> int list
@@ -75,6 +90,9 @@ val restarted : t -> int list
 
 val has_disk_faults : t -> bool
 (** The plan needs a persistence-enabled cluster. *)
+
+val has_corrupt_faults : t -> bool
+(** The plan contains at least one byte-corruption window. *)
 
 val validate : t -> (unit, string) result
 (** Structural checks: node ids in range, windows ordered, process

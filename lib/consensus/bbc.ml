@@ -1,5 +1,6 @@
 open Fl_sim
 open Fl_net
+open Fl_wire
 
 type msg =
   | Est of { round : int; value : bool }
@@ -7,10 +8,35 @@ type msg =
   | Decide of bool
   | Stop
 
-let msg_size = function
-  | Est _ | Aux _ -> 12
-  | Decide _ -> 8
-  | Stop -> 0
+(* In-body codec: BBC messages are embedded in a carrier (OBBC's
+   [Fallback]), which owns the envelope. *)
+let write_msg w = function
+  | Est { round; value } ->
+      Codec.Writer.u8 w 0;
+      Codec.Writer.varint w round;
+      Codec.Writer.bool w value
+  | Aux { round; value } ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.varint w round;
+      Codec.Writer.bool w value
+  | Decide v ->
+      Codec.Writer.u8 w 2;
+      Codec.Writer.bool w v
+  | Stop -> Codec.Writer.u8 w 3
+
+let read_msg r =
+  match Codec.Reader.u8 r with
+  | 0 ->
+      let round = Codec.Reader.varint r in
+      let value = Codec.Reader.bool r in
+      Est { round; value }
+  | 1 ->
+      let round = Codec.Reader.varint r in
+      let value = Codec.Reader.bool r in
+      Aux { round; value }
+  | 2 -> Decide (Codec.Reader.bool r)
+  | 3 -> Stop
+  | t -> raise (Codec.Malformed (Printf.sprintf "bbc: tag %d" t))
 
 (* Per-instance state. Tables are keyed by (round, value); the sender
    sets prevent Byzantine double-counting. *)
@@ -66,15 +92,13 @@ let add_bin_value t r v =
 let bcast_est t r v =
   if not (Hashtbl.mem t.est_relayed (r, v)) then begin
     Hashtbl.add t.est_relayed (r, v) ();
-    let m = Est { round = r; value = v } in
-    t.channel.Channel.bcast ~size:(msg_size m) m
+    t.channel.Channel.bcast (Est { round = r; value = v })
   end
 
 let bcast_decide t v =
   if not t.decide_relayed then begin
     t.decide_relayed <- true;
-    let m = Decide v in
-    t.channel.Channel.bcast ~size:(msg_size m) m
+    t.channel.Channel.bcast (Decide v)
   end
 
 let decide t v =
@@ -144,15 +168,12 @@ let state_machine t v0 =
         Fiber.sleep t.engine delay;
         if not t.halted then begin
           let r = !round in
-          let m = Est { round = r; value = !est } in
-          t.channel.Channel.bcast ~size:(msg_size m) m;
+          t.channel.Channel.bcast (Est { round = r; value = !est });
           (match Hashtbl.find_opt aux_sent r with
-          | Some a -> t.channel.Channel.bcast ~size:(msg_size a) a
+          | Some a -> t.channel.Channel.bcast a
           | None -> ());
           (match Ivar.peek t.decision with
-          | Some v ->
-              let d = Decide v in
-              t.channel.Channel.bcast ~size:(msg_size d) d
+          | Some v -> t.channel.Channel.bcast (Decide v)
           | None -> ());
           loop (min (Time.s 2) (2 * delay))
         end
@@ -168,7 +189,7 @@ let state_machine t v0 =
       let w = List.hd (bin_values t r) in
       let m = Aux { round = r; value = w } in
       Hashtbl.replace aux_sent r m;
-      t.channel.Channel.bcast ~size:(msg_size m) m;
+      t.channel.Channel.bcast m;
       wait (fun () ->
           let c, _ = aux_support t r in
           c >= t.channel.Channel.n - t.channel.Channel.f);

@@ -26,8 +26,13 @@ type msg =
   | Decide of bool
   | Stop  (** local control: tear the instance down; never on wire *)
 
-val msg_size : msg -> int
-(** Wire bytes of a message. *)
+val write_msg : Fl_wire.Codec.Writer.t -> msg -> unit
+(** In-body codec: BBC messages travel embedded in a carrier message
+    (OBBC's [Fallback]) whose codec owns the envelope. *)
+
+val read_msg : Fl_wire.Codec.Reader.t -> msg
+(** Inverse of {!write_msg}. Raises {!Fl_wire.Codec.Malformed} on an
+    unknown tag and {!Fl_wire.Codec.Reader.Underflow} on truncation. *)
 
 val run :
   Engine.t ->

@@ -1,6 +1,6 @@
 open Fl_sim
 open Fl_net
-
+open Fl_wire
 
 type 'p msg =
   | Vote of { value : bool; pgd : 'p option }
@@ -8,6 +8,45 @@ type 'p msg =
   | Ev of string option
   | Fallback of Bbc.msg
   | Close
+
+(* In-body codec, parameterised by the piggyback payload's codec; the
+   carrier (the node's wire message) owns the envelope. *)
+let write_msg write_pgd w = function
+  | Vote { value; pgd } -> (
+      Codec.Writer.u8 w 0;
+      Codec.Writer.bool w value;
+      match pgd with
+      | None -> Codec.Writer.bool w false
+      | Some p ->
+          Codec.Writer.bool w true;
+          write_pgd w p)
+  | Ev_req -> Codec.Writer.u8 w 1
+  | Ev e -> (
+      Codec.Writer.u8 w 2;
+      match e with
+      | None -> Codec.Writer.bool w false
+      | Some ev ->
+          Codec.Writer.bool w true;
+          Codec.Writer.bytes w ev)
+  | Fallback b ->
+      Codec.Writer.u8 w 3;
+      Bbc.write_msg w b
+  | Close -> Codec.Writer.u8 w 4
+
+let read_msg read_pgd r =
+  match Codec.Reader.u8 r with
+  | 0 ->
+      let value = Codec.Reader.bool r in
+      let pgd =
+        if Codec.Reader.bool r then Some (read_pgd r) else None
+      in
+      Vote { value; pgd }
+  | 1 -> Ev_req
+  | 2 ->
+      Ev (if Codec.Reader.bool r then Some (Codec.Reader.bytes r) else None)
+  | 3 -> Fallback (Bbc.read_msg r)
+  | 4 -> Close
+  | t -> raise (Codec.Malformed (Printf.sprintf "obbc: tag %d" t))
 
 type 'p t = {
   engine : Engine.t;
@@ -17,7 +56,6 @@ type 'p t = {
   validate_evidence : string -> bool;
   my_evidence : unit -> string option;
   on_pgd : src:int -> 'p -> unit;
-  pgd_size : 'p -> int;
   votes : (int, bool) Hashtbl.t;
   votes_outcome : [ `Fast | `Slow ] Ivar.t;
   evidences : (int, unit) Hashtbl.t;
@@ -42,21 +80,12 @@ let obs_span t name ~t_begin =
     ~worker:t.obs_worker ~round:t.obs_round ~t_begin
     ~t_end:(Engine.now t.engine) ()
 
-let vote_size t pgd =
-  2 + match pgd with Some p -> t.pgd_size p | None -> 0
-
-let ev_size = function Some e -> String.length e + 4 | None -> 1
-
 let bbc_channel t =
   { Channel.self = t.channel.Channel.self;
     n = t.channel.Channel.n;
     f = t.channel.Channel.f;
-    bcast =
-      (fun ~size m ->
-        t.channel.Channel.bcast ~size:(size + 1) (Fallback m));
-    send =
-      (fun ~dst ~size m ->
-        t.channel.Channel.send ~dst ~size:(size + 1) (Fallback m));
+    bcast = (fun m -> t.channel.Channel.bcast (Fallback m));
+    send = (fun ~dst m -> t.channel.Channel.send ~dst (Fallback m));
     recv = (fun () -> Mailbox.recv t.bbc_box);
     recv_timeout = (fun ~timeout -> Mailbox.recv_timeout t.bbc_box ~timeout);
     close = (fun () -> ()) }
@@ -121,8 +150,7 @@ let handle t (src, msg) =
         end
       end
   | Ev_req ->
-      let e = t.my_evidence () in
-      t.channel.Channel.send ~dst:src ~size:(ev_size e) (Ev e)
+      t.channel.Channel.send ~dst:src (Ev (t.my_evidence ()))
   | Ev e ->
       if not (Hashtbl.mem t.evidences src) then begin
         Hashtbl.add t.evidences src ();
@@ -139,7 +167,7 @@ let handle t (src, msg) =
       Mailbox.send t.bbc_box (src, b)
 
 let create engine ~recorder ~coin ~channel ~validate_evidence ~my_evidence
-    ~on_pgd ~pgd_size ?obs ?(obs_round = -1) ?(obs_worker = -1) () =
+    ~on_pgd ?obs ?(obs_round = -1) ?(obs_worker = -1) () =
   let t =
     { engine;
       recorder;
@@ -148,7 +176,6 @@ let create engine ~recorder ~coin ~channel ~validate_evidence ~my_evidence
       validate_evidence;
       my_evidence;
       on_pgd;
-      pgd_size;
       votes = Hashtbl.create 16;
       votes_outcome = Ivar.create engine;
       evidences = Hashtbl.create 16;
@@ -175,12 +202,12 @@ let resend_interval = Time.ms 150
    lost to a transient fault would otherwise stall the instance
    forever (quorums are exact). Re-broadcast our vote with backoff
    until the instance settles. *)
-let spawn_resend t m size =
+let spawn_resend t m =
   Fiber.spawn t.engine (fun () ->
       let rec loop delay =
         Fiber.sleep t.engine delay;
         if (not t.closed) && not (Ivar.is_filled t.decision) then begin
-          t.channel.Channel.bcast ~size m;
+          t.channel.Channel.bcast m;
           loop (min (Time.s 2) (2 * delay))
         end
       in
@@ -189,8 +216,8 @@ let spawn_resend t m size =
 let propose t ?abort ~vote ~pgd () =
   let m = Vote { value = vote; pgd } in
   let t_vote = Engine.now t.engine in
-  t.channel.Channel.bcast ~size:(vote_size t pgd) m;
-  spawn_resend t m (vote_size t pgd);
+  t.channel.Channel.bcast m;
+  spawn_resend t m;
   match Race.read t.votes_outcome ~abort with
   | `Fast ->
       obs_span t "obbc_fast" ~t_begin:t_vote;
@@ -198,12 +225,12 @@ let propose t ?abort ~vote ~pgd () =
   | `Slow -> (
       Fl_metrics.Recorder.incr t.recorder "obbc_slow_paths";
       obs_instant t "obbc_slow_path";
-      t.channel.Channel.bcast ~size:2 Ev_req;
+      t.channel.Channel.bcast Ev_req;
       Fiber.spawn t.engine (fun () ->
           let rec loop delay =
             Fiber.sleep t.engine delay;
             if (not t.closed) && not (Ivar.is_filled t.ev_threshold) then begin
-              t.channel.Channel.bcast ~size:2 Ev_req;
+              t.channel.Channel.bcast Ev_req;
               loop (min (Time.s 2) (2 * delay))
             end
           in
@@ -226,4 +253,4 @@ let evidence_received t = t.valid_evidence
 
 let close t =
   if not t.closed then
-    t.channel.Channel.send ~dst:t.channel.Channel.self ~size:0 Close
+    t.channel.Channel.send ~dst:t.channel.Channel.self Close

@@ -25,6 +25,19 @@ type 'p msg =
   | Fallback of Bbc.msg
   | Close  (** local control: tear the instance down; never on wire *)
 
+val write_msg :
+  (Fl_wire.Codec.Writer.t -> 'p -> unit) ->
+  Fl_wire.Codec.Writer.t ->
+  'p msg ->
+  unit
+(** In-body codec, parameterized over the piggyback codec. The carrier
+    protocol (WRB's [Ob] message) owns the envelope. *)
+
+val read_msg :
+  (Fl_wire.Codec.Reader.t -> 'p) -> Fl_wire.Codec.Reader.t -> 'p msg
+(** Inverse of {!write_msg}; raises {!Fl_wire.Codec.Malformed} /
+    {!Fl_wire.Codec.Reader.Underflow} on bad input. *)
+
 type 'p t
 
 val create :
@@ -35,7 +48,6 @@ val create :
   validate_evidence:(string -> bool) ->
   my_evidence:(unit -> string option) ->
   on_pgd:(src:int -> 'p -> unit) ->
-  pgd_size:('p -> int) ->
   ?obs:Fl_obs.Obs.t ->
   ?obs_round:int ->
   ?obs_worker:int ->

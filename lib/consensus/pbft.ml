@@ -1,5 +1,6 @@
 open Fl_sim
 open Fl_net
+open Fl_wire
 
 type 'a msg =
   | Submit of 'a
@@ -19,8 +20,104 @@ type 'a msg =
     }
   | Stop
 
+(* In-body codec, parameterized over the payload codec; the carrier
+   protocol (recovery's [Rb]/[Ab] or the baseline cluster) owns the
+   envelope. *)
+let write_list write_item w items =
+  Codec.Writer.varint w (List.length items);
+  List.iter (write_item w) items
+
+let read_list read_item r =
+  let n = Codec.Reader.seq_len r in
+  List.init n (fun _ -> read_item r)
+
+let write_prepared write_payload w (seq, view, digest, batch) =
+  Codec.Writer.varint w seq;
+  Codec.Writer.varint w view;
+  Codec.Writer.bytes w digest;
+  write_list write_payload w batch
+
+let read_prepared read_payload r =
+  let seq = Codec.Reader.varint r in
+  let view = Codec.Reader.varint r in
+  let digest = Codec.Reader.bytes r in
+  let batch = read_list read_payload r in
+  (seq, view, digest, batch)
+
+let write_msg write_payload w = function
+  | Submit p ->
+      Codec.Writer.u8 w 0;
+      write_payload w p
+  | Pre_prepare { view; seq; batch } ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.varint w view;
+      Codec.Writer.varint w seq;
+      write_list write_payload w batch
+  | Prepare { view; seq; digest } ->
+      Codec.Writer.u8 w 2;
+      Codec.Writer.varint w view;
+      Codec.Writer.varint w seq;
+      Codec.Writer.bytes w digest
+  | Commit { view; seq; digest } ->
+      Codec.Writer.u8 w 3;
+      Codec.Writer.varint w view;
+      Codec.Writer.varint w seq;
+      Codec.Writer.bytes w digest
+  | View_change { new_view; last_exec; prepared } ->
+      Codec.Writer.u8 w 4;
+      Codec.Writer.varint w new_view;
+      Codec.Writer.varint w last_exec;
+      write_list (write_prepared write_payload) w prepared
+  | New_view { view; vcs } ->
+      Codec.Writer.u8 w 5;
+      Codec.Writer.varint w view;
+      write_list
+        (fun w (sender, (last_exec, prepared)) ->
+          Codec.Writer.varint w sender;
+          Codec.Writer.varint w last_exec;
+          write_list (write_prepared write_payload) w prepared)
+        w vcs
+  | Stop -> Codec.Writer.u8 w 6
+
+let read_msg read_payload r =
+  match Codec.Reader.u8 r with
+  | 0 -> Submit (read_payload r)
+  | 1 ->
+      let view = Codec.Reader.varint r in
+      let seq = Codec.Reader.varint r in
+      let batch = read_list read_payload r in
+      Pre_prepare { view; seq; batch }
+  | 2 ->
+      let view = Codec.Reader.varint r in
+      let seq = Codec.Reader.varint r in
+      let digest = Codec.Reader.bytes r in
+      Prepare { view; seq; digest }
+  | 3 ->
+      let view = Codec.Reader.varint r in
+      let seq = Codec.Reader.varint r in
+      let digest = Codec.Reader.bytes r in
+      Commit { view; seq; digest }
+  | 4 ->
+      let new_view = Codec.Reader.varint r in
+      let last_exec = Codec.Reader.varint r in
+      let prepared = read_list (read_prepared read_payload) r in
+      View_change { new_view; last_exec; prepared }
+  | 5 ->
+      let view = Codec.Reader.varint r in
+      let vcs =
+        read_list
+          (fun r ->
+            let sender = Codec.Reader.varint r in
+            let last_exec = Codec.Reader.varint r in
+            let prepared = read_list (read_prepared read_payload) r in
+            (sender, (last_exec, prepared)))
+          r
+      in
+      New_view { view; vcs }
+  | 6 -> Stop
+  | t -> raise (Codec.Malformed (Printf.sprintf "pbft: tag %d" t))
+
 type 'a config = {
-  payload_size : 'a -> int;
   payload_digest : 'a -> string;
   max_batch : int;
   window : int;
@@ -29,9 +126,8 @@ type 'a config = {
   payload_cpu : 'a -> Time.t;
 }
 
-let default_config ~payload_size ~payload_digest =
-  { payload_size;
-    payload_digest;
+let default_config ~payload_digest =
+  { payload_digest;
     max_batch = 1000;
     window = 8;
     base_timeout = Time.ms 300;
@@ -85,16 +181,6 @@ let batch_digest config batch =
     batch;
   Fl_crypto.Sha256.finalize ctx
 
-let batch_size config batch =
-  List.fold_left (fun acc p -> acc + config.payload_size p) 16 batch
-
-let vote_size = 64
-
-let vc_wire_size config prepared =
-  List.fold_left
-    (fun acc (_, _, _, batch) -> acc + 48 + batch_size config batch)
-    24 prepared
-
 let leader_of t view = view mod t.channel.Channel.n
 let is_leader t = leader_of t t.view = t.channel.Channel.self
 let quorum t = (2 * t.channel.Channel.f) + 1
@@ -132,16 +218,12 @@ let add_vote tbl key src =
 
 let vote_count tbl key = Hashtbl.length (votes tbl key)
 
-let bcast t m ~size = t.channel.Channel.bcast ~size m
-let send t ~dst m ~size = t.channel.Channel.send ~dst ~size m
+let bcast t m = t.channel.Channel.bcast m
+let send t ~dst m = t.channel.Channel.send ~dst m
 
 let forward_to_leader t payload =
   if is_leader t then Queue.push payload t.pending
-  else
-    send t
-      ~dst:(leader_of t t.view)
-      (Submit payload)
-      ~size:(t.config.payload_size payload + 8)
+  else send t ~dst:(leader_of t t.view) (Submit payload)
 
 (* Leader: propose pending submissions while the window allows. *)
 let rec try_propose t =
@@ -165,9 +247,7 @@ let rec try_propose t =
     if batch <> [] then begin
       t.next_seq <- t.next_seq + 1;
       Fl_metrics.Recorder.incr t.recorder "pbft_proposals";
-      bcast t
-        (Pre_prepare { view = t.view; seq = t.next_seq; batch })
-        ~size:(batch_size t.config batch)
+      bcast t (Pre_prepare { view = t.view; seq = t.next_seq; batch })
     end;
     if not (Queue.is_empty t.pending) then try_propose t
   end
@@ -203,9 +283,7 @@ let try_advance t seq =
       if (not e.prepared) && vote_count t.prepare_votes key >= quorum t
       then begin
         e.prepared <- true;
-        bcast t
-          (Commit { view = e.e_view; seq; digest = e.digest })
-          ~size:vote_size
+        bcast t (Commit { view = e.e_view; seq; digest = e.digest })
       end;
       if
         e.prepared && (not e.committed)
@@ -234,9 +312,7 @@ let start_view_change t new_view =
     t.last_progress <- Engine.now t.engine;
     Fl_metrics.Recorder.incr t.recorder "pbft_view_changes";
     let prepared = prepared_set t in
-    bcast t
-      (View_change { new_view; last_exec = t.last_exec; prepared })
-      ~size:(vc_wire_size t.config prepared)
+    bcast t (View_change { new_view; last_exec = t.last_exec; prepared })
   end
 
 (* Deterministic merge of a view-change certificate: re-propose, for
@@ -294,7 +370,6 @@ let adopt_new_view t v vcs =
           e.prepared <- false;
           e.committed <- false;
           bcast t (Prepare { view = v; seq; digest = e.digest })
-            ~size:vote_size
         end
       end)
     reproposals;
@@ -343,7 +418,7 @@ let handle t (src, msg) =
           e.e_view <- view;
           e.batch <- Some batch;
           e.digest <- batch_digest t.config batch;
-          bcast t (Prepare { view; seq; digest = e.digest }) ~size:vote_size;
+          bcast t (Prepare { view; seq; digest = e.digest });
           try_advance t seq
         end
       end
@@ -382,12 +457,7 @@ let handle t (src, msg) =
               |> List.sort (fun (a, _) (b, _) -> compare a b)
               |> List.filteri (fun i _ -> i < quorum t)
             in
-            let size =
-              List.fold_left
-                (fun acc (_, (_, p)) -> acc + vc_wire_size t.config p)
-                16 vcs
-            in
-            bcast t (New_view { view = new_view; vcs }) ~size
+            bcast t (New_view { view = new_view; vcs })
           end
         end
       end
@@ -445,10 +515,7 @@ let create engine ~recorder ~channel ~cpu ~config ~deliver =
           (* Re-broadcast our stuck requests to every replica (PBFT's
              client-timeout rule) so all watchdogs arm, then demand a
              new view. *)
-          Hashtbl.iter
-            (fun _ p ->
-              bcast t (Submit p) ~size:(t.config.payload_size p + 8))
-            t.outstanding;
+          Hashtbl.iter (fun _ p -> bcast t (Submit p)) t.outstanding;
           start_view_change t (t.vc_target + 1)
         end
       done);
@@ -462,7 +529,7 @@ let submit t payload =
 
 let stop t =
   if not t.stopped then
-    t.channel.Channel.send ~dst:t.channel.Channel.self ~size:0 Stop
+    t.channel.Channel.send ~dst:t.channel.Channel.self Stop
 
 (* Synchronous stop for teardown paths where the self-send of [stop]
    would never be delivered (e.g. the node's inbox was just replaced

@@ -48,8 +48,20 @@ type 'a msg =
 (** Exposed so tests and Byzantine adversaries can inject raw protocol
     traffic (e.g. an equivocating PRE-PREPARE). *)
 
+val write_msg :
+  (Fl_wire.Codec.Writer.t -> 'a -> unit) ->
+  Fl_wire.Codec.Writer.t ->
+  'a msg ->
+  unit
+(** In-body codec, parameterized over the payload codec; the carrier
+    protocol owns the envelope. *)
+
+val read_msg :
+  (Fl_wire.Codec.Reader.t -> 'a) -> Fl_wire.Codec.Reader.t -> 'a msg
+(** Inverse of {!write_msg}; raises {!Fl_wire.Codec.Malformed} /
+    {!Fl_wire.Codec.Reader.Underflow} on bad input. *)
+
 type 'a config = {
-  payload_size : 'a -> int;     (** wire bytes of one payload *)
   payload_digest : 'a -> string;
   max_batch : int;              (** payloads per PRE-PREPARE *)
   window : int;                 (** in-flight sequence numbers *)
@@ -58,8 +70,7 @@ type 'a config = {
   payload_cpu : 'a -> Time.t;   (** CPU to validate one payload *)
 }
 
-val default_config :
-  payload_size:('a -> int) -> payload_digest:('a -> string) -> 'a config
+val default_config : payload_digest:('a -> string) -> 'a config
 (** max_batch 1000, window 8, base_timeout 300 ms, 2 µs votes, free
     payload validation. *)
 

@@ -8,7 +8,7 @@ type t = {
   registry : Fl_crypto.Signature.registry;
   nics : Nic.t array;
   cpus : Cpu.t array;
-  net : Msg.t Net.t;
+  net : Net.t;
   instances : Instance.t array;
   crashed : (int, unit) Hashtbl.t;
   persist : Fl_persist.Node.t option array;
@@ -60,7 +60,20 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
                  ~config:pc ()))
   in
   let mk_instance i ~incarnation =
-    let hub = Hub.create engine ~inbox:(Net.inbox net i) ~key:Msg.key in
+    (* Frames decode at the hub; a frame that fails to decode (bit
+       flipped, truncated) is dropped and counted, like a NIC checksum
+       discard. *)
+    let on_malformed ~src ~bytes =
+      Fl_metrics.Recorder.incr recorder "decode_errors";
+      Fl_obs.Obs.instant obs ~cat:"net" ~name:"decode_error" ~node:i
+        ~worker:0
+        ~args:[ ("src", string_of_int src); ("bytes", string_of_int bytes) ]
+        ~at:(Engine.now engine) ()
+    in
+    let hub =
+      Hub.create engine ~inbox:(Net.inbox net i) ~decode:Msg.decode
+        ~on_malformed ~key:Msg.key ()
+    in
     let env =
       { Env.engine;
         (* [named_split] is label-keyed (same label → same stream), so

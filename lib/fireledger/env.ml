@@ -12,7 +12,7 @@ type t = {
   registry : Fl_crypto.Signature.registry;
   cost : Fl_crypto.Cost_model.t;
   cpu : Cpu.t;  (** the node's CPU, shared by its workers *)
-  net : Msg.t Net.t;  (** this worker's network instance *)
+  net : Net.t;  (** this worker's network instance (byte transport) *)
   hub : Msg.t Hub.t;
   me : int;
   f : int;  (** resilience parameter, shared with Config.f *)
@@ -24,5 +24,5 @@ type t = {
 }
 
 let channel env ~key =
-  Channel.of_hub env.hub ~key ~net:env.net ~self:env.me ~f:env.f ~inj:Fun.id
-    ~prj:Fun.id
+  Channel.of_hub env.hub ~key ~net:env.net ~self:env.me ~f:env.f
+    ~encode:Msg.encode ~inj:Fun.id ~prj:Fun.id

@@ -110,11 +110,13 @@ let charge_verify t =
 
 let body_bytes txs = Array.fold_left (fun acc tx -> acc + tx.Tx.size) 0 txs
 
-let body_msg_size txs =
-  Array.fold_left (fun acc tx -> acc + Tx.wire_size tx) 48 txs
+let send t ~dst m =
+  Net.send t.env.Env.net ~src:(me t) ~dst (Msg.encode m)
 
-let send t ~dst ~size m = Net.send t.env.Env.net ~src:(me t) ~dst ~size m
-let bcast t ~size m = Net.broadcast t.env.Env.net ~src:(me t) ~size m
+let bcast t m = Net.broadcast t.env.Env.net ~src:(me t) (Msg.encode m)
+
+let multicast t ~dsts m =
+  Net.multicast t.env.Env.net ~src:(me t) ~dsts (Msg.encode m)
 
 let pulse_fill t = ignore (Ivar.try_fill t.pulse ())
 
@@ -204,13 +206,10 @@ let gossip_ttl t fanout =
 
 let send_body t txs ~bh =
   match t.config.Config.dissemination with
-  | Config.Clique ->
-      bcast t ~size:(body_msg_size txs)
-        (Msg.Body { body_hash = bh; txs; ttl = 0 })
+  | Config.Clique -> bcast t (Msg.Body { body_hash = bh; txs; ttl = 0 })
   | Config.Gossip fanout ->
       let ttl = gossip_ttl t fanout in
-      Net.multicast t.env.Env.net ~src:(me t) ~dsts:(gossip_peers t fanout)
-        ~size:(body_msg_size txs)
+      multicast t ~dsts:(gossip_peers t fanout)
         (Msg.Body { body_hash = bh; txs; ttl = ttl - 1 })
 
 let broadcast_body t txs ~bh =
@@ -398,10 +397,10 @@ let obbc_for t ~r ~attempt ~k =
   | Some o -> o
   | None ->
       let era = t.era in
-      let skey = Printf.sprintf "ob:%d:%d:%d" era r attempt in
+      let skey = Msg.ob_key ~era ~round:r ~attempt in
       let channel =
         Channel.of_hub t.env.Env.hub ~key:skey ~net:t.env.Env.net
-          ~self:(me t) ~f:(f_of t)
+          ~self:(me t) ~f:(f_of t) ~encode:Msg.encode
           ~inj:(fun m -> Msg.Ob { era; round = r; attempt; m })
           ~prj:(function
             | Msg.Ob { m; _ } -> m
@@ -426,7 +425,7 @@ let obbc_for t ~r ~attempt ~k =
                 Some (Types.encode_signed_header p.Types.sh)
             | _ -> None)
           ~on_pgd:(fun ~src p -> note_proposal t ~src p)
-          ~pgd_size:Types.proposal_size ?obs:t.env.Env.obs ~obs_round:r
+          ?obs:t.env.Env.obs ~obs_round:r
           ~obs_worker:t.env.Env.worker ()
       in
       Hashtbl.replace t.open_obbcs key o;
@@ -457,7 +456,7 @@ let recover_delivery t ~k ~r ~obbc ~abort =
         | None -> assert false)
     | _ ->
         incr_c t "pulls";
-        bcast t ~size:12 (Msg.Req { round = r });
+        bcast t (Msg.Req { round = r });
         let deadline = now t + Timer.current t.timer in
         let rec wait () =
           if wait_pulse t ~deadline ~abort then
@@ -875,12 +874,8 @@ let equivocate_push t =
     let body = if t.config.Config.separate_bodies then None else Some txs in
     let p = { Types.sh; body } in
     if t.config.Config.separate_bodies then
-      Net.multicast t.env.Env.net ~src:(me t) ~dsts:targets
-        ~size:(body_msg_size txs)
-        (Msg.Body { body_hash = bh; txs; ttl = 0 });
-    Net.multicast t.env.Env.net ~src:(me t) ~dsts:targets
-      ~size:(Types.proposal_size p + 8)
-      (Msg.Push { proposal = p })
+      multicast t ~dsts:targets (Msg.Body { body_hash = bh; txs; ttl = 0 });
+    multicast t ~dsts:targets (Msg.Push { proposal = p })
   in
   let half_a, half_b = t.halves in
   incr_c t "equivocations";
@@ -945,7 +940,7 @@ let maybe_catch_up t =
           stalls := 0
       | found ->
           if found <> None then Hashtbl.remove t.fetched r;
-          bcast t ~size:12 (Msg.Req { round = r });
+          bcast t (Msg.Req { round = r });
           let deadline = now t + pull_timeout in
           let rec wait () =
             if
@@ -1004,7 +999,7 @@ let round_step t =
            with
           | Some (txs, bh, _), true -> broadcast_body t txs ~bh
           | _ -> ());
-          bcast t ~size:(Types.proposal_size p + 8) (Msg.Push { proposal = p })
+          bcast t (Msg.Push { proposal = p })
         end
   end
   else if predicted_next t ~k = me t && t.behavior = Honest
@@ -1078,9 +1073,7 @@ let spawn_body_fiber t =
             let bh = store_body t txs ~at:(now t) in
             (match t.config.Config.dissemination with
             | Config.Gossip fanout when fresh && ttl > 0 ->
-                Net.multicast t.env.Env.net ~src:(me t)
-                  ~dsts:(gossip_peers t fanout)
-                  ~size:(body_msg_size txs)
+                multicast t ~dsts:(gossip_peers t fanout)
                   (Msg.Body { body_hash = bh; txs; ttl = ttl - 1 })
             | _ -> ())
         | _ -> ()
@@ -1138,7 +1131,6 @@ let spawn_service_fiber t =
             match answer with
             | Some (sh, txs) ->
                 send t ~dst:src
-                  ~size:(Types.signed_header_size + body_msg_size txs + 16)
                   (Msg.Reply
                      { round = r;
                        proposal = { Types.sh; body = None };
@@ -1277,28 +1269,24 @@ let start t =
   (* Panic layer: reliable broadcast of proofs. *)
   let rb_channel =
     Channel.of_hub t.env.Env.hub ~key:"rb" ~net:t.env.Env.net ~self:(me t)
-      ~f:(f_of t)
+      ~f:(f_of t) ~encode:Msg.encode
       ~inj:(fun m -> Msg.Rb m)
       ~prj:(function Msg.Rb m -> m | _ -> assert false)
   in
   t.rb <-
     Some
       (Fl_broadcast.Bracha.create engine ~recorder:(recorder t)
-         ~channel:rb_channel
-         ~payload_size:(fun _ -> Types.proof_size)
-         ~payload_digest:Types.proof_digest
+         ~channel:rb_channel ~payload_digest:Types.proof_digest
          ~deliver:(fun ~origin:_ ~tag:_ proof -> enqueue_proof t proof));
   (* Recovery layer: atomic broadcast of versions. *)
   let ab_channel =
     Channel.of_hub t.env.Env.hub ~key:"ab" ~net:t.env.Env.net ~self:(me t)
-      ~f:(f_of t)
+      ~f:(f_of t) ~encode:Msg.encode
       ~inj:(fun m -> Msg.Ab m)
       ~prj:(function Msg.Ab m -> m | _ -> assert false)
   in
   let ab_config =
-    { (Pbft.default_config ~payload_size:Types.version_size
-         ~payload_digest:Types.version_digest)
-      with
+    { (Pbft.default_config ~payload_digest:Types.version_digest) with
       Pbft.max_batch = 4;
       window = 4;
       base_timeout = Time.ms 500 }

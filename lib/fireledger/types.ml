@@ -12,48 +12,71 @@ let signed_header_valid registry sh =
   Fl_crypto.Signature.verify registry ~signer:sh.header.Header.proposer
     ~msg:(Header.encode sh.header) sh.signature
 
-let encode_signed_header sh =
-  let w = Codec.Writer.create ~capacity:160 () in
+(* The signed header travels as [bytes(Header.encode h)] — the exact
+   string that was signed — so signature checking never re-encodes. *)
+let write_signed_header w sh =
   Codec.Writer.bytes w (Header.encode sh.header);
-  Codec.Writer.bytes w sh.signature;
-  Codec.Writer.contents w
+  Codec.Writer.bytes w sh.signature
 
-let decode_header r =
-  let s = Codec.Reader.of_string r in
+let read_signed_header r =
   (* Bind sequentially: record-field evaluation order is unspecified
      and must not drive the read order. *)
-  let round = Codec.Reader.u64 s in
-  let proposer = Codec.Reader.u32 s in
-  let prev_hash = Codec.Reader.raw s 32 in
-  let body_hash = Codec.Reader.raw s 32 in
-  let tx_count = Codec.Reader.u32 s in
-  let body_size = Codec.Reader.u64 s in
-  { Header.round; proposer; prev_hash; body_hash; tx_count; body_size }
+  let henc = Codec.Reader.sub_bytes r in
+  let round = Codec.Reader.u64 henc in
+  let proposer = Codec.Reader.u32 henc in
+  let prev_hash = Codec.Reader.raw henc 32 in
+  let body_hash = Codec.Reader.raw henc 32 in
+  let tx_count = Codec.Reader.u32 henc in
+  let body_size = Codec.Reader.u64 henc in
+  if not (Codec.Reader.at_end henc) then
+    raise (Codec.Malformed "signed_header: trailing header bytes");
+  let header =
+    { Header.round; proposer; prev_hash; body_hash; tx_count; body_size }
+  in
+  let signature = Codec.Reader.bytes r in
+  { header; signature }
+
+let encode_signed_header sh =
+  let w = Codec.Writer.create ~capacity:160 () in
+  write_signed_header w sh;
+  Codec.Writer.contents w
 
 let decode_signed_header s =
   match
     let r = Codec.Reader.of_string s in
-    let henc = Codec.Reader.bytes r in
-    let signature = Codec.Reader.bytes r in
-    ({ header = decode_header henc; signature }, Codec.Reader.at_end r)
+    let sh = read_signed_header r in
+    if Codec.Reader.at_end r then Some sh else None
   with
-  | sh, true -> Some sh
-  | _, false -> None
-  | exception Codec.Reader.Underflow -> None
-
-let signed_header_size =
-  Header.wire_size + Fl_crypto.Signature.signature_size + 4
+  | result -> result
+  | exception (Codec.Reader.Underflow | Codec.Malformed _) -> None
 
 type proposal = { sh : signed_header; body : Tx.t array option }
 
-let proposal_size p =
-  signed_header_size
-  +
+let write_proposal w p =
+  write_signed_header w p.sh;
   match p.body with
-  | None -> 0
-  | Some txs -> Array.fold_left (fun acc tx -> acc + Tx.wire_size tx) 8 txs
+  | None -> Codec.Writer.bool w false
+  | Some txs ->
+      Codec.Writer.bool w true;
+      Serial.encode_txs w txs
+
+let read_proposal r =
+  let sh = read_signed_header r in
+  let body =
+    if Codec.Reader.bool r then Some (Serial.decode_txs r) else None
+  in
+  { sh; body }
 
 type proof = { later : signed_header; earlier : signed_header }
+
+let write_proof w p =
+  write_signed_header w p.later;
+  write_signed_header w p.earlier
+
+let read_proof r =
+  let later = read_signed_header r in
+  let earlier = read_signed_header r in
+  { later; earlier }
 
 let proof_round p = p.later.header.Header.round
 
@@ -64,8 +87,6 @@ let proof_valid registry p =
   && not
        (String.equal p.later.header.Header.prev_hash
           (Header.hash p.earlier.header))
-
-let proof_size = (2 * signed_header_size) + 8
 
 let proof_digest p =
   Fl_crypto.Sha256.digest
@@ -82,11 +103,27 @@ let version_tip v =
   | [] -> -1
   | (b, _) :: _ -> b.Block.header.Header.round
 
-let version_size v =
-  List.fold_left
-    (fun acc (b, _) ->
-      acc + Block.wire_size b + Fl_crypto.Signature.signature_size)
-    24 v.blocks
+let write_version w v =
+  Codec.Writer.varint w v.recovery_round;
+  Codec.Writer.varint w v.origin;
+  Codec.Writer.varint w (List.length v.blocks);
+  List.iter
+    (fun (b, s) ->
+      Serial.encode_block w b;
+      Codec.Writer.bytes w s)
+    v.blocks
+
+let read_version r =
+  let recovery_round = Codec.Reader.varint r in
+  let origin = Codec.Reader.varint r in
+  let n = Codec.Reader.seq_len r in
+  let blocks =
+    List.init n (fun _ ->
+        let b = Serial.read_block r in
+        let s = Codec.Reader.bytes r in
+        (b, s))
+  in
+  { recovery_round; origin; blocks }
 
 let version_digest v =
   let ctx = Fl_crypto.Sha256.init () in

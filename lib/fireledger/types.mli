@@ -14,18 +14,27 @@ val signed_header_valid :
 (** The signature is by [header.proposer] over the canonical header
     encoding. *)
 
+val write_signed_header :
+  Fl_wire.Codec.Writer.t -> signed_header -> unit
+(** In-body codec. The header travels as the exact byte string that
+    was signed, so verification never re-encodes. *)
+
+val read_signed_header : Fl_wire.Codec.Reader.t -> signed_header
+(** Inverse of {!write_signed_header}; raises
+    {!Fl_wire.Codec.Malformed} / {!Fl_wire.Codec.Reader.Underflow} on
+    bad input. *)
+
 val encode_signed_header : signed_header -> string
 (** Canonical bytes — this string is WRB's transferable evidence(1). *)
 
 val decode_signed_header : string -> signed_header option
 
-val signed_header_size : int
-
 type proposal = { sh : signed_header; body : Tx.t array option }
 (** What WRB carries for a round: the signed header, plus the body
     inline when block/header separation is disabled (ablation). *)
 
-val proposal_size : proposal -> int
+val write_proposal : Fl_wire.Codec.Writer.t -> proposal -> unit
+val read_proposal : Fl_wire.Codec.Reader.t -> proposal
 
 type proof = { later : signed_header; earlier : signed_header }
 (** Evidence of chain inconsistency: two properly signed headers at
@@ -33,12 +42,13 @@ type proof = { later : signed_header; earlier : signed_header }
     [earlier] (Algorithm 2, line b6). Anyone can check it; its
     existence convicts one of the two proposers. *)
 
+val write_proof : Fl_wire.Codec.Writer.t -> proof -> unit
+val read_proof : Fl_wire.Codec.Reader.t -> proof
+
 val proof_round : proof -> int
 (** The disputed round (the later header's round). *)
 
 val proof_valid : Fl_crypto.Signature.registry -> proof -> bool
-
-val proof_size : int
 
 val proof_digest : proof -> string
 
@@ -54,7 +64,12 @@ type version = {
 val version_tip : version -> int
 (** Round of the version's last block; −1 when empty. *)
 
-val version_size : version -> int
+val write_version : Fl_wire.Codec.Writer.t -> version -> unit
+(** Blocks ride the {!Fl_chain.Serial} block codec (wire-true padded
+    transaction frames), each followed by its proposer signature. *)
+
+val read_version : Fl_wire.Codec.Reader.t -> version
+
 val version_digest : version -> string
 
 type version_check = Adoptable | Unanchored | Invalid

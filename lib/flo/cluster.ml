@@ -9,7 +9,7 @@ type t = {
   registry : Fl_crypto.Signature.registry;
   nics : Nic.t array;
   cpus : Cpu.t array;
-  nets : Msg.t Net.t array;
+  nets : Net.t array;
   nodes : Node.t array;
   workers : Instance.t array array;
   crashed : (int, unit) Hashtbl.t;
@@ -85,7 +85,11 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
     Array.init n (fun i ->
         Array.init workers (fun w ->
             let hub =
-              Hub.create engine ~inbox:(Net.inbox nets.(w) i) ~key:Msg.key
+              Hub.create engine ~inbox:(Net.inbox nets.(w) i)
+                ~decode:Msg.decode
+                ~on_malformed:(fun ~src:_ ~bytes:_ ->
+                  Fl_metrics.Recorder.incr recorder "decode_errors")
+                ~key:Msg.key ()
             in
             let env =
               { Env.engine;

@@ -4,20 +4,20 @@ type 'a t = {
   self : int;
   n : int;
   f : int;
-  bcast : size:int -> 'a -> unit;
-  send : dst:int -> size:int -> 'a -> unit;
+  bcast : 'a -> unit;
+  send : dst:int -> 'a -> unit;
   recv : unit -> int * 'a;
   recv_timeout : timeout:Time.t -> (int * 'a) option;
   close : unit -> unit;
 }
 
-let of_hub hub ~key ~net ~self ~f ~inj ~prj =
+let of_hub hub ~key ~net ~self ~f ~encode ~inj ~prj =
   let box () = Hub.box hub key in
   { self;
     n = Net.n net;
     f;
-    bcast = (fun ~size m -> Net.broadcast net ~src:self ~size (inj m));
-    send = (fun ~dst ~size m -> Net.send net ~src:self ~dst ~size (inj m));
+    bcast = (fun m -> Net.broadcast net ~src:self (encode (inj m)));
+    send = (fun ~dst m -> Net.send net ~src:self ~dst (encode (inj m)));
     recv =
       (fun () ->
         let src, w = Mailbox.recv (box ()) in

@@ -4,9 +4,11 @@
     against this record instead of the raw {!Net} so that (i) each
     instance gets its own demultiplexed message stream (a {!Hub}
     channel) and (ii) the node layer can wrap [bcast]/[send] to embed
-    the sub-protocol's messages in the node's wire type and to count
-    wire traffic. [n]/[f] carry the system-model parameters every BFT
-    protocol needs. *)
+    the sub-protocol's messages in the node's wire type and encode
+    them once through the node's message codec — the bytes that cross
+    the wire, and the NIC charge, are exactly that encoding.
+    [n]/[f] carry the system-model parameters every BFT protocol
+    needs. *)
 
 open Fl_sim
 
@@ -14,8 +16,8 @@ type 'a t = {
   self : int;
   n : int;
   f : int;
-  bcast : size:int -> 'a -> unit;  (** send to all, including self *)
-  send : dst:int -> size:int -> 'a -> unit;
+  bcast : 'a -> unit;  (** encode once, send to all, including self *)
+  send : dst:int -> 'a -> unit;
   recv : unit -> int * 'a;  (** blocking; (src, msg) *)
   recv_timeout : timeout:Time.t -> (int * 'a) option;
   close : unit -> unit;  (** release the underlying hub channel *)
@@ -24,13 +26,14 @@ type 'a t = {
 val of_hub :
   'w Hub.t ->
   key:string ->
-  net:'w Net.t ->
+  net:Net.t ->
   self:int ->
   f:int ->
+  encode:('w -> string) ->
   inj:('m -> 'w) ->
   prj:('w -> 'm) ->
   'm t
 (** Standard wiring: channel [key] of a node's hub, embedding protocol
-    messages ['m] into the node wire type ['w]. [prj] may assume it
-    only sees messages routed to [key] (it should raise on others —
-    that would be a routing bug). *)
+    messages ['m] into the node wire type ['w] and encoding through
+    the node's codec. [prj] may assume it only sees messages routed to
+    [key] (it should raise on others — that would be a routing bug). *)

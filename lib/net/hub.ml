@@ -3,7 +3,10 @@ open Fl_sim
 type 'm t = {
   engine : Engine.t;
   key : 'm -> string;
+  decode : string -> 'm option;
+  on_malformed : (src:int -> bytes:int -> unit) option;
   boxes : (string, (int * 'm) Mailbox.t) Hashtbl.t;
+  mutable malformed : int;
 }
 
 let box t k =
@@ -14,12 +17,24 @@ let box t k =
       Hashtbl.add t.boxes k b;
       b
 
-let create engine ~inbox ~key =
-  let t = { engine; key; boxes = Hashtbl.create 64 } in
+let create engine ~inbox ~decode ?on_malformed ~key () =
+  let t =
+    { engine; key; decode; on_malformed; boxes = Hashtbl.create 64;
+      malformed = 0 }
+  in
   Fiber.spawn engine (fun () ->
       let rec loop () =
-        let src, msg = Mailbox.recv inbox in
-        Mailbox.send (box t (key msg)) (src, msg);
+        let src, frame = Mailbox.recv inbox in
+        (* Decode behind the dispatcher: a malformed frame — bit
+           flipped, truncated, or outright garbage — is dropped and
+           counted here, and never reaches a protocol fiber. *)
+        (match t.decode frame with
+        | Some msg -> Mailbox.send (box t (t.key msg)) (src, msg)
+        | None ->
+            t.malformed <- t.malformed + 1;
+            (match t.on_malformed with
+            | Some f -> f ~src ~bytes:(String.length frame)
+            | None -> ()));
         loop ()
       in
       loop ());
@@ -27,3 +42,4 @@ let create engine ~inbox ~key =
 
 let remove t k = Hashtbl.remove t.boxes k
 let channels t = Hashtbl.length t.boxes
+let malformed t = t.malformed

@@ -1,20 +1,33 @@
-(** Demultiplexing of a node's inbox into per-channel mailboxes.
+(** Decoding and demultiplexing of a node's inbox into per-channel
+    mailboxes.
 
-    Consensus messages are naturally keyed — by round, by protocol
-    phase, by instance. A [Hub] runs a dispatcher fiber over the
-    node's inbox and routes each message to the mailbox of its channel
-    key, creating mailboxes on demand. Fibers block on
-    [box]/[recv_timeout] for the channels they care about; messages
-    for future rounds wait in their channel until the protocol
-    catches up. [remove] discards finished channels so memory stays
-    bounded over long runs. *)
+    The network delivers framed byte strings; protocol fibers consume
+    typed messages. A [Hub] runs a dispatcher fiber over the node's
+    inbox that decodes each frame through the node's message codec and
+    routes the result to the mailbox of its channel key (by round, by
+    protocol phase, by instance), creating mailboxes on demand. A
+    frame the codec rejects — truncated, bit-flipped, garbage — is
+    dropped and counted, never crashing the dispatcher nor reaching a
+    protocol fiber. Fibers block on [box]/[recv_timeout] for the
+    channels they care about; messages for future rounds wait in their
+    channel until the protocol catches up. [remove] discards finished
+    channels so memory stays bounded over long runs. *)
 
 open Fl_sim
 
 type 'm t
 
-val create : Engine.t -> inbox:(int * 'm) Mailbox.t -> key:('m -> string) -> 'm t
-(** Spawns the dispatcher fiber immediately. *)
+val create :
+  Engine.t ->
+  inbox:(int * string) Mailbox.t ->
+  decode:(string -> 'm option) ->
+  ?on_malformed:(src:int -> bytes:int -> unit) ->
+  key:('m -> string) ->
+  unit ->
+  'm t
+(** Spawns the dispatcher fiber immediately. [on_malformed] fires for
+    every rejected frame (after the internal counter) — the cluster
+    layer hooks metrics and obs instants here. *)
 
 val box : 'm t -> string -> (int * 'm) Mailbox.t
 (** Mailbox of a channel (created on demand). *)
@@ -26,3 +39,6 @@ val remove : 'm t -> string -> unit
 
 val channels : 'm t -> int
 (** Live channel count — for leak tests. *)
+
+val malformed : 'm t -> int
+(** Frames the codec rejected since creation. *)

@@ -1,19 +1,27 @@
 open Fl_sim
 
-type 'm t = {
+type t = {
   engine : Engine.t;
   rng : Rng.t;
   loss_rng : Rng.t;
       (* dedicated stream so probabilistic-loss draws do not perturb
          the latency sampling sequence *)
+  corrupt_rng : Rng.t;
+      (* dedicated stream for byte-fault draws; consumed only while a
+         corruption window is open, so corruption-free runs are
+         byte-identical to pre-corruption builds *)
   nics : Nic.t array;
   latency : Latency.t;
-  inboxes : (int * 'm) Mailbox.t array;
+  inboxes : (int * string) Mailbox.t array;
   mutable filter : (src:int -> dst:int -> bool) option;
   mutable groups : int array option;  (* partition: group id per node *)
   loss : (int, float) Hashtbl.t;  (* per-node outbound drop probability *)
+  corrupt : (int, float) Hashtbl.t;
+      (* per-node outbound byte-fault probability *)
+  link_bytes : int array array;  (* [src].[dst] wire bytes delivered *)
   mutable delivered : int;
   mutable dropped : int;
+  mutable corrupted : int;
   mutable obs : Fl_obs.Obs.t option;
   mutable obs_worker : int;
 }
@@ -24,14 +32,18 @@ let create engine rng ~nics ~latency =
   { engine;
     rng;
     loss_rng = Rng.named_split rng "net-loss";
+    corrupt_rng = Rng.named_split rng "net-corrupt";
     nics;
     latency;
     inboxes = Array.init n (fun _ -> Mailbox.create engine);
     filter = None;
     groups = None;
     loss = Hashtbl.create 4;
+    corrupt = Hashtbl.create 4;
+    link_bytes = Array.make_matrix n n 0;
     delivered = 0;
     dropped = 0;
+    corrupted = 0;
     obs = None;
     obs_worker = -1 }
 
@@ -76,6 +88,13 @@ let set_loss t ~node prob =
   if prob = 0.0 then Hashtbl.remove t.loss node
   else Hashtbl.replace t.loss node prob
 
+let set_corrupt t ~node prob =
+  if prob < 0.0 || prob > 1.0 then invalid_arg "Net.set_corrupt: probability";
+  if node < 0 || node >= Array.length t.nics then
+    invalid_arg "Net.set_corrupt: node id";
+  if prob = 0.0 then Hashtbl.remove t.corrupt node
+  else Hashtbl.replace t.corrupt node prob
+
 let deliverable t ~src ~dst =
   (match t.filter with None -> true | Some f -> f ~src ~dst)
   && (src = dst
@@ -90,6 +109,43 @@ let deliverable t ~src ~dst =
      | None -> true
      | Some p -> Rng.float t.loss_rng 1.0 >= p)
 
+(* Byte-level fault injection: with the window's probability, either
+   flip one bit of a copy of the frame or truncate it at a random
+   boundary — the two physical failure modes a checksum must catch.
+   Self-delivery is exempt (no wire). The payload is copied before
+   mutation: broadcast shares one encoded string across links. *)
+let maybe_corrupt t ~src ~dst payload =
+  if src = dst then payload
+  else
+    match Hashtbl.find_opt t.corrupt src with
+    | None -> payload
+    | Some p ->
+        let len = String.length payload in
+        if len = 0 || Rng.float t.corrupt_rng 1.0 >= p then payload
+        else begin
+          t.corrupted <- t.corrupted + 1;
+          let flip = Rng.bool t.corrupt_rng in
+          let payload' =
+            if flip then begin
+              let b = Bytes.of_string payload in
+              let i = Rng.int t.corrupt_rng len in
+              let bit = Rng.int t.corrupt_rng 8 in
+              Bytes.unsafe_set b i
+                (Char.unsafe_chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+              Bytes.unsafe_to_string b
+            end
+            else String.sub payload 0 (Rng.int t.corrupt_rng len)
+          in
+          Fl_obs.Obs.instant t.obs ~cat:"net" ~name:"corrupt" ~node:src
+            ~worker:t.obs_worker
+            ~args:
+              [ ("dst", string_of_int dst);
+                ("mode", if flip then "bitflip" else "truncate");
+                ("bytes", string_of_int (String.length payload')) ]
+            ~at:(Engine.now t.engine) ();
+          payload'
+        end
+
 let deliver t ~src ~dst ~at msg =
   let now = Engine.now t.engine in
   ignore
@@ -97,18 +153,27 @@ let deliver t ~src ~dst ~at msg =
          t.delivered <- t.delivered + 1;
          Mailbox.send t.inboxes.(dst) (src, msg)))
 
-let send t ~src ~dst ~size msg =
+(* The frame is whatever bytes the sender encoded; the NIC is charged
+   its exact length — there is no separate size channel to drift from
+   the content. A truncating fault shortens the frame before the NIC,
+   as on a real wire where the cut transmission ends early. *)
+let send t ~src ~dst (payload : string) =
   if not (deliverable t ~src ~dst) then begin
     t.dropped <- t.dropped + 1;
     Fl_obs.Obs.instant t.obs ~cat:"net" ~name:"drop" ~node:src
       ~worker:t.obs_worker
-      ~args:[ ("dst", string_of_int dst); ("bytes", string_of_int size) ]
+      ~args:
+        [ ("dst", string_of_int dst);
+          ("bytes", string_of_int (String.length payload)) ]
       ~at:(Engine.now t.engine) ()
   end
   else begin
+    let payload = maybe_corrupt t ~src ~dst payload in
+    let size = String.length payload in
+    t.link_bytes.(src).(dst) <- t.link_bytes.(src).(dst) + size;
     let now = Engine.now t.engine in
     let propagation = Latency.sample t.latency t.rng ~src ~dst in
-    if src = dst then deliver t ~src ~dst ~at:(now + propagation) msg
+    if src = dst then deliver t ~src ~dst ~at:(now + propagation) payload
     else begin
       if Fl_obs.Obs.enabled t.obs then
         Fl_obs.Obs.gauge t.obs ~cat:"net" ~name:"nic_tx_backlog" ~node:src
@@ -128,20 +193,35 @@ let send t ~src ~dst ~size msg =
           ~args:[ ("dst", string_of_int dst); ("bytes", string_of_int size) ]
           ~t_begin:tx_done ~t_end:rx_done ()
       end;
-      deliver t ~src ~dst ~at:rx_done msg
+      deliver t ~src ~dst ~at:rx_done payload
     end
   end
 
-let broadcast ?(include_self = true) t ~src ~size msg =
+let broadcast ?(include_self = true) t ~src payload =
   let count = Array.length t.nics in
   for dst = 0 to count - 1 do
-    if dst <> src then send t ~src ~dst ~size msg
+    if dst <> src then send t ~src ~dst payload
   done;
-  if include_self then send t ~src ~dst:src ~size msg
+  if include_self then send t ~src ~dst:src payload
 
-let multicast t ~src ~dsts ~size msg =
-  List.iter (fun dst -> send t ~src ~dst ~size msg) dsts
+let multicast t ~src ~dsts payload =
+  List.iter (fun dst -> send t ~src ~dst payload) dsts
 
 let set_filter t f = t.filter <- f
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
+let messages_corrupted t = t.corrupted
+
+let link_bytes t ~src ~dst =
+  if
+    src < 0
+    || src >= Array.length t.nics
+    || dst < 0
+    || dst >= Array.length t.nics
+  then invalid_arg "Net.link_bytes: node id";
+  t.link_bytes.(src).(dst)
+
+let bytes_out t ~node =
+  if node < 0 || node >= Array.length t.nics then
+    invalid_arg "Net.bytes_out: node id";
+  Array.fold_left ( + ) 0 t.link_bytes.(node)

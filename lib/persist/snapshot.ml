@@ -49,44 +49,36 @@ let build ~store ~upto ~era ~app ~app_hash =
   | Some prefix ->
       Some { upto; era; app; app_hash; chain = Serial.encode_chain prefix }
 
+(* A snapshot is one sealed {!Fl_wire.Envelope} (tag 0) — the same
+   CRC-protected framing as WAL records and network messages; the
+   magic stays in the body as a format fingerprint. *)
 let encode t =
-  let w = Codec.Writer.create ~capacity:(String.length t.chain + 256) () in
-  Codec.Writer.raw w magic;
-  Codec.Writer.varint w t.upto;
-  Codec.Writer.varint w t.era;
-  Codec.Writer.bytes w t.app;
-  Codec.Writer.bytes w t.app_hash;
-  Codec.Writer.bytes w t.chain;
-  let payload = Codec.Writer.contents w in
-  let framed = Codec.Writer.create ~capacity:(String.length payload + 8) () in
-  Codec.Writer.u32 framed (String.length payload);
-  Codec.Writer.u32 framed (Crc32.digest_int payload);
-  Codec.Writer.raw framed payload;
-  Codec.Writer.contents framed
+  Envelope.seal ~tag:0 (fun w ->
+      Codec.Writer.raw w magic;
+      Codec.Writer.varint w t.upto;
+      Codec.Writer.varint w t.era;
+      Codec.Writer.bytes w t.app;
+      Codec.Writer.bytes w t.app_hash;
+      Codec.Writer.bytes w t.chain)
 
 let decode s =
   match
-    let r = Codec.Reader.of_string s in
-    let plen = Codec.Reader.u32 r in
-    let crc = Codec.Reader.u32 r in
-    let payload = Codec.Reader.raw r plen in
-    if not (Codec.Reader.at_end r) then Error "snapshot: trailing bytes"
-    else if Crc32.digest_int payload <> crc then Error "snapshot: bad CRC"
+    let tag, r = Envelope.open_ s in
+    if tag <> 0 then Error "snapshot: bad tag"
+    else if not (String.equal (Codec.Reader.raw r 8) magic) then
+      Error "snapshot: bad magic"
     else begin
-      let r = Codec.Reader.of_string payload in
-      if not (String.equal (Codec.Reader.raw r 8) magic) then
-        Error "snapshot: bad magic"
-      else begin
-        let upto = Codec.Reader.varint r in
-        let era = Codec.Reader.varint r in
-        let app = Codec.Reader.bytes r in
-        let app_hash = Codec.Reader.bytes r in
-        let chain = Codec.Reader.bytes r in
-        Ok { upto; era; app; app_hash; chain }
-      end
+      let upto = Codec.Reader.varint r in
+      let era = Codec.Reader.varint r in
+      let app = Codec.Reader.bytes r in
+      let app_hash = Codec.Reader.bytes r in
+      let chain = Codec.Reader.bytes r in
+      if Codec.Reader.at_end r then Ok { upto; era; app; app_hash; chain }
+      else Error "snapshot: trailing bytes"
     end
   with
   | result -> result
   | exception Codec.Reader.Underflow -> Error "snapshot: truncated"
+  | exception Codec.Malformed e -> Error ("snapshot: " ^ e)
 
 let restore_chain t = Serial.decode_chain t.chain

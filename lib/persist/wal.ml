@@ -1,13 +1,14 @@
 (* Segmented append-only write-ahead log.
 
    Records (block appends, recovery truncations, definiteness
-   watermarks) are framed as [u32 length | u32 crc32 | payload] and
-   appended to the active segment; a segment seals once it exceeds
-   [segment_bytes]. Durability is a frame-count watermark advanced by
-   {!sync} (which fsyncs the underlying {!Disk}); a power failure
-   keeps exactly the durable prefix, optionally plus a torn fragment
-   of the first non-durable frame — which replay must detect (CRC or
-   length underflow) and discard.
+   watermarks) ride the same {!Fl_wire.Envelope} as network frames —
+   [u8 version | u8 tag | u32 crc32 | body] — behind a [u32 length]
+   outer prefix, and are appended to the active segment; a segment
+   seals once it exceeds [segment_bytes]. Durability is a frame-count
+   watermark advanced by {!sync} (which fsyncs the underlying
+   {!Disk}); a power failure keeps exactly the durable prefix,
+   optionally plus a torn fragment of the first non-durable frame —
+   which replay must detect (CRC or length underflow) and discard.
 
    Truncation after a snapshot drops sealed segments whose records
    only concern rounds at or below the snapshot; segments are
@@ -31,48 +32,54 @@ let round_of = function
   | Truncate { from } -> from
   | Definite { upto; _ } -> upto
 
+(* A record is a sealed envelope: record kind = envelope tag, CRC
+   protection comes with the envelope. *)
 let encode_record r =
-  let w = Codec.Writer.create ~capacity:256 () in
-  (match r with
+  match r with
   | Append { block; signature } ->
-      Codec.Writer.u8 w 1;
-      Codec.Writer.bytes w signature;
-      Serial.encode_block w block
+      Envelope.seal ~tag:1 (fun w ->
+          Codec.Writer.bytes w signature;
+          Serial.encode_block w block)
   | Truncate { from } ->
-      Codec.Writer.u8 w 2;
-      Codec.Writer.varint w from
+      Envelope.seal ~tag:2 (fun w -> Codec.Writer.varint w from)
   | Definite { upto; era } ->
-      Codec.Writer.u8 w 3;
-      (* [upto] is −1 until the first block becomes definite (a bare
-         era watermark) — shift by one for the unsigned varint *)
-      Codec.Writer.varint w (upto + 1);
-      Codec.Writer.varint w era);
-  Codec.Writer.contents w
+      Envelope.seal ~tag:3 (fun w ->
+          (* [upto] is −1 until the first block becomes definite (a
+             bare era watermark) — shift by one for the unsigned
+             varint *)
+          Codec.Writer.varint w (upto + 1);
+          Codec.Writer.varint w era)
+
+let read_record tag r =
+  match tag with
+  | 1 ->
+      let signature = Codec.Reader.bytes r in
+      Result.map
+        (fun block -> Append { block; signature })
+        (Serial.decode_block r)
+  | 2 -> Ok (Truncate { from = Codec.Reader.varint r })
+  | 3 ->
+      let upto = Codec.Reader.varint r - 1 in
+      let era = Codec.Reader.varint r in
+      Ok (Definite { upto; era })
+  | tag -> Error (Printf.sprintf "unknown WAL record tag %d" tag)
 
 let decode_record s =
-  let r = Codec.Reader.of_string s in
   match
-    match Codec.Reader.u8 r with
-    | 1 ->
-        let signature = Codec.Reader.bytes r in
-        Result.map
-          (fun block -> Append { block; signature })
-          (Serial.decode_block r)
-    | 2 -> Ok (Truncate { from = Codec.Reader.varint r })
-    | 3 ->
-        let upto = Codec.Reader.varint r - 1 in
-        let era = Codec.Reader.varint r in
-        Ok (Definite { upto; era })
-    | tag -> Error (Printf.sprintf "unknown WAL record tag %d" tag)
+    let tag, r = Envelope.open_ s in
+    match read_record tag r with
+    | Ok _ when not (Codec.Reader.at_end r) ->
+        Error "WAL record: trailing bytes"
+    | result -> result
   with
   | result -> result
   | exception Codec.Reader.Underflow -> Error "truncated WAL record"
+  | exception Codec.Malformed e -> Error e
 
-let frame payload =
-  let w = Codec.Writer.create ~capacity:(String.length payload + 8) () in
-  Codec.Writer.u32 w (String.length payload);
-  Codec.Writer.u32 w (Crc32.digest_int payload);
-  Codec.Writer.raw w payload;
+let frame sealed =
+  let w = Codec.Writer.create ~capacity:(String.length sealed + 4) () in
+  Codec.Writer.u32 w (String.length sealed);
+  Codec.Writer.raw w sealed;
   Codec.Writer.contents w
 
 type segment = {
@@ -227,32 +234,35 @@ let replay_media media =
   let torn = ref false in
   let stop = ref false in
   while (not !stop) && !pos < len do
-    if len - !pos < 8 then begin
+    if len - !pos < 4 then begin
       torn := true;
       stop := true
     end
     else begin
-      let r = Codec.Reader.of_string (String.sub media !pos 8) in
-      let plen = Codec.Reader.u32 r in
-      let crc = Codec.Reader.u32 r in
-      if len - !pos - 8 < plen then begin
+      let r = Codec.Reader.of_substring media ~pos:!pos ~len:(len - !pos) in
+      let flen = Codec.Reader.u32 r in
+      if len - !pos - 4 < flen then begin
         torn := true;
         stop := true
       end
       else
-        let payload = String.sub media (!pos + 8) plen in
-        if Crc32.digest_int payload <> crc then begin
-          torn := true;
-          stop := true
-        end
-        else
-          match decode_record payload with
-          | Ok rec_ ->
-              records := rec_ :: !records;
-              pos := !pos + 8 + plen
-          | Error _ ->
-              torn := true;
-              stop := true
+        (* Zero-copy: the envelope opens directly over the media
+           window; version/CRC mismatches surface as Malformed. *)
+        match Envelope.open_sub media ~pos:(!pos + 4) ~len:flen with
+        | exception (Codec.Reader.Underflow | Codec.Malformed _) ->
+            torn := true;
+            stop := true
+        | tag, body -> (
+            match read_record tag body with
+            | Ok rec_ when Codec.Reader.at_end body ->
+                records := rec_ :: !records;
+                pos := !pos + 4 + flen
+            | Ok _ | Error _ ->
+                torn := true;
+                stop := true
+            | exception (Codec.Reader.Underflow | Codec.Malformed _) ->
+                torn := true;
+                stop := true)
     end
   done;
   { records = List.rev !records; torn = !torn }

@@ -1,7 +1,11 @@
+exception Malformed of string
+
 module Writer = struct
   type t = Buffer.t
 
   let create ?(capacity = 256) () = Buffer.create capacity
+  let clear t = Buffer.clear t
+  let reset t = Buffer.reset t
   let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
 
   let u16 t v =
@@ -31,19 +35,46 @@ module Writer = struct
     raw t s
 
   let bool t b = u8 t (if b then 1 else 0)
+
+  (* Shared source for zero padding: simulated transaction payloads
+     must occupy real frame bytes (wire-true sizes) without allocating
+     a fresh string per pad. *)
+  let zeros = String.make 4096 '\000'
+
+  let pad t n =
+    if n < 0 then invalid_arg "Codec.pad: negative"
+    else begin
+      let rest = ref n in
+      while !rest > 0 do
+        let k = min !rest (String.length zeros) in
+        Buffer.add_substring t zeros 0 k;
+        rest := !rest - k
+      done
+    end
+
   let length t = Buffer.length t
   let contents t = Buffer.contents t
 end
 
 module Reader = struct
-  type t = { data : string; mutable pos : int }
+  (* [pos, limit) window over [data]; sub-readers share [data] with a
+     narrower window, so nested/lazy body decode is zero-copy. *)
+  type t = { data : string; mutable pos : int; limit : int }
 
   exception Underflow
 
-  let of_string data = { data; pos = 0 }
+  let of_string data = { data; pos = 0; limit = String.length data }
+
+  let of_substring data ~pos ~len =
+    if pos < 0 || len < 0 || len > String.length data - pos then
+      invalid_arg "Codec.Reader.of_substring";
+    { data; pos; limit = pos + len }
+
+  let remaining t = t.limit - t.pos
+  let at_end t = remaining t = 0
 
   let u8 t =
-    if t.pos >= String.length t.data then raise Underflow;
+    if t.pos >= t.limit then raise Underflow;
     let v = Char.code t.data.[t.pos] in
     t.pos <- t.pos + 1;
     v
@@ -69,8 +100,10 @@ module Reader = struct
     in
     go 0 0
 
+  (* Guards use subtraction, never [pos + n]: an adversarial length
+     near [max_int] must not wrap around the comparison. *)
   let raw t n =
-    if n < 0 || t.pos + n > String.length t.data then raise Underflow;
+    if n < 0 || n > remaining t then raise Underflow;
     let s = String.sub t.data t.pos n in
     t.pos <- t.pos + n;
     s
@@ -79,9 +112,30 @@ module Reader = struct
     let n = varint t in
     raw t n
 
+  let skip t n =
+    if n < 0 || n > remaining t then raise Underflow;
+    t.pos <- t.pos + n
+
+  let sub t n =
+    if n < 0 || n > remaining t then raise Underflow;
+    let r = { data = t.data; pos = t.pos; limit = t.pos + n } in
+    t.pos <- t.pos + n;
+    r
+
+  let sub_bytes t =
+    let n = varint t in
+    sub t n
+
   let bool t = u8 t <> 0
-  let remaining t = String.length t.data - t.pos
-  let at_end t = remaining t = 0
+
+  (* A sequence count claimed by the input: every element costs at
+     least one byte, so a count beyond [remaining] is malformed. This
+     bounds allocation before any [Array.init count] on adversarial
+     frames. *)
+  let seq_len t =
+    let n = varint t in
+    if n > remaining t then raise (Malformed "sequence count exceeds input");
+    n
 end
 
 let varint_size v =

@@ -1,10 +1,18 @@
 (** Binary codec with a stable, canonical encoding.
 
-    Two uses: (i) producing the exact byte string that is hashed and
+    Three uses: (i) producing the exact byte string that is hashed and
     signed (block headers, recovery proofs) — canonical encoding makes
-    signatures well-defined; (ii) computing wire sizes that feed the
-    NIC bandwidth model. Integers are little-endian fixed width;
-    variable-length fields are length-prefixed. *)
+    signatures well-defined; (ii) producing the framed wire bytes that
+    cross the simulated network, whose [String.length] is what the NIC
+    bandwidth model charges; (iii) the durable framing of the WAL and
+    snapshots. Integers are little-endian fixed width; variable-length
+    fields are length-prefixed. *)
+
+exception Malformed of string
+(** Structurally invalid input: bad tag, checksum mismatch,
+    implausible count. Together with {!Reader.Underflow} these are the
+    only exceptions a well-formed decoder may raise; [decode]
+    boundaries catch both and return [None]. *)
 
 module Writer : sig
   type t
@@ -24,9 +32,19 @@ module Writer : sig
   val raw : t -> string -> unit
   (** Raw bytes, no prefix — for fixed-size fields like digests. *)
 
+  val pad : t -> int -> unit
+  (** [n] zero bytes — simulated payload that must occupy real frame
+      bytes. Amortised: no per-call string allocation. *)
+
   val bool : t -> bool -> unit
   val length : t -> int
   val contents : t -> string
+
+  val clear : t -> unit
+  (** Empty the writer, keeping its internal storage (pooling). *)
+
+  val reset : t -> unit
+  (** Empty the writer and release oversized internal storage. *)
 end
 
 module Reader : sig
@@ -36,6 +54,12 @@ module Reader : sig
   (** Raised when reading past the end of input — malformed message. *)
 
   val of_string : string -> t
+
+  val of_substring : string -> pos:int -> len:int -> t
+  (** Zero-copy window [pos, pos+len) of a string. Raises
+      [Invalid_argument] on an out-of-range window — callers pass
+      trusted bounds; untrusted bounds go through {!sub}. *)
+
   val u8 : t -> int
   val u16 : t -> int
   val u32 : t -> int
@@ -43,6 +67,25 @@ module Reader : sig
   val varint : t -> int
   val bytes : t -> string
   val raw : t -> int -> string
+
+  val skip : t -> int -> unit
+  (** Advance past [n] bytes without materialising them. *)
+
+  val sub : t -> int -> t
+  (** [sub t n] narrows the next [n] bytes into a fresh reader sharing
+      the same backing string (zero-copy) and advances [t] past them —
+      the lazy-body path: frame dispatch can skip or defer a body
+      without copying it. Raises {!Underflow} if fewer than [n] bytes
+      remain. *)
+
+  val sub_bytes : t -> t
+  (** Length-prefixed (varint) {!sub}. *)
+
+  val seq_len : t -> int
+  (** A varint element count, validated against [remaining] (every
+      element costs ≥ 1 byte). Raises {!Malformed} on an implausible
+      count, bounding allocation on adversarial input. *)
+
   val bool : t -> bool
   val remaining : t -> int
   val at_end : t -> bool

@@ -1,0 +1,43 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+   checksum of the wire envelope and of the write-ahead log. On the
+   wire it is what turns a byte-level fault (bit flip, truncation)
+   into a detected, droppable frame instead of silently different
+   protocol state; on the WAL it is what lets replay detect and
+   discard a torn tail instead of applying garbage. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update_sub crc s ~pos ~len =
+  if pos < 0 || len < 0 || len > String.length s - pos then
+    invalid_arg "Crc32.update_sub";
+  let table = Lazy.force table in
+  let crc = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int
+        (Int32.logand
+           (Int32.logxor !crc (Int32.of_int (Char.code (String.unsafe_get s i))))
+           0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let update crc s = update_sub crc s ~pos:0 ~len:(String.length s)
+let digest s = update 0l s
+let digest_sub s ~pos ~len = update_sub 0l s ~pos ~len
+
+(* As a non-negative int that fits a Codec u32. *)
+let to_int c = Int32.to_int (Int32.logand c 0xFFFFFFFFl) land 0xFFFFFFFF
+let digest_int s = to_int (digest s)
+let digest_int_sub s ~pos ~len = to_int (digest_sub s ~pos ~len)

@@ -1,0 +1,52 @@
+(* The one frame format every wire message and every durable record
+   share:
+
+     [u8 version | u8 tag | u32 crc32(body) | body...]
+
+   The version byte gates format evolution; the tag names the
+   top-level message class (protocol constructor, WAL record kind);
+   the CRC turns byte-level faults — the explorer's bit flips and
+   truncations, the disk's torn tails — into detected [Malformed]
+   frames rather than silently different protocol state. [open_]
+   returns a zero-copy reader over the body. *)
+
+let version = 1
+let header_bytes = 6
+let max_tag = 0xff
+
+let seal ~tag write =
+  if tag < 0 || tag > max_tag then invalid_arg "Envelope.seal: tag";
+  Pool.with_writer (fun w ->
+      write w;
+      let body = Codec.Writer.contents w in
+      let n = String.length body in
+      let crc = Crc32.digest_int body in
+      let out = Bytes.create (header_bytes + n) in
+      Bytes.unsafe_set out 0 (Char.unsafe_chr version);
+      Bytes.unsafe_set out 1 (Char.unsafe_chr tag);
+      Bytes.unsafe_set out 2 (Char.unsafe_chr (crc land 0xff));
+      Bytes.unsafe_set out 3 (Char.unsafe_chr ((crc lsr 8) land 0xff));
+      Bytes.unsafe_set out 4 (Char.unsafe_chr ((crc lsr 16) land 0xff));
+      Bytes.unsafe_set out 5 (Char.unsafe_chr ((crc lsr 24) land 0xff));
+      Bytes.blit_string body 0 out header_bytes n;
+      Bytes.unsafe_to_string out)
+
+(* Open a sealed frame living at [pos, pos+len) of [s] — zero-copy:
+   the returned reader is a window over [s]. Raises
+   {!Codec.Malformed} on version/CRC mismatch and
+   {!Codec.Reader.Underflow} on a frame too short for its header. *)
+let open_sub s ~pos ~len =
+  if pos < 0 || len < 0 || len > String.length s - pos then
+    raise Codec.Reader.Underflow;
+  if len < header_bytes then raise Codec.Reader.Underflow;
+  let b i = Char.code (String.unsafe_get s (pos + i)) in
+  if b 0 <> version then
+    raise (Codec.Malformed (Printf.sprintf "envelope: version %d" (b 0)));
+  let tag = b 1 in
+  let crc = b 2 lor (b 3 lsl 8) lor (b 4 lsl 16) lor (b 5 lsl 24) in
+  let blen = len - header_bytes in
+  if Crc32.digest_int_sub s ~pos:(pos + header_bytes) ~len:blen <> crc then
+    raise (Codec.Malformed "envelope: checksum mismatch");
+  (tag, Codec.Reader.of_substring s ~pos:(pos + header_bytes) ~len:blen)
+
+let open_ s = open_sub s ~pos:0 ~len:(String.length s)

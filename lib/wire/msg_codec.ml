@@ -1,0 +1,33 @@
+(* The contract every top-level wire-message codec implements: one
+   message type, one [encode] that produces the exact framed bytes the
+   NIC is charged for, one total [decode] that never raises.
+
+   [decode (encode m) = m] for every message; on any other input
+   [decode] returns [None] (the dispatcher drops and counts the
+   frame). Decoders are written against {!Codec.Reader} bounds
+   checking and may only raise {!Codec.Reader.Underflow} or
+   {!Codec.Malformed} internally — both absorbed here; anything else
+   (an [Invalid_argument], an out-of-bounds) is a codec bug, surfaced
+   by the qcheck malformed-input properties. *)
+
+module type S = sig
+  type t
+
+  val encode : t -> string
+  val decode : string -> t option
+end
+
+(* Build a total [decode] from a sealed-frame body reader. [read tag
+   reader] parses one message class; the whole body must be consumed
+   (trailing bytes are malformed — they would be invisible to the
+   protocol yet still charged to the NIC). *)
+let decode_frame read s =
+  match
+    let tag, r = Envelope.open_ s in
+    let m = read tag r in
+    if not (Codec.Reader.at_end r) then
+      raise (Codec.Malformed "trailing bytes");
+    m
+  with
+  | m -> Some m
+  | exception (Codec.Reader.Underflow | Codec.Malformed _) -> None

@@ -1,0 +1,38 @@
+(* Pooled writers — the per-message encode fast path.
+
+   Every wire message is encoded exactly once; a naive fresh
+   [Buffer.create] per encode makes the allocator the hot path at
+   high message rates. [with_writer] hands out a cleared writer from a
+   small free list and returns it afterwards, so steady-state encoding
+   allocates only the final [contents] string (plus buffer growth on
+   the occasional outsized message, which is released again on
+   return). Purely deterministic: no RNG, single-threaded simulator,
+   and nesting is safe because the pool is a stack. *)
+
+let pool : Codec.Writer.t list ref = ref []
+let pooled = ref 0
+let max_pooled = 8
+
+(* A message much larger than this (a full block body) would pin its
+   grown buffer forever; release the storage instead. *)
+let retain_bytes = 1 lsl 16
+
+let acquire () =
+  match !pool with
+  | [] -> Codec.Writer.create ~capacity:512 ()
+  | w :: rest ->
+      pool := rest;
+      decr pooled;
+      w
+
+let release w =
+  if !pooled < max_pooled then begin
+    if Codec.Writer.length w > retain_bytes then Codec.Writer.reset w
+    else Codec.Writer.clear w;
+    pool := w :: !pool;
+    incr pooled
+  end
+
+let with_writer f =
+  let w = acquire () in
+  Fun.protect ~finally:(fun () -> release w) (fun () -> f w)

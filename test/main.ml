@@ -3,6 +3,7 @@ let () =
     [ ("crypto", Test_crypto.suite);
       ("sim", Test_sim.suite);
       ("wire", Test_wire.suite);
+      ("codecs", Test_codecs.suite);
       ("net", Test_net.suite);
       ("chain", Test_chain.suite);
       ("consensus", Test_consensus.suite);

@@ -6,10 +6,21 @@
 open Fl_sim
 open Fl_net
 open Fl_consensus
+open Fl_wire
 
 (* ---------- BBC under an equivocating participant ---------- *)
 
 let bbc_key : Bbc.msg -> string = fun _ -> "bbc"
+
+let bbc_encode m = Envelope.seal ~tag:0 (fun w -> Bbc.write_msg w m)
+
+let bbc_decode s =
+  Msg_codec.decode_frame
+    (fun tag r ->
+      if tag <> 0 then
+        raise (Codec.Malformed (Printf.sprintf "bbc-adv: tag %d" tag));
+      Bbc.read_msg r)
+    s
 
 let test_bbc_equivocating_est () =
   (* Node 3 sends EST(0) to half the cluster and EST(1) to the rest,
@@ -17,7 +28,10 @@ let test_bbc_equivocating_est () =
      still agree. *)
   List.iter
     (fun seed ->
-      let w = World.make ~seed ~n:4 ~key:bbc_key () in
+      let w =
+        World.make ~seed ~n:4 ~key:bbc_key ~encode:bbc_encode
+          ~decode:bbc_decode ()
+      in
       let coin = Coin.make ~seed:7 ~instance:"adv" in
       let results = Array.make 3 None in
       List.iteri
@@ -33,18 +47,18 @@ let test_bbc_equivocating_est () =
       (* The adversary floods conflicting traffic for many rounds. *)
       Fiber.spawn w.World.engine (fun () ->
           for round = 0 to 20 do
-            Net.send w.World.net ~src:3 ~dst:0 ~size:12
-              (Bbc.Est { round; value = true });
-            Net.send w.World.net ~src:3 ~dst:1 ~size:12
-              (Bbc.Est { round; value = false });
-            Net.send w.World.net ~src:3 ~dst:2 ~size:12
-              (Bbc.Est { round; value = true });
-            Net.send w.World.net ~src:3 ~dst:0 ~size:12
-              (Bbc.Aux { round; value = false });
-            Net.send w.World.net ~src:3 ~dst:1 ~size:12
-              (Bbc.Aux { round; value = true });
-            Net.send w.World.net ~src:3 ~dst:2 ~size:12
-              (Bbc.Aux { round; value = false });
+            Net.send w.World.net ~src:3 ~dst:0
+              (bbc_encode (Bbc.Est { round; value = true }));
+            Net.send w.World.net ~src:3 ~dst:1
+              (bbc_encode (Bbc.Est { round; value = false }));
+            Net.send w.World.net ~src:3 ~dst:2
+              (bbc_encode (Bbc.Est { round; value = true }));
+            Net.send w.World.net ~src:3 ~dst:0
+              (bbc_encode (Bbc.Aux { round; value = false }));
+            Net.send w.World.net ~src:3 ~dst:1
+              (bbc_encode (Bbc.Aux { round; value = true }));
+            Net.send w.World.net ~src:3 ~dst:2
+              (bbc_encode (Bbc.Aux { round; value = false }));
             Fiber.sleep w.World.engine (Time.ms 2)
           done);
       World.run ~until:(Time.s 30) w;
@@ -64,11 +78,25 @@ type ob_msg = string Obbc.msg
 
 let ob_key : ob_msg -> string = fun _ -> "obbc"
 
+let ob_encode (m : ob_msg) =
+  Envelope.seal ~tag:0 (fun w -> Obbc.write_msg Codec.Writer.bytes w m)
+
+let ob_decode s =
+  Msg_codec.decode_frame
+    (fun tag r ->
+      if tag <> 0 then
+        raise (Codec.Malformed (Printf.sprintf "ob-adv: tag %d" tag));
+      Obbc.read_msg Codec.Reader.bytes r)
+    s
+
 let test_obbc_forged_evidence () =
   (* Everyone honest votes 0; the Byzantine node votes 1 and answers
      evidence requests with a forged blob. OBBC₁-Validity: 1 may only
      be decided with a *valid* evidence, so the decision must be 0. *)
-  let w = World.make ~seed:11 ~n:4 ~key:ob_key () in
+  let w =
+    World.make ~seed:11 ~n:4 ~key:ob_key ~encode:ob_encode ~decode:ob_decode
+      ()
+  in
   let coin = Coin.make ~seed:2 ~instance:"ev" in
   let results = Array.make 3 None in
   List.iteri
@@ -81,19 +109,19 @@ let test_obbc_forged_evidence () =
               ~validate_evidence:(String.equal "REAL")
               ~my_evidence:(fun () -> None)
               ~on_pgd:(fun ~src:_ _ -> ())
-              ~pgd_size:String.length ()
+              ()
           in
           let d = Obbc.propose inst ~vote:false ~pgd:None () in
           results.(idx) <- Some d))
     [ 0; 1; 2 ];
   Fiber.spawn w.World.engine (fun () ->
       (* Byzantine vote-1 plus forged evidence replies. *)
-      Net.broadcast w.World.net ~src:3 ~size:2
-        (Obbc.Vote { value = true; pgd = None } : ob_msg);
+      Net.broadcast w.World.net ~src:3
+        (ob_encode (Obbc.Vote { value = true; pgd = None } : ob_msg));
       for _ = 0 to 30 do
         Fiber.sleep w.World.engine (Time.ms 5);
-        Net.broadcast w.World.net ~src:3 ~size:10
-          (Obbc.Ev (Some "FORGED") : ob_msg)
+        Net.broadcast w.World.net ~src:3
+          (ob_encode (Obbc.Ev (Some "FORGED") : ob_msg))
       done);
   World.run ~until:(Time.s 30) w;
   Array.iter
@@ -104,7 +132,10 @@ let test_obbc_byzantine_cannot_fake_fast_path () =
   (* With one honest 0-vote among the first n−f everywhere, a single
      Byzantine 1-vote cannot conjure a fast decision for a value no
      honest quorum backs; the instance must agree via the fallback. *)
-  let w = World.make ~seed:13 ~n:4 ~key:ob_key () in
+  let w =
+    World.make ~seed:13 ~n:4 ~key:ob_key ~encode:ob_encode ~decode:ob_decode
+      ()
+  in
   let coin = Coin.make ~seed:5 ~instance:"fp" in
   let results = Array.make 3 None in
   List.iteri
@@ -117,18 +148,18 @@ let test_obbc_byzantine_cannot_fake_fast_path () =
               ~validate_evidence:(String.equal "REAL")
               ~my_evidence:(fun () -> if i = 0 then Some "REAL" else None)
               ~on_pgd:(fun ~src:_ _ -> ())
-              ~pgd_size:String.length ()
+              ()
           in
           let d = Obbc.propose inst ~vote:(i = 0) ~pgd:None () in
           results.(idx) <- Some d))
     [ 0; 1; 2 ];
   Fiber.spawn w.World.engine (fun () ->
-      Net.send w.World.net ~src:3 ~dst:0 ~size:2
-        (Obbc.Vote { value = true; pgd = None } : ob_msg);
-      Net.send w.World.net ~src:3 ~dst:1 ~size:2
-        (Obbc.Vote { value = false; pgd = None } : ob_msg);
-      Net.send w.World.net ~src:3 ~dst:2 ~size:2
-        (Obbc.Vote { value = true; pgd = None } : ob_msg));
+      Net.send w.World.net ~src:3 ~dst:0
+        (ob_encode (Obbc.Vote { value = true; pgd = None } : ob_msg));
+      Net.send w.World.net ~src:3 ~dst:1
+        (ob_encode (Obbc.Vote { value = false; pgd = None } : ob_msg));
+      Net.send w.World.net ~src:3 ~dst:2
+        (ob_encode (Obbc.Vote { value = true; pgd = None } : ob_msg)));
   World.run ~until:(Time.s 30) w;
   let decided = Array.to_list results |> List.filter_map Fun.id in
   Alcotest.(check int) "all decide" 3 (List.length decided);
@@ -145,6 +176,17 @@ type pb_msg = string Pbft.msg
 
 let pb_key : pb_msg -> string = fun _ -> "pbft"
 
+let pb_encode (m : pb_msg) =
+  Envelope.seal ~tag:0 (fun w -> Pbft.write_msg Codec.Writer.bytes w m)
+
+let pb_decode s =
+  Msg_codec.decode_frame
+    (fun tag r ->
+      if tag <> 0 then
+        raise (Codec.Malformed (Printf.sprintf "pb-adv: tag %d" tag));
+      Pbft.read_msg Codec.Reader.bytes r)
+    s
+
 let test_pbft_equivocating_leader_blocks_divergence () =
   (* Node 0 (leader of view 0) sends a different batch to each replica
      for the same sequence number. No digest can gather 2f+1 prepares,
@@ -152,12 +194,12 @@ let test_pbft_equivocating_leader_blocks_divergence () =
      view change eventually installs an honest leader and the system
      keeps ordering. *)
   let n = 4 in
-  let w = World.make ~seed:17 ~n ~key:pb_key () in
+  let w =
+    World.make ~seed:17 ~n ~key:pb_key ~encode:pb_encode ~decode:pb_decode ()
+  in
   let delivered = Array.make n [] in
   let config =
-    { (Pbft.default_config ~payload_size:String.length
-         ~payload_digest:Fl_crypto.Sha256.digest)
-      with
+    { (Pbft.default_config ~payload_digest:Fl_crypto.Sha256.digest) with
       Pbft.base_timeout = Time.ms 100 }
   in
   let replicas =
@@ -174,10 +216,11 @@ let test_pbft_equivocating_leader_blocks_divergence () =
   (* The Byzantine leader equivocates on seq 1... *)
   List.iteri
     (fun idx dst ->
-      Net.send w.World.net ~src:0 ~dst ~size:64
-        (Pbft.Pre_prepare
-           { view = 0; seq = 1; batch = [ Printf.sprintf "evil-%d" idx ] }
-          : pb_msg))
+      Net.send w.World.net ~src:0 ~dst
+        (pb_encode
+           (Pbft.Pre_prepare
+              { view = 0; seq = 1; batch = [ Printf.sprintf "evil-%d" idx ] }
+             : pb_msg)))
     [ 1; 2; 3 ];
   (* ...while an honest replica wants a real request ordered. *)
   (match replicas.(1) with

@@ -1,6 +1,7 @@
 open Fl_sim
 open Fl_net
 open Fl_broadcast
+open Fl_wire
 
 (* ---------- Bracha RB ---------- *)
 
@@ -8,8 +9,21 @@ type rb_msg = string Bracha.msg
 
 let rb_key : rb_msg -> string = fun _ -> "rb"
 
+let rb_encode (m : rb_msg) =
+  Envelope.seal ~tag:0 (fun w -> Bracha.write_msg Codec.Writer.bytes w m)
+
+let rb_decode s =
+  Msg_codec.decode_frame
+    (fun tag r ->
+      if tag <> 0 then
+        raise (Codec.Malformed (Printf.sprintf "rb-test: tag %d" tag));
+      Bracha.read_msg Codec.Reader.bytes r)
+    s
+
 let setup_rb ?(seed = 21) ~n ~alive () =
-  let w = World.make ~seed ~n ~key:rb_key () in
+  let w =
+    World.make ~seed ~n ~key:rb_key ~encode:rb_encode ~decode:rb_decode ()
+  in
   let delivered = Array.make n [] in
   let services =
     Array.init n (fun i ->
@@ -17,7 +31,6 @@ let setup_rb ?(seed = 21) ~n ~alive () =
           Some
             (Bracha.create w.World.engine ~recorder:w.World.recorder
                ~channel:(World.channel w ~node:i ~key:"rb")
-               ~payload_size:String.length
                ~payload_digest:Fl_crypto.Sha256.digest
                ~deliver:(fun ~origin ~tag payload ->
                  delivered.(i) <- (origin, tag, payload) :: delivered.(i)))
@@ -65,8 +78,8 @@ let test_rb_equivocating_origin () =
   let alive = [ 1; 2; 3 ] in
   let w, _, delivered = setup_rb ~n ~alive () in
   let send dst payload =
-    Net.send w.World.net ~src:0 ~dst ~size:20
-      (Bracha.Send { origin = 0; tag = 0; payload } : rb_msg)
+    Net.send w.World.net ~src:0 ~dst
+      (rb_encode (Bracha.Send { origin = 0; tag = 0; payload } : rb_msg))
   in
   send 1 "A";
   send 2 "A";
@@ -108,15 +121,29 @@ type ab_msg = string Fl_consensus.Pbft.msg
 
 let ab_key : ab_msg -> string = fun _ -> "ab"
 
+let ab_encode (m : ab_msg) =
+  Envelope.seal ~tag:0 (fun w ->
+      Fl_consensus.Pbft.write_msg Codec.Writer.bytes w m)
+
+let ab_decode s =
+  Msg_codec.decode_frame
+    (fun tag r ->
+      if tag <> 0 then
+        raise (Codec.Malformed (Printf.sprintf "ab-test: tag %d" tag));
+      Fl_consensus.Pbft.read_msg Codec.Reader.bytes r)
+    s
+
 let test_atomic_order () =
   let n = 4 in
-  let w = World.make ~seed:31 ~n ~key:ab_key () in
+  let w =
+    World.make ~seed:31 ~n ~key:ab_key ~encode:ab_encode ~decode:ab_decode ()
+  in
   let delivered = Array.make n [] in
   let endpoints =
     Array.init n (fun i ->
         Atomic.create w.World.engine ~recorder:w.World.recorder
           ~channel:(World.channel w ~node:i ~key:"ab")
-          ~cpu:w.World.cpus.(i) ~payload_size:String.length
+          ~cpu:w.World.cpus.(i)
           ~payload_digest:Fl_crypto.Sha256.digest
           ~deliver:(fun p -> delivered.(i) <- p :: delivered.(i)))
   in

@@ -1,0 +1,484 @@
+(* Property tests for every wire codec — round-trips ([decode (encode
+   m) = m]) and malformed-input robustness (arbitrary or mutated bytes
+   must yield [None]/[Error], raising nothing past the codec layer) —
+   plus the cross-layer wire-truth check: the NIC charges exactly
+   [String.length (Msg.encode m)] for a message, padding included.
+
+   Complements test_wire.ml (scalar-level codec properties) one layer
+   up: these are the protocol-struct codecs that ride the envelope. *)
+
+open Fl_chain
+open Fl_wire
+module Msg = Fl_fireledger.Msg
+module Types = Fl_fireledger.Types
+
+let registry = Fl_crypto.Signature.create_registry ~seed:"codecs" ~n:4
+
+(* ---------- generators ---------- *)
+
+let gen_hash =
+  QCheck.Gen.(
+    let+ s = string_size (int_range 0 8) in
+    Fl_crypto.Sha256.digest s)
+
+let gen_tx =
+  QCheck.Gen.(
+    let* id = int_range 0 1_000_000 in
+    let* synthetic = bool in
+    if synthetic then
+      let+ size = int_range 0 300 in
+      Tx.create ~id ~size
+    else
+      let+ payload = string_size (int_range 0 64) in
+      Tx.create_payload ~id payload)
+
+let gen_txs = QCheck.Gen.(array_size (int_range 0 5) gen_tx)
+
+let gen_block =
+  QCheck.Gen.(
+    let* round = int_range 0 10_000 in
+    let* proposer = int_range 0 3 in
+    let* prev_hash = gen_hash in
+    let+ txs = gen_txs in
+    Block.create ~round ~proposer ~prev_hash txs)
+
+let gen_signed_header =
+  QCheck.Gen.(
+    let* b = gen_block in
+    let+ signer = int_range 0 3 in
+    Types.sign_header registry ~signer b.Block.header)
+
+let gen_proposal =
+  QCheck.Gen.(
+    let* sh = gen_signed_header in
+    let* with_body = bool in
+    if with_body then
+      let+ txs = gen_txs in
+      { Types.sh; body = Some txs }
+    else return { Types.sh; body = None })
+
+let gen_proof =
+  QCheck.Gen.(
+    let* later = gen_signed_header in
+    let+ earlier = gen_signed_header in
+    { Types.later; earlier })
+
+let gen_version =
+  QCheck.Gen.(
+    let* recovery_round = int_range 0 1_000 in
+    let* origin = int_range 0 3 in
+    let+ blocks =
+      list_size (int_range 0 3)
+        (let+ b = gen_block in
+         let signer = b.Block.header.Header.proposer in
+         (b, Fl_crypto.Signature.sign registry ~signer (Block.hash b)))
+    in
+    { Types.recovery_round; origin; blocks })
+
+let gen_bbc =
+  QCheck.Gen.(
+    let open Fl_consensus.Bbc in
+    oneof
+      [ (let* round = int_range 0 50 in
+         let+ value = bool in
+         Est { round; value });
+        (let* round = int_range 0 50 in
+         let+ value = bool in
+         Aux { round; value });
+        (let+ v = bool in
+         Decide v);
+        return Stop ])
+
+let gen_obbc =
+  QCheck.Gen.(
+    let open Fl_consensus.Obbc in
+    oneof
+      [ (let* value = bool in
+         let+ pgd = option gen_proposal in
+         Vote { value; pgd });
+        return Ev_req;
+        (let+ e = option (string_size (int_range 0 32)) in
+         Ev e);
+        (let+ b = gen_bbc in
+         Fallback b);
+        return Close ])
+
+let gen_bracha =
+  QCheck.Gen.(
+    let open Fl_broadcast.Bracha in
+    let body ctor =
+      let* origin = int_range 0 6 in
+      let* tag = int_range 0 40 in
+      let+ payload = string_size (int_range 0 32) in
+      ctor ~origin ~tag ~payload
+    in
+    oneof
+      [ body (fun ~origin ~tag ~payload -> Send { origin; tag; payload });
+        body (fun ~origin ~tag ~payload -> Echo { origin; tag; payload });
+        body (fun ~origin ~tag ~payload -> Ready { origin; tag; payload });
+        return Stop ])
+
+let gen_prepared_entry =
+  QCheck.Gen.(
+    let* view = int_range 0 5 in
+    let* seq = int_range 0 50 in
+    let* digest = gen_hash in
+    let+ batch = list_size (int_range 0 2) (string_size (int_range 0 8)) in
+    (view, seq, digest, batch))
+
+let gen_pbft =
+  QCheck.Gen.(
+    let open Fl_consensus.Pbft in
+    oneof
+      [ (let+ p = string_size (int_range 0 16) in
+         Submit p);
+        (let* view = int_range 0 5 in
+         let* seq = int_range 0 50 in
+         let+ batch = list_size (int_range 0 3) (string_size (int_range 0 8)) in
+         Pre_prepare { view; seq; batch });
+        (let* view = int_range 0 5 in
+         let* seq = int_range 0 50 in
+         let+ digest = gen_hash in
+         Prepare { view; seq; digest });
+        (let* view = int_range 0 5 in
+         let* seq = int_range 0 50 in
+         let+ digest = gen_hash in
+         Commit { view; seq; digest });
+        (let* new_view = int_range 0 5 in
+         let* last_exec = int_range 0 20 in
+         let+ prepared = list_size (int_range 0 2) gen_prepared_entry in
+         View_change { new_view; last_exec; prepared });
+        (let* view = int_range 0 5 in
+         let+ vcs =
+           list_size (int_range 0 2)
+             (let* sender = int_range 0 6 in
+              let* last_exec = int_range 0 20 in
+              let+ prepared = list_size (int_range 0 2) gen_prepared_entry in
+              (sender, (last_exec, prepared)))
+         in
+         New_view { view; vcs });
+        return Stop ])
+
+let gen_msg =
+  QCheck.Gen.(
+    oneof
+      [ (let* body_hash = gen_hash in
+         let* txs = gen_txs in
+         let+ ttl = int_range 0 3 in
+         Msg.Body { body_hash; txs; ttl });
+        (let+ proposal = gen_proposal in
+         Msg.Push { proposal });
+        (let* era = int_range 0 3 in
+         let* round = int_range 0 1_000 in
+         let* attempt = int_range 0 2 in
+         let+ m = gen_obbc in
+         Msg.Ob { era; round; attempt; m });
+        (let+ round = int_range 0 1_000 in
+         Msg.Req { round });
+        (let* round = int_range 0 1_000 in
+         let* proposal = gen_proposal in
+         let+ txs = gen_txs in
+         Msg.Reply { round; proposal; txs });
+        (let* origin = int_range 0 3 in
+         let* tag = int_range 0 40 in
+         let+ payload = gen_proof in
+         Msg.Rb (Fl_broadcast.Bracha.Send { origin; tag; payload }));
+        (let+ v = gen_version in
+         Msg.Ab (Fl_consensus.Pbft.Submit v)) ])
+
+let gen_wal_record =
+  QCheck.Gen.(
+    let open Fl_persist.Wal in
+    oneof
+      [ (let* block = gen_block in
+         let+ signer = int_range 0 3 in
+         Append
+           { block;
+             signature =
+               Fl_crypto.Signature.sign registry ~signer (Block.hash block) });
+        (let+ from = int_range 0 1_000 in
+         Truncate { from });
+        (let* upto = int_range (-1) 1_000 in
+         let+ era = int_range 0 5 in
+         Definite { upto; era }) ])
+
+let arb_of gen = QCheck.make ~print:(fun _ -> "<opaque>") gen
+
+let arb_msg =
+  QCheck.make
+    ~print:(fun m -> Fl_crypto.Hex.encode (Msg.encode m))
+    gen_msg
+
+(* ---------- in-body writer/reader round-trips ---------- *)
+
+(* Write through a plain writer, read back, and require both equality
+   and full consumption — an in-body codec that leaves trailing bytes
+   would corrupt whatever the carrier writes next. *)
+let inbody_roundtrip write read x =
+  let w = Codec.Writer.create () in
+  write w x;
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  let y = read r in
+  x = y && Codec.Reader.at_end r
+
+let prop_inbody name gen write read =
+  QCheck.Test.make ~name ~count:200 (arb_of gen) (inbody_roundtrip write read)
+
+let prop_tx_roundtrip =
+  prop_inbody "codecs: tx roundtrip" gen_tx Serial.encode_tx Serial.decode_tx
+
+let prop_txs_roundtrip =
+  prop_inbody "codecs: tx array roundtrip" gen_txs Serial.encode_txs
+    Serial.decode_txs
+
+let prop_header_roundtrip =
+  QCheck.Test.make ~name:"codecs: header roundtrip" ~count:200
+    (arb_of gen_block) (fun b ->
+      inbody_roundtrip Serial.encode_header Serial.decode_header
+        b.Block.header)
+
+let prop_signed_header_roundtrip =
+  QCheck.Test.make ~name:"codecs: signed header roundtrip" ~count:200
+    (arb_of gen_signed_header) (fun sh ->
+      inbody_roundtrip Types.write_signed_header Types.read_signed_header sh
+      && Types.decode_signed_header (Types.encode_signed_header sh) = Some sh)
+
+let prop_proposal_roundtrip =
+  prop_inbody "codecs: proposal roundtrip" gen_proposal Types.write_proposal
+    Types.read_proposal
+
+let prop_proof_roundtrip =
+  prop_inbody "codecs: proof roundtrip" gen_proof Types.write_proof
+    Types.read_proof
+
+let prop_version_roundtrip =
+  prop_inbody "codecs: version roundtrip" gen_version Types.write_version
+    Types.read_version
+
+let prop_bbc_roundtrip =
+  prop_inbody "codecs: bbc roundtrip" gen_bbc Fl_consensus.Bbc.write_msg
+    Fl_consensus.Bbc.read_msg
+
+let prop_obbc_roundtrip =
+  prop_inbody "codecs: obbc roundtrip" gen_obbc
+    (Fl_consensus.Obbc.write_msg Types.write_proposal)
+    (Fl_consensus.Obbc.read_msg Types.read_proposal)
+
+let prop_bracha_roundtrip =
+  prop_inbody "codecs: bracha roundtrip" gen_bracha
+    (Fl_broadcast.Bracha.write_msg Codec.Writer.bytes)
+    (Fl_broadcast.Bracha.read_msg Codec.Reader.bytes)
+
+let prop_pbft_roundtrip =
+  prop_inbody "codecs: pbft roundtrip" gen_pbft
+    (Fl_consensus.Pbft.write_msg Codec.Writer.bytes)
+    (Fl_consensus.Pbft.read_msg Codec.Reader.bytes)
+
+(* ---------- framed codecs ---------- *)
+
+let prop_block_string_roundtrip =
+  QCheck.Test.make ~name:"codecs: block string roundtrip" ~count:200
+    (arb_of gen_block) (fun b ->
+      Serial.block_of_string (Serial.block_to_string b) = Ok b)
+
+let prop_msg_roundtrip =
+  QCheck.Test.make ~name:"codecs: fireledger msg roundtrip" ~count:300 arb_msg
+    (fun m -> Msg.decode (Msg.encode m) = Some m)
+
+let prop_msg_size_is_wire_length =
+  QCheck.Test.make ~name:"codecs: Msg.size = String.length (encode)"
+    ~count:300 arb_msg (fun m -> Msg.size m = String.length (Msg.encode m))
+
+let prop_wal_record_roundtrip =
+  QCheck.Test.make ~name:"codecs: WAL record roundtrip" ~count:200
+    (arb_of gen_wal_record) (fun rec_ ->
+      Fl_persist.Wal.decode_record (Fl_persist.Wal.encode_record rec_)
+      = Ok rec_)
+
+(* ---------- malformed inputs ---------- *)
+
+(* Every [decode] is total over strings: random bytes and adversarial
+   mutations must come back as [None]/[Error] — any escaped exception
+   (in particular [Invalid_argument] from an unchecked allocation)
+   fails the property. *)
+let decoders : (string * (string -> bool)) list =
+  [ ("msg", fun s -> Msg.decode s = None);
+    ("block", fun s -> Result.is_error (Serial.block_of_string s));
+    ("chain", fun s -> Result.is_error (Serial.decode_chain s));
+    ("signed-header", fun s -> Types.decode_signed_header s = None);
+    ("wal-record", fun s -> Result.is_error (Fl_persist.Wal.decode_record s));
+    ("snapshot", fun s -> Result.is_error (Fl_persist.Snapshot.decode s)) ]
+
+let prop_random_bytes_rejected =
+  QCheck.Test.make ~name:"codecs: random bytes never decode, never raise"
+    ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 200))
+    (fun s ->
+      List.for_all
+        (fun (name, reject) ->
+          try reject s
+          with e ->
+            QCheck.Test.fail_reportf "%s decoder raised %s" name
+              (Printexc.to_string e))
+        decoders)
+
+let flip s off =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x41));
+  Bytes.to_string b
+
+let prop_bitflip_rejected =
+  (* A flipped byte anywhere in the CRC-covered body must be caught;
+     flips in the 6-byte envelope header must at minimum never raise
+     (a flipped tag re-frames the body under a different schema, which
+     the structural parse may or may not reject — but must survive). *)
+  QCheck.Test.make ~name:"codecs: single byte flip is caught by the envelope"
+    ~count:300
+    QCheck.(pair arb_msg (QCheck.make Gen.(int_range 0 10_000)))
+    (fun (m, off_seed) ->
+      let s = Msg.encode m in
+      let off = off_seed mod String.length s in
+      let mutated = flip s off in
+      match Msg.decode mutated with
+      | None -> true
+      | Some m' ->
+          (* Only a header-byte flip may still decode, and never to a
+             silently different reading of the same message class. *)
+          if off >= 6 then
+            QCheck.Test.fail_reportf
+              "body flip at %d survived the CRC" off
+          else m' <> m || mutated = s)
+
+let prop_truncation_rejected =
+  QCheck.Test.make ~name:"codecs: truncated frames never decode" ~count:300
+    QCheck.(pair arb_msg (QCheck.make Gen.(int_range 0 10_000)))
+    (fun (m, len_seed) ->
+      let s = Msg.encode m in
+      let len = len_seed mod String.length s in
+      Msg.decode (String.sub s 0 len) = None)
+
+let prop_wal_record_mutation =
+  QCheck.Test.make ~name:"codecs: mutated WAL records are rejected" ~count:200
+    QCheck.(pair (arb_of gen_wal_record) (QCheck.make Gen.(int_range 0 10_000)))
+    (fun (rec_, off_seed) ->
+      let s = Fl_persist.Wal.encode_record rec_ in
+      let off = off_seed mod String.length s in
+      match Fl_persist.Wal.decode_record (flip s off) with
+      | Error _ -> true
+      | Ok _ -> off < 6 (* tag-byte reframing; body flips must fail *))
+
+(* ---------- snapshot round-trip ---------- *)
+
+let small_store () =
+  let store = Store.create () in
+  let prev = ref Block.genesis_hash in
+  for round = 0 to 4 do
+    let txs =
+      Array.init 3 (fun i -> Tx.create ~id:((round * 10) + i) ~size:100)
+    in
+    let b = Block.create ~round ~proposer:(round mod 4) ~prev_hash:!prev txs in
+    (match Store.append store b with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "append: %a" Store.pp_error e);
+    prev := Block.hash b
+  done;
+  store
+
+let test_snapshot_roundtrip () =
+  let store = small_store () in
+  match
+    Fl_persist.Snapshot.build ~store ~upto:3 ~era:1 ~app:"app-bytes"
+      ~app_hash:(Fl_crypto.Sha256.digest "state")
+  with
+  | None -> Alcotest.fail "snapshot build failed"
+  | Some snap -> (
+      let enc = Fl_persist.Snapshot.encode snap in
+      match Fl_persist.Snapshot.decode enc with
+      | Error e -> Alcotest.failf "decode: %s" e
+      | Ok snap' -> (
+          Alcotest.(check bool) "snapshot round-trips" true (snap = snap');
+          match Fl_persist.Snapshot.restore_chain snap' with
+          | Error e -> Alcotest.failf "restore: %s" e
+          | Ok prefix ->
+              Alcotest.(check int) "prefix length" 4 (Store.length prefix);
+              Alcotest.(check bool) "prefix integrity" true
+                (Store.check_integrity prefix);
+              (* Byte corruption anywhere in the image is caught. *)
+              for off = 0 to String.length enc - 1 do
+                match Fl_persist.Snapshot.decode (flip enc off) with
+                | Error _ -> ()
+                | Ok _ when off < 6 -> ()
+                | Ok _ ->
+                    Alcotest.failf "snapshot flip at %d survived the CRC" off
+              done))
+
+(* ---------- cross-layer: NIC bytes = encoding length ---------- *)
+
+let test_nic_charges_encoding_length () =
+  (* The acceptance check for the wire-true transport: send real
+     protocol messages — including a synthetic-transaction body whose
+     padding must count — and require every byte-accounting layer
+     (sender NIC, per-link ledger, per-node totals) to agree with
+     [String.length (Msg.encode m)] exactly. *)
+  let w =
+    World.make ~seed:97 ~n:2 ~key:Msg.key ~encode:Msg.encode
+      ~decode:Msg.decode ()
+  in
+  let txs = Array.init 4 (fun i -> Tx.create ~id:i ~size:512) in
+  let block =
+    Block.create ~round:0 ~proposer:0 ~prev_hash:Block.genesis_hash txs
+  in
+  let sh = Types.sign_header registry ~signer:0 block.Block.header in
+  let msgs =
+    [ Msg.Body
+        { body_hash = block.Block.header.Header.body_hash; txs; ttl = 1 };
+      Msg.Push { proposal = { Types.sh; body = None } };
+      Msg.Req { round = 7 };
+      Msg.Ob
+        { era = 0;
+          round = 3;
+          attempt = 0;
+          m = Fl_consensus.Obbc.Vote { value = true; pgd = None } } ]
+  in
+  let expected =
+    List.fold_left (fun acc m -> acc + String.length (Msg.encode m)) 0 msgs
+  in
+  (* Synthetic padding is on the wire: the Body frame must charge the
+     four 512-byte transactions it carries. *)
+  Alcotest.(check bool) "padding counted" true
+    (String.length (Msg.encode (List.hd msgs)) > 4 * 512);
+  List.iter (fun m -> Fl_net.Net.send w.World.net ~src:0 ~dst:1 (Msg.encode m)) msgs;
+  World.run w;
+  Alcotest.(check int) "NIC bytes = encoded bytes" expected
+    (Fl_net.Nic.bytes_sent w.World.nics.(0));
+  Alcotest.(check int) "link ledger agrees" expected
+    (Fl_net.Net.link_bytes w.World.net ~src:0 ~dst:1);
+  Alcotest.(check int) "per-node total agrees" expected
+    (Fl_net.Net.bytes_out w.World.net ~node:0);
+  Alcotest.(check int) "all delivered" (List.length msgs)
+    (Fl_net.Net.messages_delivered w.World.net)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_tx_roundtrip;
+    QCheck_alcotest.to_alcotest prop_txs_roundtrip;
+    QCheck_alcotest.to_alcotest prop_header_roundtrip;
+    QCheck_alcotest.to_alcotest prop_signed_header_roundtrip;
+    QCheck_alcotest.to_alcotest prop_proposal_roundtrip;
+    QCheck_alcotest.to_alcotest prop_proof_roundtrip;
+    QCheck_alcotest.to_alcotest prop_version_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bbc_roundtrip;
+    QCheck_alcotest.to_alcotest prop_obbc_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bracha_roundtrip;
+    QCheck_alcotest.to_alcotest prop_pbft_roundtrip;
+    QCheck_alcotest.to_alcotest prop_block_string_roundtrip;
+    QCheck_alcotest.to_alcotest prop_msg_roundtrip;
+    QCheck_alcotest.to_alcotest prop_msg_size_is_wire_length;
+    QCheck_alcotest.to_alcotest prop_wal_record_roundtrip;
+    QCheck_alcotest.to_alcotest prop_random_bytes_rejected;
+    QCheck_alcotest.to_alcotest prop_bitflip_rejected;
+    QCheck_alcotest.to_alcotest prop_truncation_rejected;
+    QCheck_alcotest.to_alcotest prop_wal_record_mutation;
+    Alcotest.test_case "snapshot roundtrip + corruption" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "nic charges encoding length" `Quick
+      test_nic_charges_encoding_length ]

@@ -1,12 +1,33 @@
 open Fl_sim
 open Fl_consensus
+open Fl_wire
+
+(* Each protocol family gets a top-level test codec: the protocol's
+   in-body writer/reader under a one-tag envelope — the same shape the
+   fireledger node codec uses for the embedded sub-protocols. *)
+let envelope_codec ~name write read =
+  let encode m = Envelope.seal ~tag:0 (fun w -> write w m) in
+  let decode s =
+    Msg_codec.decode_frame
+      (fun tag r ->
+        if tag <> 0 then
+          raise (Codec.Malformed (Printf.sprintf "%s: tag %d" name tag));
+        read r)
+      s
+  in
+  (encode, decode)
 
 (* ---------- BBC ---------- *)
 
 let bbc_key : Bbc.msg -> string = fun _ -> "bbc"
 
+let bbc_encode, bbc_decode =
+  envelope_codec ~name:"bbc-test" Bbc.write_msg Bbc.read_msg
+
 let run_bbc ?(seed = 1) ~n ~participants proposals =
-  let w = World.make ~seed ~n ~key:bbc_key () in
+  let w =
+    World.make ~seed ~n ~key:bbc_key ~encode:bbc_encode ~decode:bbc_decode ()
+  in
   let results = Array.make n None in
   let coin = Coin.make ~seed:99 ~instance:"t" in
   List.iter
@@ -74,10 +95,17 @@ type ob_msg = string Obbc.msg
 
 let ob_key : ob_msg -> string = fun _ -> "obbc"
 
+let ob_encode, ob_decode =
+  envelope_codec ~name:"obbc-test"
+    (Obbc.write_msg Codec.Writer.bytes)
+    (Obbc.read_msg Codec.Reader.bytes)
+
 let evidence_blob = "VALID-EVIDENCE"
 
 let run_obbc ?(seed = 5) ~n votes =
-  let w = World.make ~seed ~n ~key:ob_key () in
+  let w =
+    World.make ~seed ~n ~key:ob_key ~encode:ob_encode ~decode:ob_decode ()
+  in
   let results = Array.make n None in
   let pgds = Array.make n [] in
   let coin = Coin.make ~seed:3 ~instance:"ob" in
@@ -90,7 +118,7 @@ let run_obbc ?(seed = 5) ~n votes =
             ~my_evidence:(fun () ->
               if votes.(i) then Some evidence_blob else None)
             ~on_pgd:(fun ~src p -> pgds.(i) <- (src, p) :: pgds.(i))
-            ~pgd_size:String.length ()
+            ()
         in
         let pgd = if i = 0 then Some "piggy" else None in
         let d = Obbc.propose inst ~vote:votes.(i) ~pgd () in
@@ -157,12 +185,18 @@ type pb_msg = string Pbft.msg
 
 let pb_key : pb_msg -> string = fun _ -> "pbft"
 
+let pb_encode, pb_decode =
+  envelope_codec ~name:"pbft-test"
+    (Pbft.write_msg Codec.Writer.bytes)
+    (Pbft.read_msg Codec.Reader.bytes)
+
 let pbft_config : string Pbft.config =
-  Pbft.default_config ~payload_size:String.length
-    ~payload_digest:Fl_crypto.Sha256.digest
+  Pbft.default_config ~payload_digest:Fl_crypto.Sha256.digest
 
 let setup_pbft ?(seed = 9) ~n ~alive () =
-  let w = World.make ~seed ~n ~key:pb_key () in
+  let w =
+    World.make ~seed ~n ~key:pb_key ~encode:pb_encode ~decode:pb_decode ()
+  in
   let delivered = Array.make n [] in
   let replicas =
     Array.init n (fun i ->

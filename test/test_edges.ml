@@ -97,8 +97,16 @@ let test_cpu_utilization_bounds () =
   Alcotest.(check (float 0.001)) "one of two cores busy" 0.5 u
 
 let test_net_self_send_skips_nic () =
-  let w = World.make ~n:2 ~key:(fun _ -> "m") () in
-  Fl_net.Net.send w.World.net ~src:0 ~dst:0 ~size:1_000_000 "self";
+  let w =
+    World.make ~n:2
+      ~key:(fun _ -> "m")
+      ~encode:Fun.id
+      ~decode:(fun s -> Some s)
+      ()
+  in
+  (* the frame is a real megabyte of bytes — its length is the NIC
+     charge a wire transmission would pay *)
+  Fl_net.Net.send w.World.net ~src:0 ~dst:0 (String.make 1_000_000 's');
   World.run w;
   Alcotest.(check int) "self-send bypasses NIC" 0
     (Fl_net.Nic.bytes_sent w.World.nics.(0));
@@ -106,16 +114,22 @@ let test_net_self_send_skips_nic () =
     (Fl_net.Net.messages_delivered w.World.net)
 
 let test_hub_channel_gc () =
-  let w = World.make ~n:2 ~key:(fun m -> m) () in
+  let w =
+    World.make ~n:2
+      ~key:(fun m -> m)
+      ~encode:Fun.id
+      ~decode:(fun s -> Some s)
+      ()
+  in
   let hub = World.hub w 1 in
-  Fl_net.Net.send w.World.net ~src:0 ~dst:1 ~size:8 "chan-a";
-  Fl_net.Net.send w.World.net ~src:0 ~dst:1 ~size:8 "chan-b";
+  Fl_net.Net.send w.World.net ~src:0 ~dst:1 "chan-a";
+  Fl_net.Net.send w.World.net ~src:0 ~dst:1 "chan-b";
   World.run w;
   Alcotest.(check int) "two channels" 2 (Fl_net.Hub.channels hub);
   Fl_net.Hub.remove hub "chan-a";
   Alcotest.(check int) "one removed" 1 (Fl_net.Hub.channels hub);
   (* A late message recreates the channel rather than crashing. *)
-  Fl_net.Net.send w.World.net ~src:0 ~dst:1 ~size:8 "chan-a";
+  Fl_net.Net.send w.World.net ~src:0 ~dst:1 "chan-a";
   World.run w;
   Alcotest.(check int) "recreated" 2 (Fl_net.Hub.channels hub)
 

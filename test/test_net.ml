@@ -1,7 +1,19 @@
 open Fl_sim
 open Fl_net
 
-let make_world ?latency n = World.make ?latency ~n ~key:(fun _ -> "main") ()
+(* Raw-frame worlds: the "codec" is the identity on strings, so tests
+   can reason in bytes — the NIC charge IS the string length. *)
+let make_world ?latency n =
+  World.make ?latency ~n
+    ~key:(fun _ -> "main")
+    ~encode:Fun.id
+    ~decode:(fun s -> Some s)
+    ()
+
+(* Int-message worlds: a tiny decimal codec, so hub routing over a
+   typed message space is exercised end to end. *)
+let make_int_world ~key n =
+  World.make ~n ~key ~encode:string_of_int ~decode:int_of_string_opt ()
 
 let test_delivery () =
   let w = make_world 3 in
@@ -9,7 +21,7 @@ let test_delivery () =
   Fiber.spawn w.World.engine (fun () ->
       let src, msg = Mailbox.recv (Net.inbox w.World.net 1) in
       got := (src, msg) :: !got);
-  Net.send w.World.net ~src:0 ~dst:1 ~size:100 "hi";
+  Net.send w.World.net ~src:0 ~dst:1 "hi";
   World.run w;
   Alcotest.(check (list (pair int string))) "delivered" [ (0, "hi") ] !got
 
@@ -21,14 +33,15 @@ let test_broadcast_reaches_all () =
         let _ = Mailbox.recv (Net.inbox w.World.net i) in
         counts.(i) <- counts.(i) + 1)
   done;
-  Net.broadcast w.World.net ~src:2 ~size:64 "blast";
+  Net.broadcast w.World.net ~src:2 "blast";
   World.run w;
   Alcotest.(check (list int)) "everyone incl. self" [ 1; 1; 1; 1 ]
     (Array.to_list counts)
 
 let test_nic_serialization () =
   (* At 10 Gb/s, 1.25 MB takes 1 ms to serialize; two back-to-back
-     sends from the same node must queue behind each other. *)
+     sends from the same node must queue behind each other. The frame
+     is an actual 1.25 MB string — its length is the NIC charge. *)
   let w = make_world ~latency:(Latency.Constant (Time.us 100)) 2 in
   let arrivals = ref [] in
   Fiber.spawn w.World.engine (fun () ->
@@ -40,9 +53,9 @@ let test_nic_serialization () =
         end
       in
       loop 2);
-  let mb = 1_250_000 in
-  Net.send w.World.net ~src:0 ~dst:1 ~size:mb "a";
-  Net.send w.World.net ~src:0 ~dst:1 ~size:mb "b";
+  let mb = String.make 1_250_000 'x' in
+  Net.send w.World.net ~src:0 ~dst:1 mb;
+  Net.send w.World.net ~src:0 ~dst:1 mb;
   World.run w;
   match List.rev !arrivals with
   | [ t1; t2 ] ->
@@ -63,15 +76,17 @@ let test_filter_drops () =
   Fiber.spawn w.World.engine (fun () ->
       let _ = Mailbox.recv (Net.inbox w.World.net 2) in
       incr got2);
-  Net.send w.World.net ~src:0 ~dst:1 ~size:10 "x";
-  Net.send w.World.net ~src:0 ~dst:2 ~size:10 "y";
+  Net.send w.World.net ~src:0 ~dst:1 "x";
+  Net.send w.World.net ~src:0 ~dst:2 "y";
   World.run w;
   Alcotest.(check int) "dropped" 0 !got1;
   Alcotest.(check int) "passed" 1 !got2;
   Alcotest.(check int) "drop counter" 1 (Net.messages_dropped w.World.net)
 
 let test_hub_routing () =
-  let w = World.make ~n:2 ~key:(fun m -> if m < 10 then "low" else "high") () in
+  let w =
+    make_int_world ~key:(fun m -> if m < 10 then "low" else "high") 2
+  in
   let lows = ref [] and highs = ref [] in
   Fiber.spawn w.World.engine (fun () ->
       let rec loop () =
@@ -87,15 +102,17 @@ let test_hub_routing () =
         loop ()
       in
       loop ());
-  List.iter (fun m -> Net.send w.World.net ~src:0 ~dst:1 ~size:8 m) [ 3; 12; 5; 40 ];
+  List.iter
+    (fun m -> Net.send w.World.net ~src:0 ~dst:1 (string_of_int m))
+    [ 3; 12; 5; 40 ];
   World.run w;
   Alcotest.(check (list int)) "low channel" [ 3; 5 ] (List.rev !lows);
   Alcotest.(check (list int)) "high channel" [ 12; 40 ] (List.rev !highs)
 
 let test_hub_buffers_future () =
   (* Messages for a channel nobody reads yet are buffered, not lost. *)
-  let w = World.make ~n:2 ~key:(fun _ -> "later") () in
-  Net.send w.World.net ~src:0 ~dst:1 ~size:8 99;
+  let w = make_int_world ~key:(fun _ -> "later") 2 in
+  Net.send w.World.net ~src:0 ~dst:1 "99";
   World.run w;
   let got = ref None in
   Fiber.spawn w.World.engine (fun () ->
@@ -104,6 +121,76 @@ let test_hub_buffers_future () =
   World.run w;
   Alcotest.(check (option int)) "buffered message" (Some 99) !got
 
+let test_hub_drops_malformed () =
+  (* Frames the codec rejects are counted and dropped; valid frames
+     around them still flow. *)
+  let w = make_int_world ~key:(fun _ -> "main") 2 in
+  let got = ref [] in
+  Fiber.spawn w.World.engine (fun () ->
+      let rec loop () =
+        let _, m = Mailbox.recv (Hub.box (World.hub w 1) "main") in
+        got := m :: !got;
+        loop ()
+      in
+      loop ());
+  Net.send w.World.net ~src:0 ~dst:1 "7";
+  Net.send w.World.net ~src:0 ~dst:1 "not-a-number";
+  Net.send w.World.net ~src:0 ~dst:1 "8";
+  World.run w;
+  Alcotest.(check (list int)) "valid frames delivered" [ 7; 8 ]
+    (List.rev !got);
+  Alcotest.(check int) "malformed counted" 1 (Hub.malformed (World.hub w 1))
+
+let test_corruption_window () =
+  (* With corruption probability 1.0 on node 0's outbound frames,
+     every wire frame is mutated; the identity codec accepts mutants,
+     so observe the mutation through the counters and the payload. *)
+  let w = make_world 2 in
+  Net.set_corrupt w.World.net ~node:0 1.0;
+  let got = ref [] in
+  Fiber.spawn w.World.engine (fun () ->
+      let rec loop k =
+        if k > 0 then begin
+          let _, m = Mailbox.recv (Net.inbox w.World.net 1) in
+          got := m :: !got;
+          loop (k - 1)
+        end
+      in
+      loop 3);
+  let payload = String.make 64 'p' in
+  for _ = 1 to 3 do
+    Net.send w.World.net ~src:0 ~dst:1 payload
+  done;
+  World.run w;
+  Alcotest.(check int) "all frames mutated" 3
+    (Net.messages_corrupted w.World.net);
+  Alcotest.(check int) "still delivered" 3 (List.length !got);
+  List.iter
+    (fun m -> Alcotest.(check bool) "frame differs" true (m <> payload))
+    !got;
+  (* closing the window restores clean delivery *)
+  Net.set_corrupt w.World.net ~node:0 0.0;
+  let clean = ref None in
+  Fiber.spawn w.World.engine (fun () ->
+      let _, m = Mailbox.recv (Net.inbox w.World.net 1) in
+      clean := Some m);
+  Net.send w.World.net ~src:0 ~dst:1 payload;
+  World.run w;
+  Alcotest.(check (option string)) "window closed" (Some payload) !clean
+
+let test_corruption_self_exempt () =
+  let w = make_world 2 in
+  Net.set_corrupt w.World.net ~node:0 1.0;
+  let got = ref None in
+  Fiber.spawn w.World.engine (fun () ->
+      let _, m = Mailbox.recv (Net.inbox w.World.net 0) in
+      got := Some m);
+  Net.send w.World.net ~src:0 ~dst:0 "loopback";
+  World.run w;
+  Alcotest.(check (option string)) "self-delivery intact" (Some "loopback")
+    !got;
+  Alcotest.(check int) "no corruption" 0 (Net.messages_corrupted w.World.net)
+
 let test_latency_matrix () =
   let base = [| [| 0; Time.ms 80 |]; [| Time.ms 80; 0 |] |] in
   let w = make_world ~latency:(Latency.Matrix { base; jitter = 0.0 }) 2 in
@@ -111,18 +198,22 @@ let test_latency_matrix () =
   Fiber.spawn w.World.engine (fun () ->
       let _ = Mailbox.recv (Net.inbox w.World.net 1) in
       at := Engine.now w.World.engine);
-  Net.send w.World.net ~src:0 ~dst:1 ~size:100 "geo";
+  Net.send w.World.net ~src:0 ~dst:1 (String.make 100 'g');
   World.run w;
   Alcotest.(check bool) "~80ms one-way" true
     (!at >= Time.ms 80 && !at < Time.us 80_200)
 
 let test_byte_accounting () =
   let w = make_world 3 in
-  Net.broadcast w.World.net ~src:0 ~size:500 "b";
+  Net.broadcast w.World.net ~src:0 (String.make 500 'b');
   World.run w;
   Alcotest.(check int) "tx bytes: 2 peers (self skips NIC)" 1000
     (Nic.bytes_sent w.World.nics.(0));
-  Alcotest.(check int) "peer rx" 500 (Nic.bytes_received w.World.nics.(1))
+  Alcotest.(check int) "peer rx" 500 (Nic.bytes_received w.World.nics.(1));
+  Alcotest.(check int) "link counter" 500
+    (Net.link_bytes w.World.net ~src:0 ~dst:1);
+  Alcotest.(check int) "bytes_out sums links (incl. loopback)" 1500
+    (Net.bytes_out w.World.net ~node:0)
 
 let suite =
   [ Alcotest.test_case "delivery" `Quick test_delivery;
@@ -132,5 +223,9 @@ let suite =
     Alcotest.test_case "hub routing" `Quick test_hub_routing;
     Alcotest.test_case "hub buffers future channels" `Quick
       test_hub_buffers_future;
+    Alcotest.test_case "hub drops malformed" `Quick test_hub_drops_malformed;
+    Alcotest.test_case "corruption window" `Quick test_corruption_window;
+    Alcotest.test_case "corruption exempts self" `Quick
+      test_corruption_self_exempt;
     Alcotest.test_case "latency matrix" `Quick test_latency_matrix;
     Alcotest.test_case "byte accounting" `Quick test_byte_accounting ]

@@ -107,12 +107,26 @@ let test_pbft_view_change_storm () =
   (* n = 7, f = 2: the leaders of views 0 and 1 are both dead; the
      replicas must walk through two view changes and still order. *)
   let open Fl_consensus in
-  let w = World.make ~seed:57 ~n:7 ~key:(fun (_ : string Pbft.msg) -> "p") () in
+  let open Fl_wire in
+  let encode (m : string Pbft.msg) =
+    Envelope.seal ~tag:0 (fun w -> Pbft.write_msg Codec.Writer.bytes w m)
+  in
+  let decode s =
+    Msg_codec.decode_frame
+      (fun tag r ->
+        if tag <> 0 then
+          raise (Codec.Malformed (Printf.sprintf "pbft-storm: tag %d" tag));
+        Pbft.read_msg Codec.Reader.bytes r)
+      s
+  in
+  let w =
+    World.make ~seed:57 ~n:7
+      ~key:(fun (_ : string Pbft.msg) -> "p")
+      ~encode ~decode ()
+  in
   let delivered = Array.make 7 [] in
   let config =
-    { (Pbft.default_config ~payload_size:String.length
-         ~payload_digest:Fl_crypto.Sha256.digest)
-      with
+    { (Pbft.default_config ~payload_digest:Fl_crypto.Sha256.digest) with
       Pbft.base_timeout = Time.ms 100 }
   in
   let replicas =

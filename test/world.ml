@@ -1,7 +1,11 @@
 (* Shared scaffolding for protocol tests: a small simulated cluster
-   with one network instance and per-node hubs/CPUs. Hubs are created
-   lazily — a hub's dispatcher fiber consumes the node's inbox, so
-   tests that read inboxes directly must not trigger them. *)
+   with one network instance and per-node hubs/CPUs. The network
+   carries framed byte strings, so a world is built around a message
+   codec: [encode] is used by channels at the send boundary, [decode]
+   by each node's hub dispatcher (malformed frames are dropped and
+   counted, never delivered). Hubs are created lazily — a hub's
+   dispatcher fiber consumes the node's inbox, so tests that read
+   inboxes directly must not trigger them. *)
 
 open Fl_sim
 open Fl_net
@@ -11,16 +15,18 @@ type 'm t = {
   rng : Rng.t;
   recorder : Fl_metrics.Recorder.t;
   nics : Nic.t array;
-  net : 'm Net.t;
+  net : Net.t;
   hubs : 'm Hub.t option array;
   hub_key : 'm -> string;
+  encode : 'm -> string;
+  decode : string -> 'm option;
   cpus : Cpu.t array;
   n : int;
   f : int;
 }
 
-let make ?(seed = 42) ?(latency = Latency.single_dc) ?(cores = 4) ~n ~key ()
-    =
+let make ?(seed = 42) ?(latency = Latency.single_dc) ?(cores = 4) ~n ~key
+    ~encode ~decode () =
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let nics = Array.init n (fun _ -> Nic.create ~bandwidth_bps:Nic.ten_gbps) in
@@ -33,6 +39,8 @@ let make ?(seed = 42) ?(latency = Latency.single_dc) ?(cores = 4) ~n ~key ()
     net;
     hubs = Array.make n None;
     hub_key = key;
+    encode;
+    decode;
     cpus;
     n;
     f = (n - 1) / 3 }
@@ -42,13 +50,14 @@ let hub w node =
   | Some h -> h
   | None ->
       let h =
-        Hub.create w.engine ~inbox:(Net.inbox w.net node) ~key:w.hub_key
+        Hub.create w.engine ~inbox:(Net.inbox w.net node) ~decode:w.decode
+          ~key:w.hub_key ()
       in
       w.hubs.(node) <- Some h;
       h
 
 let channel w ~node ~key =
-  Channel.of_hub (hub w node) ~key ~net:w.net ~self:node ~f:w.f ~inj:Fun.id
-    ~prj:Fun.id
+  Channel.of_hub (hub w node) ~key ~net:w.net ~self:node ~f:w.f
+    ~encode:w.encode ~inj:Fun.id ~prj:Fun.id
 
 let run ?until w = Engine.run ?until w.engine

@@ -22,6 +22,10 @@ let pp_report verbose (r : Explorer.report) =
   if r.Explorer.corrupted > 0 || r.Explorer.decode_errors > 0 then
     Printf.printf "wire      corrupted=%d decode-errors=%d\n"
       r.Explorer.corrupted r.Explorer.decode_errors;
+  if r.Explorer.evidence_count > 0 then
+    Printf.printf "evidence  %d object(s), accused=[%s]\n"
+      r.Explorer.evidence_count
+      (String.concat ";" (List.map string_of_int r.Explorer.accused));
   Printf.printf "engine    events=%d%s\n" r.Explorer.events
     (if r.Explorer.truncated then " (step budget exhausted)" else "");
   if r.Explorer.total_violations = 0 then
@@ -169,7 +173,11 @@ let cmd =
     Arg.(
       value & flag
       & info [ "inject-fork" ]
-          ~doc:"Plant a forked-chain bug in one node's output (oracle self-test).")
+          ~doc:
+            "Plant a forked-chain bug in one node's output (oracle \
+             self-test) and force a real equivocator into the plan: the \
+             accountability oracle must attribute any rescinding fork to \
+             the injected Byzantine set exactly.")
   in
   let disk =
     Arg.(

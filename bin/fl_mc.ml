@@ -1,0 +1,174 @@
+(* Bounded-exhaustive model checker CLI.
+
+   Default run (also what `dune build @mc` executes) is the acceptance
+   drill, three phases over tiny configs:
+
+     1. honest sweep   n=4 f=1 2 rounds, DPOR + naive enumeration —
+                       every interleaving must pass the safety
+                       oracles, and DPOR must explore >= 2x fewer
+                       schedules than naive;
+     2. drop sweep     same config with a 1-message drop budget per
+                       schedule (DPOR only) — safety under loss;
+     3. fork drill     two equivocators with a pinned audience split —
+                       evidence must attribute >= f+1 misbehaving
+                       nodes with zero false accusations.
+
+   One-off enumerations: fl_mc --n 3 --rounds 1 --mode naive ...
+   Exit status 1 iff any phase finds a violation. *)
+
+open Cmdliner
+open Fl_check
+
+let mode_name = function Mc.Naive -> "naive" | Mc.Dpor -> "dpor"
+
+let pp_stats (s : Mc.stats) =
+  Printf.printf
+    "  %-5s interleavings=%d decisions=%d max-depth=%d distinct-states=%d\n"
+    (mode_name s.Mc.mode) s.Mc.interleavings s.Mc.decisions s.Mc.max_depth
+    (List.length s.Mc.final_states);
+  Printf.printf
+    "        reached=%d truncated=%d dropped=%d%s violations=%d\n"
+    s.Mc.reached s.Mc.truncated s.Mc.dropped
+    (if s.Mc.capped then " CAPPED" else "")
+    s.Mc.total_violations;
+  if s.Mc.evidence_runs > 0 then
+    Printf.printf "        evidence in %d schedule(s), accused=[%s]\n"
+      s.Mc.evidence_runs
+      (String.concat ";" (List.map string_of_int s.Mc.accused));
+  List.iteri
+    (fun k (idx, v) ->
+      if k < 5 then
+        Format.printf "        schedule %d: %a@." idx Oracle.pp_violation v)
+    s.Mc.violations
+
+let check label ok =
+  Printf.printf "  %-42s %s\n" label (if ok then "ok" else "FAIL");
+  ok
+
+let drill ~depth ~max_schedules =
+  let ok = ref true in
+  let assert_ label v = ok := check label v && !ok in
+
+  Printf.printf "== honest sweep: n=4 f=1 rounds=2 ==\n";
+  let sc = Mc.scenario ~n:4 ~rounds:2 ~depth ~max_schedules () in
+  let dpor = Mc.enumerate Mc.Dpor sc in
+  pp_stats dpor;
+  let naive = Mc.enumerate Mc.Naive sc in
+  pp_stats naive;
+  assert_ "safety oracles pass on every interleaving"
+    ((not (Mc.failed dpor)) && not (Mc.failed naive));
+  assert_ "exhaustive (schedule cap not hit)"
+    ((not dpor.Mc.capped) && not naive.Mc.capped);
+  let reduction =
+    if dpor.Mc.interleavings = 0 then 0.0
+    else float_of_int naive.Mc.interleavings /. float_of_int dpor.Mc.interleavings
+  in
+  Printf.printf "  reduction: %d/%d = %.1fx\n" naive.Mc.interleavings
+    dpor.Mc.interleavings reduction;
+  assert_ "DPOR reduces explored states >= 2x" (reduction >= 2.0);
+  assert_ "DPOR visits every naive final state"
+    (List.for_all
+       (fun s -> List.mem s dpor.Mc.final_states)
+       naive.Mc.final_states);
+
+  Printf.printf "== drop sweep: n=4 f=1 rounds=2 drops=1 (dpor) ==\n";
+  let scd = Mc.scenario ~n:4 ~rounds:2 ~drops:1 ~depth ~max_schedules () in
+  let drops = Mc.enumerate Mc.Dpor scd in
+  pp_stats drops;
+  assert_ "safety holds under per-schedule message loss"
+    (not (Mc.failed drops));
+
+  Printf.printf "== fork drill: n=4 f=1 equivocators=[1;2] ==\n";
+  (* Two equivocators (> f) with a pinned audience split that puts the
+     two halves of the cluster on different forks; safety is void, the
+     accountability obligations are what's checked. Longer horizon so
+     the proposal turns of both equivocators fall inside the explored
+     window; rounds high enough that both get a turn. *)
+  let scf =
+    Mc.scenario ~n:4 ~rounds:5 ~equivocators:[ 1; 2 ]
+      ~splits:[ Some ([ 0; 1 ], [ 2; 3 ]); Some ([ 0; 2 ], [ 1; 3 ]) ]
+      ~depth:(min depth 4) ~budget_ms:800 ~max_schedules ()
+  in
+  let fork = Mc.enumerate Mc.Dpor scf in
+  pp_stats fork;
+  assert_ "zero false accusations"
+    (List.for_all (fun a -> List.mem a [ 1; 2 ]) fork.Mc.accused
+    && fork.Mc.total_violations = 0);
+  assert_ "evidence collected" (fork.Mc.evidence_runs > 0);
+  assert_
+    (Printf.sprintf "evidence attributes >= f+1 nodes (got [%s])"
+       (String.concat ";" (List.map string_of_int fork.Mc.accused)))
+    (List.length fork.Mc.accused >= 2);
+  !ok
+
+let run n f rounds equivocators drops depth horizon budget max_schedules
+    mode_str full =
+  if full || n = 0 then if drill ~depth ~max_schedules then 0 else 1
+  else
+    match
+      Mc.scenario ~f ~equivocators ~drops ~depth ~horizon_us:horizon
+        ~budget_ms:budget ~max_schedules ~n ~rounds ()
+    with
+    | exception Invalid_argument m ->
+        Printf.eprintf "fl_mc: %s\n" m;
+        2
+    | sc ->
+        let mode = if mode_str = "naive" then Mc.Naive else Mc.Dpor in
+        let s = Mc.enumerate mode sc in
+        pp_stats s;
+        if Mc.failed s then 1 else 0
+
+let cmd =
+  let n =
+    Arg.(value & opt int 0 & info [ "n" ] ~doc:"Cluster size (0 = run the \
+      full acceptance drill).")
+  in
+  let f = Arg.(value & opt int (-1) & info [ "f" ] ~doc:"Fault bound \
+    (-1 = (n-1)/3).") in
+  let rounds =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Target rounds per \
+      schedule.")
+  in
+  let equivocators =
+    Arg.(value & opt (list int) [] & info [ "equivocators" ]
+      ~doc:"Byzantine node ids (comma separated).")
+  in
+  let drops =
+    Arg.(value & opt int 0 & info [ "drops" ] ~doc:"Per-schedule message \
+      drop budget.")
+  in
+  let depth =
+    Arg.(value & opt int 6 & info [ "depth" ] ~doc:"Branching depth cap.")
+  in
+  let horizon =
+    Arg.(value & opt int 50 & info [ "horizon-us" ] ~doc:"Frontier window \
+      (microseconds).")
+  in
+  let budget =
+    Arg.(value & opt int 400 & info [ "budget-ms" ] ~doc:"Simulated time \
+      cap per schedule.")
+  in
+  let max_schedules =
+    Arg.(value & opt int 20_000 & info [ "max-schedules" ]
+      ~doc:"Enumeration cap.")
+  in
+  let mode =
+    Arg.(value & opt (enum [ ("dpor", "dpor"); ("naive", "naive") ]) "dpor"
+      & info [ "mode" ] ~doc:"Enumeration mode.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Run the acceptance drill \
+      (default when --n is not given).")
+  in
+  Cmd.v
+    (Cmd.info "fl_mc" ~version:"1.0.0"
+       ~doc:
+         "Bounded-exhaustive model checker: enumerate every delivery \
+          interleaving (and bounded drop set) of a tiny FireLedger \
+          cluster under the safety and accountability oracles, with \
+          DPOR-style partial-order reduction.")
+    Term.(
+      const run $ n $ f $ rounds $ equivocators $ drops $ depth $ horizon
+      $ budget $ max_schedules $ mode $ full)
+
+let () = exit (Cmd.eval' cmd)

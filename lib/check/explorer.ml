@@ -11,6 +11,8 @@ type report = {
   recoveries : int;
   corrupted : int;
   decode_errors : int;
+  accused : int list;
+  evidence_count : int;
   events : int;
   truncated : bool;
 }
@@ -78,6 +80,28 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
   (match Plan.validate plan with
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Explorer.run_plan: %s" e));
+  (* [--inject-fork] doubles as the accountability drill: force a real
+     equivocator into the plan (when the process-fault budget allows)
+     so a genuine fork can materialise, and demand at the end that the
+     collected evidence names the Byzantine set exactly. *)
+  let plan =
+    if inject_fork && Plan.byzantine plan = [] then begin
+      let rec pick i =
+        if i < 0 then None
+        else if List.mem i (Plan.faulty plan) then pick (i - 1)
+        else
+          let candidate =
+            { plan with
+              Plan.faults = Plan.Equivocate { node = i } :: plan.Plan.faults }
+          in
+          match Plan.validate candidate with
+          | Ok () -> Some candidate
+          | Error _ -> None
+      in
+      match pick (plan.Plan.n - 1) with Some p -> p | None -> plan
+    end
+    else plan
+  in
   (* disk faults need a durability layer under every node *)
   let persist =
     match persist with
@@ -126,7 +150,10 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
   Engine.run ~until ~max_events cluster.Cluster.engine;
   let truncated = Engine.now cluster.Cluster.engine < until in
   let faulty = Plan.faulty plan in
-  Oracle.finish oracle ~cluster ~faulty
+  let expect_accused =
+    if inject_fork then Some (Plan.byzantine plan) else None
+  in
+  Oracle.finish ?expect_accused oracle ~cluster ~faulty
     ~expect_progress:(Plan.expect_liveness plan && not truncated)
     ~min_rounds:(min_rounds_for ~budget_ms);
   (* Application oracle: each surviving node's live KV state must
@@ -178,6 +205,8 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
     corrupted = Fl_net.Net.messages_corrupted cluster.Cluster.net;
     decode_errors =
       Fl_metrics.Recorder.counter cluster.Cluster.recorder "decode_errors";
+    accused = Oracle.accused oracle;
+    evidence_count = Oracle.evidence_count oracle;
     events = Engine.processed cluster.Cluster.engine;
     truncated }
 
@@ -220,9 +249,11 @@ let fingerprint summary =
       (fun h r ->
         let h =
           fnv h
-            (Printf.sprintf "%s|%d|%d|%d|%d|%b\n" (Plan.to_string r.plan)
+            (Printf.sprintf "%s|%d|%d|%d|%d|%b|%s|%d\n" (Plan.to_string r.plan)
                r.total_violations r.min_definite r.max_round r.events
-               r.truncated)
+               r.truncated
+               (String.concat "," (List.map string_of_int r.accused))
+               r.evidence_count)
         in
         List.fold_left
           (fun h (v : Oracle.violation) ->

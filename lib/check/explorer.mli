@@ -20,6 +20,9 @@ type report = {
       (** frames the receivers' codec rejected (CRC / malformed) —
           with [Corrupt] faults this must be > 0 when [corrupted] is,
           or the corruption never reached a decoder *)
+  accused : int list;
+      (** nodes some collected equivocation evidence accuses (sorted) *)
+  evidence_count : int;  (** distinct evidence objects collected *)
   events : int;  (** engine events executed *)
   truncated : bool;  (** engine step budget exhausted *)
 }
@@ -38,7 +41,11 @@ val run_plan :
     time (with an engine step budget), then run the end-of-run
     oracles. [inject_fork] deliberately feeds the oracle a forked
     block for one node from definite round 3 on — a planted safety
-    bug that must be caught (self-test of the oracle layer). [obs]
+    bug that must be caught (self-test of the oracle layer) — {e and}
+    forces a real equivocator into the plan (when the process-fault
+    budget allows), asserting via {!Oracle.finish}'s [expect_accused]
+    that any rescinding fork yields evidence naming the Byzantine set
+    exactly. [obs]
     installs a span sink on the cluster (observe-only; the report is
     unchanged) — how [fl_trace plan] captures adversarial runs.
     [persist] puts a durability layer (plus a per-node KV state

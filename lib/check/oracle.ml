@@ -33,6 +33,11 @@ type t = {
   f : int;
   nodes : node_state array;
   canonical : (int, string) Hashtbl.t;  (* round -> first reported hash *)
+  evidence : (string, Fl_fireledger.Types.evidence) Hashtbl.t;  (* by digest *)
+  accused_tbl : (int, unit) Hashtbl.t;
+  mutable rescind_seen : bool;
+      (* some recovery actually rescinded blocks — the trigger for the
+         accountability obligation: rescinds demand evidence *)
   mutable stores : Store.t array option;
   mutable violations : violation list;  (* newest first, capped *)
   mutable total : int;
@@ -51,6 +56,9 @@ let create ~now ~n ~f () =
             recoveries = 0;
             restarted = false });
     canonical = Hashtbl.create 64;
+    evidence = Hashtbl.create 8;
+    accused_tbl = Hashtbl.create 4;
+    rescind_seen = false;
     stores = None;
     violations = [];
     total = 0 }
@@ -123,9 +131,40 @@ let on_definite t i ~round (block : Block.t) =
     ns.next_definite <- round + 1
   end
 
+(* Accountability oracle, streaming part: structural validity and
+   wire-trueness of every evidence object a node emits. Signature
+   validity and false-accusation checks need the registry and ground
+   truth, so they run in {!finish}. *)
+let on_evidence t i (ev : Fl_fireledger.Types.evidence) =
+  let open Fl_fireledger in
+  let ha = ev.Types.first.Types.header
+  and hb = ev.Types.second.Types.header in
+  let round = ha.Header.round in
+  if
+    not
+      (ha.Header.proposer = ev.Types.accused
+      && hb.Header.proposer = ev.Types.accused
+      && ha.Header.round = hb.Header.round
+      && String.equal ha.Header.prev_hash hb.Header.prev_hash
+      && not (Header.equal ha hb))
+  then
+    flag t ~oracle:"evidence-malformed" ~node:i ~round
+      "evidence against %d is not a same-slot header conflict"
+      ev.Types.accused;
+  (* wire-true: the detached frame must round-trip through the codec *)
+  (match Types.decode_evidence (Types.encode_evidence ev) with
+  | Some ev' when ev' = ev -> ()
+  | _ ->
+      flag t ~oracle:"evidence-codec" ~node:i ~round
+        "evidence against %d does not round-trip through its codec"
+        ev.Types.accused);
+  Hashtbl.replace t.evidence (Types.evidence_digest ev) ev;
+  Hashtbl.replace t.accused_tbl ev.Types.accused ()
+
 let on_recovery t i ~round ~rescinded =
   let ns = t.nodes.(i) in
   ns.recoveries <- ns.recoveries + 1;
+  if rescinded > 0 then t.rescind_seen <- true;
   if rescinded > t.f + 1 then
     flag t ~oracle:"rescission-depth" ~node:i ~round
       "recovery rescinded %d blocks > f+1=%d" rescinded (t.f + 1);
@@ -153,14 +192,63 @@ let on_recovery t i ~round ~rescinded =
 let output_for t i =
   { Fl_fireledger.Instance.on_tentative = (fun ~round:_ _ -> ());
     on_definite = (fun ~round block ~times:_ -> on_definite t i ~round block);
-    on_recovery = (fun ~round ~rescinded -> on_recovery t i ~round ~rescinded) }
+    on_recovery = (fun ~round ~rescinded -> on_recovery t i ~round ~rescinded);
+    on_evidence = (fun ev -> on_evidence t i ev) }
+
+let accused t =
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.accused_tbl [])
+
+let evidence_count t = Hashtbl.length t.evidence
+let rescind_seen t = t.rescind_seen
 
 (* ---------- end-of-run checks ---------- *)
 
-let finish t ~cluster ~faulty ~expect_progress ~min_rounds =
+let finish ?expect_accused t ~cluster ~faulty ~expect_progress ~min_rounds =
   let open Fl_fireledger in
   let crashed i = Hashtbl.mem cluster.Cluster.crashed i in
   let inst i = cluster.Cluster.instances.(i) in
+  (* ---- accountability ---- *)
+  (* Every collected evidence object must carry two valid signatures
+     (deferred from the streaming check: it needs the registry). *)
+  Hashtbl.iter
+    (fun _ ev ->
+      let round = ev.Types.first.Types.header.Header.round in
+      if not (Types.evidence_valid cluster.Cluster.registry ev) then
+        flag t ~oracle:"evidence-invalid" ~node:ev.Types.accused ~round
+          "collected evidence against %d fails signature/structure validation"
+          ev.Types.accused)
+    t.evidence;
+  (* Zero false accusations: only faulty nodes (Byzantine or crashed —
+     a crashed node legitimately double-signs across incarnations since
+     its no-double-sign archive is volatile) may be accused. *)
+  Hashtbl.iter
+    (fun a () ->
+      if not (List.mem a faulty) then
+        flag t ~oracle:"false-accusation" ~node:a ~round:(-1)
+          "evidence accuses node %d, which is correct" a)
+    t.accused_tbl;
+  (* Exactness: when the run is known to contain equivocators and a
+     fork actually materialised (a rescinding recovery ran AND the
+     equivocators really sent split proposals), the evidence must be
+     non-empty and name only the injected set — with one injected
+     equivocator that is exact equality. Not every injected
+     equivocator necessarily got a proposal turn, so a strict
+     set-equality demand would over-claim. *)
+  (match expect_accused with
+  | Some expected
+    when t.rescind_seen
+         && Fl_metrics.Recorder.counter cluster.Cluster.recorder
+              "equivocations"
+            > 0 ->
+      let expected = List.sort_uniq compare expected in
+      let got = accused t in
+      if got = [] || List.exists (fun a -> not (List.mem a expected)) got then
+        flag t ~oracle:"accountability" ~node:(-1) ~round:(-1)
+          "a rescinding fork ran but evidence names [%s], expected nodes \
+           from [%s]"
+          (String.concat ";" (List.map string_of_int got))
+          (String.concat ";" (List.map string_of_int expected))
+  | _ -> ());
   (* pairwise definite-prefix agreement over non-crashed nodes *)
   for i = 0 to t.n - 1 do
     for j = i + 1 to t.n - 1 do

@@ -15,6 +15,15 @@
       (only the tentative suffix is up for grabs);
     - {b definite-rescinded}: after a recovery, the node's store still
       holds every block the oracle saw it mark definite;
+    - {b evidence-malformed} / {b evidence-codec}: every
+      equivocation-evidence object a node collects is a same-slot
+      header conflict and round-trips through its wire codec
+      (streamed);
+    - {b evidence-invalid} / {b false-accusation} /
+      {b accountability}: end-of-run accountability checks — evidence
+      carries valid signatures, accuses only faulty nodes, and (when
+      an expected set is supplied and a rescinding fork ran) names the
+      injected equivocators exactly;
     - {b liveness} / {b integrity} / final agreement: end-of-run
       checks performed by {!finish}.
 
@@ -54,6 +63,7 @@ val note_restart : t -> int -> unit
     canonical hashes. Wire to {!Fl_fireledger.Cluster.set_on_restart}. *)
 
 val finish :
+  ?expect_accused:int list ->
   t ->
   cluster:Fl_fireledger.Cluster.t ->
   faulty:int list ->
@@ -63,7 +73,21 @@ val finish :
 (** End-of-run checks: pairwise definite-prefix agreement and chain
     integrity over non-crashed nodes, and — when [expect_progress] —
     bounded-progress liveness: every node outside [faulty] must have
-    ≥ [min_rounds] definite rounds. *)
+    ≥ [min_rounds] definite rounds. Accountability: all collected
+    evidence must validate under the cluster registry and accuse only
+    [faulty] nodes; with [expect_accused], if a rescinding recovery
+    ran and the equivocators really split their audience (the
+    ["equivocations"] counter is positive), the accused set must equal
+    [expect_accused] exactly. *)
+
+val accused : t -> int list
+(** Sorted, deduplicated nodes some collected evidence accuses. *)
+
+val evidence_count : t -> int
+(** Distinct evidence objects seen across all watched nodes. *)
+
+val rescind_seen : t -> bool
+(** Whether any watched recovery actually rescinded blocks. *)
 
 val check_app_state : t -> node:int -> live:string -> replayed:string -> unit
 (** End-of-run application oracle: flag an ["app-state"] violation

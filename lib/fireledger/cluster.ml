@@ -22,7 +22,8 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
     ?(bandwidth_bps = Nic.ten_gbps) ?bandwidth_of
     ?(behavior = fun _ -> Instance.Honest) ?valid ?trace ?obs
     ?(config_of = fun _ c -> c) ?(output = fun _ -> Instance.null_output)
-    ?persist:persist_config ?(persist_app = fun _ -> None) ~config () =
+    ?(halves_of = fun _ -> None) ?persist:persist_config
+    ?(persist_app = fun _ -> None) ~config () =
   Config.validate config;
   let n = config.Config.n in
   let engine = Engine.create () in
@@ -107,7 +108,7 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
       c
     in
     Instance.create env ~config ~behavior:(behavior i) ?valid
-      ?persist:persist.(i) ~output:(output i) ()
+      ?persist:persist.(i) ?halves:(halves_of i) ~output:(output i) ()
   in
   let instances = Array.init n (fun i -> mk_instance i ~incarnation:0) in
   { engine;

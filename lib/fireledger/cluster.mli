@@ -42,6 +42,7 @@ val create :
   ?obs:Fl_obs.Obs.t ->
   ?config_of:(int -> Config.t -> Config.t) ->
   ?output:(int -> Instance.output) ->
+  ?halves_of:(int -> (int list * int list) option) ->
   ?persist:Fl_persist.Node.config ->
   ?persist_app:(int -> Fl_persist.Recovery.app option) ->
   config:Config.t ->
@@ -51,7 +52,9 @@ val create :
     id to its behaviour/event sink. [bandwidth_of] gives one node a
     slower (or faster) NIC than [bandwidth_bps]; [config_of] applies a
     per-node config tweak (e.g. clock-skewed timer parameters for the
-    schedule explorer) — it must preserve [n] and [f]. [obs] installs
+    schedule explorer) — it must preserve [n] and [f]. [halves_of]
+    pins node [i]'s equivocation audience split ([None] keeps the
+    seeded random split) — the model checker branches over it. [obs] installs
     a span sink across every layer (engine, CPUs, net, consensus,
     instances) — observe-only, so trace fingerprints are unchanged.
     [persist] gives every node a durability layer (WAL + snapshots on

@@ -11,12 +11,14 @@ type output = {
   on_tentative : round:int -> Block.t -> unit;
   on_definite : round:int -> Block.t -> times:block_times -> unit;
   on_recovery : round:int -> rescinded:int -> unit;
+  on_evidence : Types.evidence -> unit;
 }
 
 let null_output =
   { on_tentative = (fun ~round:_ _ -> ());
     on_definite = (fun ~round:_ _ ~times:_ -> ());
-    on_recovery = (fun ~round:_ ~rescinded:_ -> ()) }
+    on_recovery = (fun ~round:_ ~rescinded:_ -> ());
+    on_evidence = (fun _ -> ()) }
 
 type pending_times = { pt_a : Time.t; pt_b : Time.t; pt_c : Time.t }
 
@@ -38,6 +40,11 @@ type t = {
   fetched : (int, Types.signed_header * Tx.t array) Hashtbl.t;
       (* pull replies keyed by round — feeds the catch-up sync *)
   signed_headers : (int, Types.signed_header) Hashtbl.t;  (* per round *)
+  my_signed : (int * string, Types.signed_header * Tx.t array) Hashtbl.t;
+      (* every header this node ever signed, keyed by
+         (round, prev_hash): the no-double-sign discipline that makes
+         same-slot conflicts provable misbehavior *)
+  evidence_log : (string, Types.evidence) Hashtbl.t;  (* by digest *)
   mutable pulse : unit Ivar.t;  (* wakes WRB waits on any arrival *)
   prepared : (Tx.t array * string * Time.t) Queue.t;
       (* bodies built (and shipped) ahead of our proposing turns; the
@@ -59,7 +66,9 @@ type t = {
   version_boxes : (int, Types.version Mailbox.t) Hashtbl.t;
   mutable rb : Types.proof Fl_broadcast.Bracha.t option;
   mutable ab : Types.version Pbft.t option;
+  mutable evd : Types.evidence Fl_broadcast.Bracha.t option;
   mutable rb_tag : int;
+  mutable evd_tag : int;
   (* workload *)
   mutable next_tx_id : int;
   halves : int list * int list;  (* equivocation split *)
@@ -268,12 +277,85 @@ let make_proposal t ~round ~prev_hash =
     end
     else (txs, bh, at, header)
   in
-  let txs, _bh, _at, header = pick 8 in
-  charge_sign t;
-  incr_c t "signatures";
-  let sh = Types.sign_header t.env.Env.registry ~signer:(me t) header in
-  let body = if t.config.Config.separate_bodies then None else Some txs in
-  { Types.sh; body }
+  match Hashtbl.find_opt t.my_signed (round, prev_hash) with
+  | Some (sh, txs) ->
+      (* No-double-sign discipline: we already signed this
+         (round, prev_hash) slot — e.g. a piggybacked header whose
+         round came back, or a truncated round re-run after recovery.
+         Re-serve the archived header verbatim: signing different
+         content for an already-signed slot is precisely what
+         accountability evidence convicts, so an honest node never
+         does it. *)
+      let bh = sh.Types.header.Header.body_hash in
+      let in_flow =
+        match Queue.peek_opt t.prepared with
+        | Some (_, bh', _) -> String.equal bh bh'
+        | None -> false
+      in
+      if t.config.Config.separate_bodies && not in_flow then begin
+        (* the archived body left the normal dissemination flow
+           (its block was appended then rescinded); re-disseminate *)
+        ignore (store_body t txs ~at:(now t));
+        send_body t txs ~bh
+      end;
+      let body = if t.config.Config.separate_bodies then None else Some txs in
+      { Types.sh; body }
+  | None ->
+      let txs, _bh, _at, header = pick 8 in
+      charge_sign t;
+      incr_c t "signatures";
+      let sh = Types.sign_header t.env.Env.registry ~signer:(me t) header in
+      Hashtbl.replace t.my_signed (round, prev_hash) (sh, txs);
+      let body = if t.config.Config.separate_bodies then None else Some txs in
+      { Types.sh; body }
+
+(* ---------- fork accountability ---------- *)
+
+(* Record equivocation evidence: two valid headers signed by the same
+   proposer for one (round, prev_hash) slot. Deduped by canonical
+   digest; the first local sighting is reliably broadcast so every
+   correct node converges on the same evidence set even when only a
+   subset directly observed the conflict. *)
+let note_evidence ?(relay = true) t ev =
+  if Types.evidence_valid t.env.Env.registry ev then begin
+    let digest = Types.evidence_digest ev in
+    if not (Hashtbl.mem t.evidence_log digest) then begin
+      Hashtbl.replace t.evidence_log digest ev;
+      incr_c t "evidence_collected";
+      trace t ~category:"evidence" "accused=%d r=%d" ev.Types.accused
+        ev.Types.first.Types.header.Header.round;
+      obs_instant t ~name:"evidence"
+        ~round:ev.Types.first.Types.header.Header.round
+        ~args:[ ("accused", string_of_int ev.Types.accused) ]
+        ();
+      t.output.on_evidence ev;
+      if relay then begin
+        t.evd_tag <- t.evd_tag + 1;
+        match t.evd with
+        | Some b -> Fl_broadcast.Bracha.broadcast b ~tag:t.evd_tag ev
+        | None -> ()
+      end
+    end
+  end
+
+(* Two signed headers claiming the same slot with different content:
+   evidence if the signatures check out. [known_valid] skips
+   re-verifying a signature that was already checked on arrival. *)
+let consider_conflict ?(known_valid = false) t (sha : Types.signed_header)
+    (shb : Types.signed_header) =
+  let ha = sha.Types.header and hb = shb.Types.header in
+  if
+    ha.Header.proposer = hb.Header.proposer
+    && ha.Header.round = hb.Header.round
+    && String.equal ha.Header.prev_hash hb.Header.prev_hash
+    && not (Header.equal ha hb)
+  then begin
+    if not known_valid then begin
+      charge_verify t;
+      charge_verify t
+    end;
+    note_evidence t (Types.make_evidence ~accused:ha.Header.proposer sha shb)
+  end
 
 (* ---------- proposal stash ---------- *)
 
@@ -317,31 +399,52 @@ let note_proposal t ~src (p : Types.proposal) =
      who authored the proposal. *)
   let h = p.Types.sh.Types.header in
   let owner = h.Header.proposer in
-  if owner >= 0 && owner < n_of t && h.Header.round >= t.round then begin
-    (* Accept same-round replacements: a proposer whose earlier
-       attempt was rejected re-signs its proposal on top of the block
-       that actually decided, and the fresh version must supersede the
-       stale one. *)
-    let fresh =
-      match Hashtbl.find_opt t.stash owner with
-      | Some (old, _) ->
-          let old_h = old.Types.sh.Types.header in
-          old_h.Header.round < h.Header.round
-          || (old_h.Header.round = h.Header.round
-             && not (Header.equal old_h h))
-      | None -> true
-    in
-    if fresh then begin
-      charge_verify t;
-      incr_c t "verifications";
-      if Types.signed_header_valid t.env.Env.registry p.Types.sh then begin
-        Hashtbl.replace t.stash owner (p, now t);
-        (match p.Types.body with
-        | Some txs -> ignore (store_body t txs ~at:(now t))
-        | None -> ());
-        pulse_fill t
+  if owner >= 0 && owner < n_of t then begin
+    if h.Header.round >= t.round then begin
+      (* Accept same-round replacements: a proposer whose earlier
+         attempt was rejected re-signs its proposal on top of the block
+         that actually decided, and the fresh version must supersede the
+         stale one. *)
+      let fresh =
+        match Hashtbl.find_opt t.stash owner with
+        | Some (old, _) ->
+            let old_h = old.Types.sh.Types.header in
+            old_h.Header.round < h.Header.round
+            || (old_h.Header.round = h.Header.round
+               && not (Header.equal old_h h))
+        | None -> true
+      in
+      if fresh then begin
+        charge_verify t;
+        incr_c t "verifications";
+        if Types.signed_header_valid t.env.Env.registry p.Types.sh then begin
+          (* A replacement for the *same slot* (round and parent both
+             unchanged) is not a legitimate re-proposal — it is
+             equivocation, and both signatures are now in hand. *)
+          (match Hashtbl.find_opt t.stash owner with
+          | Some (old, _) ->
+              consider_conflict ~known_valid:true t old.Types.sh p.Types.sh
+          | None -> ());
+          Hashtbl.replace t.stash owner (p, now t);
+          (match p.Types.body with
+          | Some txs -> ignore (store_body t txs ~at:(now t))
+          | None -> ());
+          pulse_fill t
+        end
       end
     end
+    else
+      (* A proposal for a round we already closed: useless for
+         progress, but if it conflicts with the block we appended for
+         that slot it is the other half of an equivocation — the main
+         way a node that saw only one variant directly learns of the
+         fork. *)
+      match (Store.get t.store h.Header.round,
+             Hashtbl.find_opt t.signed_headers h.Header.round)
+      with
+      | Some b, Some sh when b.Block.header.Header.proposer = owner ->
+          consider_conflict t sh p.Types.sh
+      | _ -> ()
   end
 
 (* ---------- abortable waits ---------- *)
@@ -601,7 +704,11 @@ let gc t =
       Store.prune t.store ~keep_from:prune_cut;
       Hashtbl.iter
         (fun r _ -> if r < prune_cut then Hashtbl.remove t.signed_headers r)
-        (Hashtbl.copy t.signed_headers)
+        (Hashtbl.copy t.signed_headers);
+      Hashtbl.iter
+        (fun ((r, _) as key) _ ->
+          if r < prune_cut then Hashtbl.remove t.my_signed key)
+        (Hashtbl.copy t.my_signed)
     end
   end
 
@@ -617,6 +724,14 @@ let accept_block t (p : Types.proposal) txs ~header_at =
       Fmt.failwith "instance %d: append round %d: %a" (me t) r Store.pp_error
         e);
   Hashtbl.replace t.signed_headers r p.Types.sh;
+  (* The accepted block may have outvoted an equivocating sibling that
+     is still sitting in the stash: a clean majority closes the round
+     without panic, so this is the only moment the losing variant and
+     the winning one meet in one node's hands. *)
+  (match Hashtbl.find_opt t.stash h.Header.proposer with
+  | Some (st, _) when st.Types.sh.Types.header.Header.round = r ->
+      consider_conflict ~known_valid:true t st.Types.sh p.Types.sh
+  | _ -> ());
   (match t.persist with
   | Some per ->
       Fl_persist.Node.log_append per ~block
@@ -698,6 +813,8 @@ let recovery t r =
       | None -> None
   in
   let seen = Hashtbl.create 8 in
+  let version_headers = Hashtbl.create 16 in
+      (* per recovery: headers seen in received versions, by round *)
   let collected = ref [] in
   let count = ref 0 in
   while !count < n_of t - f do
@@ -710,6 +827,43 @@ let recovery t r =
         (fun (b, _) ->
           charge_verify t;
           charge_hash t ~bytes:b.Block.header.Header.body_size)
+        vj.Types.blocks;
+      (* accountability sweep: a block claiming a slot differently
+         from our own chain, or from another received version, is half
+         of an equivocation — recovery is where a node that saw only
+         one variant on the wire learns of the fork, because the n−f
+         version quorum cannot exclude every holder of either variant *)
+      List.iter
+        (fun (b, s) ->
+          let rb = b.Block.header.Header.round in
+          let sh = { Types.header = b.Block.header; signature = s } in
+          (match
+             (Store.get t.store rb, Hashtbl.find_opt t.signed_headers rb)
+           with
+          | Some local, Some local_sh
+            when local.Block.header.Header.proposer
+                 = b.Block.header.Header.proposer ->
+              consider_conflict t local_sh sh
+          | _ -> ());
+          (* the other variant may never have been acceptable here —
+             built on a tip we did not hold — and still sit in the
+             stash *)
+          (match Hashtbl.find_opt t.stash b.Block.header.Header.proposer with
+          | Some (st, _) when st.Types.sh.Types.header.Header.round = rb ->
+              consider_conflict t st.Types.sh sh
+          | _ -> ());
+          let prior =
+            match Hashtbl.find_opt version_headers rb with
+            | Some l -> l
+            | None -> []
+          in
+          List.iter (fun prior_sh -> consider_conflict t prior_sh sh) prior;
+          if
+            not
+              (List.exists
+                 (fun p -> Header.equal p.Types.header b.Block.header)
+                 prior)
+          then Hashtbl.replace version_headers rb (sh :: prior))
         vj.Types.blocks;
       match
         Types.validate_version t.env.Env.registry ~f ~n:(n_of t) ~anchor vj
@@ -1193,19 +1347,22 @@ let adopt_recovered t (r : Fl_persist.Recovery.recovered) =
     (Store.length t.store) t.definite_upto t.era
 
 let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ?persist
-    ~output () =
+    ?halves ~output () =
   Config.validate config;
   let engine = env.Env.engine in
   let halves =
-    let nodes = Array.init config.Config.n Fun.id in
-    Rng.shuffle env.Env.rng nodes;
-    let l = Array.to_list nodes in
-    let rec split i acc = function
-      | [] -> (List.rev acc, [])
-      | rest when i = 0 -> (List.rev acc, rest)
-      | x :: rest -> split (i - 1) (x :: acc) rest
-    in
-    split (config.Config.n / 2) [] l
+    match halves with
+    | Some h -> h
+    | None ->
+        let nodes = Array.init config.Config.n Fun.id in
+        Rng.shuffle env.Env.rng nodes;
+        let l = Array.to_list nodes in
+        let rec split i acc = function
+          | [] -> (List.rev acc, [])
+          | rest when i = 0 -> (List.rev acc, rest)
+          | x :: rest -> split (i - 1) (x :: acc) rest
+        in
+        split (config.Config.n / 2) [] l
   in
   let t =
     { env;
@@ -1223,6 +1380,8 @@ let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ?persist
     stash = Hashtbl.create 16;
     fetched = Hashtbl.create 64;
     signed_headers = Hashtbl.create 1024;
+    my_signed = Hashtbl.create 64;
+    evidence_log = Hashtbl.create 8;
     pulse = Ivar.create engine;
     prepared = Queue.create ();
     own_in_flight = Hashtbl.create 8;
@@ -1240,7 +1399,9 @@ let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ?persist
     version_boxes = Hashtbl.create 4;
     rb = None;
     ab = None;
+    evd = None;
     rb_tag = 0;
+    evd_tag = 0;
       next_tx_id = 0;
       halves;
       stopped = false;
@@ -1278,6 +1439,21 @@ let start t =
       (Fl_broadcast.Bracha.create engine ~recorder:(recorder t)
          ~channel:rb_channel ~payload_digest:Types.proof_digest
          ~deliver:(fun ~origin:_ ~tag:_ proof -> enqueue_proof t proof));
+  (* Accountability layer: reliable broadcast of equivocation
+     evidence, so one node's sighting becomes everyone's. Keyed by
+     payload digest like the proof channel — an equivocating relay
+     cannot split the quorum. *)
+  let evd_channel =
+    Channel.of_hub t.env.Env.hub ~key:"evd" ~net:t.env.Env.net ~self:(me t)
+      ~f:(f_of t) ~encode:Msg.encode
+      ~inj:(fun m -> Msg.Evd m)
+      ~prj:(function Msg.Evd m -> m | _ -> assert false)
+  in
+  t.evd <-
+    Some
+      (Fl_broadcast.Bracha.create engine ~recorder:(recorder t)
+         ~channel:evd_channel ~payload_digest:Types.evidence_digest
+         ~deliver:(fun ~origin:_ ~tag:_ ev -> note_evidence ~relay:false t ev));
   (* Recovery layer: atomic broadcast of versions. *)
   let ab_channel =
     Channel.of_hub t.env.Env.hub ~key:"ab" ~net:t.env.Env.net ~self:(me t)
@@ -1336,6 +1512,7 @@ let shutdown t =
   Hashtbl.iter (fun _ o -> Obbc.close o) t.open_obbcs;
   Hashtbl.reset t.open_obbcs;
   (match t.rb with Some rb -> Fl_broadcast.Bracha.halt rb | None -> ());
+  (match t.evd with Some b -> Fl_broadcast.Bracha.halt b | None -> ());
   match t.ab with Some ab -> Pbft.halt ab | None -> ()
 let store t = t.store
 let mempool t = t.mempool
@@ -1344,6 +1521,13 @@ let definite_upto t = t.definite_upto
 let recoveries t = Fl_metrics.Recorder.counter (recorder t) "recoveries"
 let era t = t.era
 let persist t = t.persist
+
+let evidence t = Hashtbl.fold (fun _ ev acc -> ev :: acc) t.evidence_log []
+
+let accused t =
+  let s = Hashtbl.create 4 in
+  Hashtbl.iter (fun _ ev -> Hashtbl.replace s ev.Types.accused ()) t.evidence_log;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) s [])
 
 let tee_output a b =
   { on_tentative =
@@ -1357,4 +1541,8 @@ let tee_output a b =
     on_recovery =
       (fun ~round ~rescinded ->
         a.on_recovery ~round ~rescinded;
-        b.on_recovery ~round ~rescinded) }
+        b.on_recovery ~round ~rescinded);
+    on_evidence =
+      (fun ev ->
+        a.on_evidence ev;
+        b.on_evidence ev) }

@@ -36,6 +36,10 @@ type output = {
   on_definite : round:int -> Block.t -> times:block_times -> unit;
       (** fires exactly once per round, in round order *)
   on_recovery : round:int -> rescinded:int -> unit;
+  on_evidence : Types.evidence -> unit;
+      (** fires once per distinct evidence object this node collects —
+          whether it detected the conflict itself or received the
+          evidence by reliable broadcast *)
 }
 
 val null_output : output
@@ -48,11 +52,15 @@ val create :
   ?behavior:behavior ->
   ?valid:(Block.t -> bool) ->
   ?persist:Fl_persist.Node.t ->
+  ?halves:int list * int list ->
   output:output ->
   unit ->
   t
 (** Build the instance state. [valid] is the external validity
-    predicate of VPBC (default: accept). [persist] attaches a
+    predicate of VPBC (default: accept). [halves] fixes the
+    {!Equivocator}'s audience split (default: a seeded random
+    half/half shuffle) — the model checker branches over it. [persist]
+    attaches a
     durability layer: appends, definiteness watermarks and recovery
     adoptions are WAL-logged, and if the layer holds frozen media from
     a power failure the instance boots from it — chain, signed
@@ -85,6 +93,14 @@ val era : t -> int
 
 val persist : t -> Fl_persist.Node.t option
 (** The durability layer this instance logs to, if any. *)
+
+val evidence : t -> Types.evidence list
+(** Every distinct equivocation-evidence object collected so far
+    (detected locally or delivered by the evidence RB channel). *)
+
+val accused : t -> int list
+(** Sorted, deduplicated proposers this node holds valid evidence
+    against. *)
 
 val tee_output : output -> output -> output
 (** Compose two sinks: every event goes to [a] first, then [b] — how

@@ -22,6 +22,8 @@ type t =
       (** panic proofs (Algorithm 2, lines b7/b12) *)
   | Ab of Types.version Pbft.msg
       (** recovery versions (Algorithm 3) *)
+  | Evd of Types.evidence Fl_broadcast.Bracha.msg
+      (** fork-accountability evidence dissemination *)
 
 and ob_payload = Types.proposal
 (** OBBC piggyback: the next round's proposal (§5.1). *)
@@ -45,6 +47,7 @@ let key = function
   | Reply _ -> "reply"
   | Rb _ -> "rb"
   | Ab _ -> "ab"
+  | Evd _ -> "evd"
 
 (* One codec from protocol structs to NIC bytes: every constructor is
    an envelope tag; sub-protocol messages (OBBC, Bracha, PBFT) are
@@ -80,6 +83,9 @@ let encode = function
           Fl_broadcast.Bracha.write_msg Types.write_proof w m)
   | Ab m ->
       Envelope.seal ~tag:6 (fun w -> Pbft.write_msg Types.write_version w m)
+  | Evd m ->
+      Envelope.seal ~tag:7 (fun w ->
+          Fl_broadcast.Bracha.write_msg Types.write_evidence w m)
 
 let read tag r =
   match tag with
@@ -103,6 +109,7 @@ let read tag r =
       Reply { round; proposal; txs }
   | 5 -> Rb (Fl_broadcast.Bracha.read_msg Types.read_proof r)
   | 6 -> Ab (Pbft.read_msg Types.read_version r)
+  | 7 -> Evd (Fl_broadcast.Bracha.read_msg Types.read_evidence r)
   | t -> raise (Codec.Malformed (Printf.sprintf "msg: tag %d" t))
 
 let decode s = Msg_codec.decode_frame read s

@@ -92,6 +92,66 @@ let proof_digest p =
   Fl_crypto.Sha256.digest
     (encode_signed_header p.later ^ encode_signed_header p.earlier)
 
+type evidence = {
+  accused : int;
+  first : signed_header;
+  second : signed_header;
+}
+
+(* Canonical form: order the conflicting pair by header hash so the
+   same conflict always digests identically no matter which side was
+   seen first. *)
+let make_evidence ~accused sha shb =
+  if String.compare (Header.hash sha.header) (Header.hash shb.header) <= 0
+  then { accused; first = sha; second = shb }
+  else { accused; first = shb; second = sha }
+
+(* Provable equivocation. An honest FireLedger proposer signs at most
+   one header per (round, prev_hash) slot: re-proposals after a failed
+   prediction or a recovery always sit on a different parent, and the
+   instance re-serves its archived header when asked for the same slot
+   twice. Two valid signatures by the same proposer over different
+   headers for one slot therefore convict that proposer — unlike the
+   panic {!proof}, which only convicts one of two nodes. *)
+let evidence_valid registry e =
+  let ha = e.first.header and hb = e.second.header in
+  ha.Header.proposer = e.accused
+  && hb.Header.proposer = e.accused
+  && ha.Header.round = hb.Header.round
+  && String.equal ha.Header.prev_hash hb.Header.prev_hash
+  && not (Header.equal ha hb)
+  && String.compare (Header.hash ha) (Header.hash hb) < 0
+  && signed_header_valid registry e.first
+  && signed_header_valid registry e.second
+
+let write_evidence w e =
+  Codec.Writer.varint w e.accused;
+  write_signed_header w e.first;
+  write_signed_header w e.second
+
+let read_evidence r =
+  let accused = Codec.Reader.varint r in
+  let first = read_signed_header r in
+  let second = read_signed_header r in
+  { accused; first; second }
+
+(* Detached framing for evidence objects stored or relayed outside a
+   protocol message — same envelope format as every other frame. *)
+let evidence_tag = 0x45
+
+let encode_evidence e = Envelope.seal ~tag:evidence_tag (fun w -> write_evidence w e)
+
+let decode_evidence s =
+  match
+    let r = Envelope.open_expect ~tag:evidence_tag s in
+    let e = read_evidence r in
+    if Codec.Reader.at_end r then Some e else None
+  with
+  | result -> result
+  | exception (Codec.Reader.Underflow | Codec.Malformed _) -> None
+
+let evidence_digest e = Fl_crypto.Sha256.digest (encode_evidence e)
+
 type version = {
   recovery_round : int;
   origin : int;

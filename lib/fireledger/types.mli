@@ -52,6 +52,37 @@ val proof_valid : Fl_crypto.Signature.registry -> proof -> bool
 
 val proof_digest : proof -> string
 
+type evidence = {
+  accused : int;
+  first : signed_header;  (** lower header hash of the pair *)
+  second : signed_header;
+}
+(** Fork-accountability evidence: two valid headers signed by
+    [accused] for the same (round, prev_hash) slot with different
+    content. An honest proposer signs at most one header per slot
+    (re-proposals always change the parent, and the instance re-serves
+    its archived header for a repeated slot), so — unlike the panic
+    {!proof}, which convicts only one of two nodes — this attributes
+    misbehavior to exactly one node, checkable by anyone holding the
+    key registry. *)
+
+val make_evidence :
+  accused:int -> signed_header -> signed_header -> evidence
+(** Canonical constructor: orders the pair by header hash so one
+    conflict has one digest regardless of discovery order. *)
+
+val evidence_valid : Fl_crypto.Signature.registry -> evidence -> bool
+
+val write_evidence : Fl_wire.Codec.Writer.t -> evidence -> unit
+val read_evidence : Fl_wire.Codec.Reader.t -> evidence
+
+val encode_evidence : evidence -> string
+(** Detached, enveloped frame (version/tag/CRC header) — the form
+    evidence is stored or relayed in outside a protocol message. *)
+
+val decode_evidence : string -> evidence option
+val evidence_digest : evidence -> string
+
 type version = {
   recovery_round : int;
   origin : int;

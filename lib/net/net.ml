@@ -148,8 +148,11 @@ let maybe_corrupt t ~src ~dst payload =
 
 let deliver t ~src ~dst ~at msg =
   let now = Engine.now t.engine in
+  (* Tagged with the destination as its lane: deliveries to different
+     nodes commute, which is what lets the model-checker arbiter prune
+     equivalent interleavings. *)
   ignore
-    (Engine.schedule t.engine ~delay:(at - now) (fun () ->
+    (Engine.schedule ~lane:dst t.engine ~delay:(at - now) (fun () ->
          t.delivered <- t.delivered + 1;
          Mailbox.send t.inboxes.(dst) (src, msg)))
 

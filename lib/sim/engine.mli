@@ -15,9 +15,15 @@ val create : unit -> t
 val now : t -> Time.t
 (** Current virtual time. *)
 
-val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+val schedule : ?lane:int -> t -> delay:Time.t -> (unit -> unit) -> handle
 (** Run the action [delay] ns from now. A negative delay is clamped
-    to 0. *)
+    to 0. [lane] is commutativity metadata for the model checker:
+    [-1] (the default) marks the event untagged — it always runs in
+    canonical time order — while a lane id [>= 0] names the single
+    state component the event acts on (in practice the destination
+    node of a message delivery), which exposes it to an installed
+    {!set_arbiter} chooser as a reorderable branch point. Events on
+    different lanes commute; events on the same lane do not. *)
 
 val cancel : handle -> unit
 (** Cancelled events are skipped; cancelling twice is a no-op. *)
@@ -40,6 +46,29 @@ val pending : t -> int
 
 val processed : t -> int
 (** Events executed so far — for tests and sanity reporting. *)
+
+type pick = Deliver of int | Drop of int
+(** Arbiter verdict over the candidate frontier: deliver candidate
+    [i] now, or drop it (the message is lost, as if the wire ate
+    it). Indices refer to the [lanes] array the chooser was given. *)
+
+val set_arbiter :
+  ?horizon:Time.t -> t -> (lanes:int array -> pick) option -> unit
+(** Install (or remove, with [None]) a deterministic branch-point
+    hook. With an arbiter installed, whenever the earliest queued
+    event is tagged ([lane >= 0]) the engine collects the frontier —
+    every tagged, non-cancelled event within [horizon] (default 50us)
+    of it — sorts it by (time, seq) and asks the chooser which
+    candidate to deliver or drop. The chosen event executes at the
+    frontier-opening instant, so the clock never overtakes the
+    candidates put back in the queue; the rest (including all
+    untagged events in the window) are re-queued untouched and keep
+    their original order. With no arbiter installed the engine is
+    byte-identical to the plain time-ordered scheduler. The chooser
+    must be deterministic for replayable enumeration. *)
+
+val arbiter_dropped : t -> int
+(** Number of events discarded by arbiter [Drop] verdicts. *)
 
 val set_probe :
   t -> (now:Time.t -> processed:int -> pending:int -> unit) option -> unit

@@ -132,9 +132,12 @@ module Reader = struct
      least one byte, so a count beyond [remaining] is malformed. This
      bounds allocation before any [Array.init count] on adversarial
      frames. *)
+  (* [n < 0] catches a 9-byte varint whose top bits overflowed the
+     63-bit int into the sign — [>] alone would wave it through. *)
   let seq_len t =
     let n = varint t in
-    if n > remaining t then raise (Malformed "sequence count exceeds input");
+    if n < 0 || n > remaining t then
+      raise (Malformed "sequence count exceeds input");
     n
 end
 

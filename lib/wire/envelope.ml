@@ -50,3 +50,12 @@ let open_sub s ~pos ~len =
   (tag, Codec.Reader.of_substring s ~pos:(pos + header_bytes) ~len:blen)
 
 let open_ s = open_sub s ~pos:0 ~len:(String.length s)
+
+(* Open a frame that must carry a specific tag — for detached objects
+   (evidence records, snapshot headers) whose type is fixed by context
+   rather than dispatched on. Returns just the body reader. *)
+let open_expect ~tag s =
+  let got, r = open_ s in
+  if got <> tag then
+    raise (Codec.Malformed (Printf.sprintf "envelope: tag %d, expected %d" got tag));
+  r

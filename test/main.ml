@@ -17,6 +17,7 @@ let () =
       ("harness", Test_harness.suite);
       ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite);
+      ("mc", Test_mc.suite);
       ("extensions", Test_extensions.suite);
       ("edges", Test_edges.suite);
       ("adversarial", Test_adversarial.suite);

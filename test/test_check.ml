@@ -32,6 +32,15 @@ let test_injected_fork () =
   Alcotest.(check bool)
     "flagged as agreement/chain violation" true
     (List.exists is_safety r.Explorer.violations);
+  (* --inject-fork also forces a real equivocator into the plan; the
+     rescinding fork must surface signed evidence naming the injected
+     Byzantine set and nobody else *)
+  let byz = Plan.byzantine r.Explorer.plan in
+  Alcotest.(check bool)
+    "evidence names the injected equivocator set" true
+    (r.Explorer.accused <> []
+    && List.for_all (fun a -> List.mem a byz) r.Explorer.accused);
+  Alcotest.(check bool) "evidence collected" true (r.Explorer.evidence_count > 0);
   let shrunk = Explorer.shrink ~inject_fork:true ~budget_ms r.Explorer.plan in
   Alcotest.(check bool)
     "shrunk plan still fails" true
@@ -163,11 +172,27 @@ let flo_merge ~tamper () =
       (fun v -> Alcotest.failf "oracle violation: %a" Oracle.pp_violation v)
       (Oracle.Flo_merge.violations fm)
 
+(* Direct accountability drill: a single explicit equivocator, no
+   other faults, no planted bug. The fork rescinds, and the collected
+   wire-true evidence must name exactly node 1 — with every oracle
+   quiet (in particular no false accusation). *)
+let test_accountability () =
+  let plan =
+    { Plan.n = 4; f = 1; seed = 7; faults = [ Plan.Equivocate { node = 1 } ] }
+  in
+  let r = Explorer.run_plan ~budget_ms:1500 plan in
+  Alcotest.(check (list int)) "accused exactly [1]" [ 1 ] r.Explorer.accused;
+  Alcotest.(check bool) "evidence collected" true
+    (r.Explorer.evidence_count > 0);
+  Alcotest.(check int) "oracles quiet" 0 r.Explorer.total_violations
+
 let suite =
   [ Alcotest.test_case "explorer smoke (25 seeds, deterministic)" `Slow
       test_explorer_smoke;
     Alcotest.test_case "injected fork caught, shrunk, replayable" `Slow
       test_injected_fork;
+    Alcotest.test_case "equivocation yields exact evidence" `Quick
+      test_accountability;
     Alcotest.test_case "recovery path, n=4" `Quick (recovery_path 4);
     Alcotest.test_case "recovery path, n=7" `Slow (recovery_path 7);
     Alcotest.test_case "fault-free seeds: oracles quiet" `Slow

@@ -327,6 +327,17 @@ let flip s off =
   Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x41));
   Bytes.to_string b
 
+let test_overflowing_count_rejected () =
+  (* Regression: a 9-byte varint whose top bits overflow the 63-bit
+     int into the sign used to slip past [seq_len]'s upper-bound
+     guard and reach [Array.init] with a negative count. 88 bytes of
+     filler parse as a structurally plausible header; the \x80 run is
+     the overflowing transaction count. *)
+  let s = String.make 88 'a' ^ String.make 8 '\x80' ^ String.make 8 'a' in
+  match Serial.block_of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overflowed tx count decoded"
+
 let prop_bitflip_rejected =
   (* A flipped byte anywhere in the CRC-covered body must be caught;
      flips in the 6-byte envelope header must at minimum never raise
@@ -475,6 +486,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_msg_size_is_wire_length;
     QCheck_alcotest.to_alcotest prop_wal_record_roundtrip;
     QCheck_alcotest.to_alcotest prop_random_bytes_rejected;
+    Alcotest.test_case "overflowing sequence count rejected" `Quick
+      test_overflowing_count_rejected;
     QCheck_alcotest.to_alcotest prop_bitflip_rejected;
     QCheck_alcotest.to_alcotest prop_truncation_rejected;
     QCheck_alcotest.to_alcotest prop_wal_record_mutation;

@@ -2,24 +2,28 @@
 
    Two layers, both in this executable:
 
-   1. Bechamel micro-benchmarks — one [Test.make] per reproduced
-      table/figure. For Figure 5 these measure the *real* CPU cost of
-      this machine's hashing/signing (the calibration behind the
-      simulator's cost model); for the simulation figures each test
-      wraps a miniature deterministic run of that experiment's kernel,
-      so regressions in any experiment's machinery show up as timing
-      changes here.
+   1. Micro-benchmarks on Fl_prof.Bench — one kernel per reproduced
+      table/figure plus the substrate/codec hot paths. Each kernel is
+      measured in geometrically growing batches under a host-time
+      quota; ns/run comes from an OLS fit (per-batch overhead lands in
+      the intercept) and allocated words/run off the Gc counters.
+      `--json` writes one BENCH_<area>.json per area in the stable
+      fl-bench schema; `--check <baseline>` gates the current run
+      against committed baselines and exits non-zero on regression.
 
    2. The experiment harness (Fl_harness.Experiments) — regenerates
       every table and figure of the paper's evaluation as aligned
       text tables. `--full` runs the complete paper grid; default is
-      the quick grid.
+      the quick grid. Experiments are skipped when `--json` or
+      `--check` is given (CI bench runs) unless ids are named.
 
    Usage: dune exec bench/main.exe [-- --full] [-- --skip-micro]
-          dune exec bench/main.exe -- fig7          (one experiment) *)
+          dune exec bench/main.exe -- fig7          (one experiment)
+          dune exec bench/main.exe -- --json --smoke --out bench-out
+          dune exec bench/main.exe -- --smoke --check bench/baselines *)
 
-open Bechamel
-open Toolkit
+module Bench = Fl_prof.Bench
+module Compare = Fl_prof.Compare
 
 (* ---------- micro kernels ---------- *)
 
@@ -55,6 +59,18 @@ let mini_geo () =
   Fl_flo.Cluster.start c;
   Fl_flo.Cluster.run ~until:(Fl_sim.Time.s 1) c
 
+let mini_crash () =
+  let config =
+    { (Fl_fireledger.Config.default ~n:4) with
+      Fl_fireledger.Config.batch_size = 10;
+      tx_size = 128 }
+  in
+  let c = Fl_flo.Cluster.create ~seed:1 ~config ~workers:1 () in
+  Fl_flo.Cluster.start c;
+  Fl_flo.Cluster.run ~until:(Fl_sim.Time.ms 50) c;
+  Fl_flo.Cluster.crash c 3;
+  Fl_flo.Cluster.run ~until:(Fl_sim.Time.ms 400) c
+
 let mini_hotstuff () =
   let hs = Fl_baselines.Hotstuff.create ~n:4 ~f:1 ~batch_size:10 ~tx_size:128 () in
   Fl_baselines.Hotstuff.start hs;
@@ -85,124 +101,318 @@ let codec_msg =
 
 let codec_msg_bytes = Fl_fireledger.Msg.encode codec_msg
 
-let micro_tests =
+let wal_record =
+  let txs = Array.init 100 (fun i -> Fl_chain.Tx.create ~id:i ~size:128) in
+  let block =
+    Fl_chain.Block.create ~round:7 ~proposer:0
+      ~prev_hash:Fl_chain.Block.genesis_hash txs
+  in
+  Fl_persist.Wal.Append { block; signature = String.make 32 's' }
+
+(* The explicit, ordered kernel registry: areas in fixed order, kernels
+   in fixed order within each area, so text and JSON output are
+   deterministic (no Hashtbl iteration order). *)
+let areas = [ "crypto"; "codec"; "substrate"; "kernels" ]
+
+let kernels : (string * string * (unit -> unit)) list =
   [ (* Figure 5 calibration: the real crypto kernels. *)
-    Test.make ~name:"fig5/sha256-4KiB"
-      (Staged.stage (fun () -> Fl_crypto.Sha256.digest payload_4k));
-    Test.make ~name:"fig5/sign-header"
-      (Staged.stage (fun () ->
-           Fl_crypto.Signature.sign registry ~signer:0 payload_4k));
-    Test.make ~name:"fig5/hmac-64B"
-      (Staged.stage (fun () ->
-           Fl_crypto.Sha256.hmac ~key:"k" "calibration-message-64-bytes...."));
-    (* Substrate kernels. *)
-    Test.make ~name:"substrate/event-queue-10k"
-      (Staged.stage (fun () ->
-           let e = Fl_sim.Engine.create () in
-           for i = 0 to 9_999 do
-             ignore (Fl_sim.Engine.schedule e ~delay:(i * 7 mod 1000) ignore)
-           done;
-           Fl_sim.Engine.run e));
-    Test.make ~name:"substrate/merkle-1k-leaves"
-      (Staged.stage
-         (let leaves = List.init 1000 string_of_int in
-          fun () -> Fl_crypto.Merkle.root leaves));
+    ( "crypto",
+      "fig5/sha256-4KiB",
+      fun () -> ignore (Fl_crypto.Sha256.digest payload_4k) );
+    ( "crypto",
+      "fig5/sign-header",
+      fun () -> ignore (Fl_crypto.Signature.sign registry ~signer:0 payload_4k)
+    );
+    ( "crypto",
+      "fig5/hmac-64B",
+      fun () ->
+        ignore
+          (Fl_crypto.Sha256.hmac ~key:"k" "calibration-message-64-bytes....")
+    );
     (* Codec kernels: encode/decode of a 100-tx block body frame and
        the per-dispatch channel-key builders. *)
-    Test.make ~name:"codec/encode-body-100tx"
-      (Staged.stage (fun () -> Fl_fireledger.Msg.encode codec_msg));
-    Test.make ~name:"codec/decode-body-100tx"
-      (Staged.stage (fun () -> Fl_fireledger.Msg.decode codec_msg_bytes));
-    Test.make ~name:"codec/ob-key-concat"
-      (Staged.stage (fun () ->
-           Fl_fireledger.Msg.ob_key ~era:3 ~round:12345 ~attempt:2));
-    Test.make ~name:"codec/ob-key-sprintf"
-      (Staged.stage (fun () -> Printf.sprintf "ob:%d:%d:%d" 3 12345 2));
+    ( "codec",
+      "codec/encode-body-100tx",
+      fun () -> ignore (Fl_fireledger.Msg.encode codec_msg) );
+    ( "codec",
+      "codec/decode-body-100tx",
+      fun () -> ignore (Fl_fireledger.Msg.decode codec_msg_bytes) );
+    ( "codec",
+      "codec/ob-key-concat",
+      fun () -> ignore (Fl_fireledger.Msg.ob_key ~era:3 ~round:12345 ~attempt:2)
+    );
+    ( "codec",
+      "codec/ob-key-sprintf",
+      fun () -> ignore (Printf.sprintf "ob:%d:%d:%d" 3 12345 2) );
+    (* Substrate kernels. *)
+    ( "substrate",
+      "substrate/event-queue-10k",
+      fun () ->
+        let e = Fl_sim.Engine.create () in
+        for i = 0 to 9_999 do
+          ignore (Fl_sim.Engine.schedule e ~delay:(i * 7 mod 1000) ignore)
+        done;
+        Fl_sim.Engine.run e );
+    ( "substrate",
+      "substrate/merkle-1k-leaves",
+      let leaves = List.init 1000 string_of_int in
+      fun () -> ignore (Fl_crypto.Merkle.root leaves) );
+    ( "substrate",
+      "substrate/wal-frame-append",
+      fun () ->
+        ignore (Fl_persist.Wal.frame (Fl_persist.Wal.encode_record wal_record))
+    );
     (* One miniature kernel per simulated table/figure. *)
-    Test.make ~name:"table1/fireledger-round-kernel"
-      (Staged.stage (mini_flo ~n:4 ~workers:1 ~batch:10 ~byzantine:false));
-    Test.make ~name:"fig6-7-8-9/single-dc-kernel"
-      (Staged.stage (mini_flo ~n:4 ~workers:2 ~batch:100 ~byzantine:false));
-    Test.make ~name:"fig10/large-cluster-kernel"
-      (Staged.stage (mini_flo ~n:13 ~workers:1 ~batch:10 ~byzantine:false));
-    Test.make ~name:"fig11/crash-kernel"
-      (Staged.stage (fun () ->
-           let config =
-             { (Fl_fireledger.Config.default ~n:4) with
-               Fl_fireledger.Config.batch_size = 10;
-               tx_size = 128 }
-           in
-           let c = Fl_flo.Cluster.create ~seed:1 ~config ~workers:1 () in
-           Fl_flo.Cluster.start c;
-           Fl_flo.Cluster.run ~until:(Fl_sim.Time.ms 50) c;
-           Fl_flo.Cluster.crash c 3;
-           Fl_flo.Cluster.run ~until:(Fl_sim.Time.ms 400) c));
-    Test.make ~name:"fig12/byzantine-kernel"
-      (Staged.stage (mini_flo ~n:4 ~workers:1 ~batch:10 ~byzantine:true));
-    Test.make ~name:"fig13-14-15/geo-kernel" (Staged.stage mini_geo);
-    Test.make ~name:"fig16/hotstuff-kernel" (Staged.stage mini_hotstuff);
-    Test.make ~name:"fig17/pbft-kernel" (Staged.stage mini_pbft) ]
+    ( "kernels",
+      "table1/fireledger-round-kernel",
+      mini_flo ~n:4 ~workers:1 ~batch:10 ~byzantine:false );
+    ( "kernels",
+      "fig6-7-8-9/single-dc-kernel",
+      mini_flo ~n:4 ~workers:2 ~batch:100 ~byzantine:false );
+    ( "kernels",
+      "fig10/large-cluster-kernel",
+      mini_flo ~n:13 ~workers:1 ~batch:10 ~byzantine:false );
+    ("kernels", "fig11/crash-kernel", mini_crash);
+    ( "kernels",
+      "fig12/byzantine-kernel",
+      mini_flo ~n:4 ~workers:1 ~batch:10 ~byzantine:true );
+    ("kernels", "fig13-14-15/geo-kernel", mini_geo);
+    ("kernels", "fig16/hotstuff-kernel", mini_hotstuff);
+    ("kernels", "fig17/pbft-kernel", mini_pbft) ]
 
-let run_micro () =
-  print_endline "== Bechamel micro-benchmarks (one kernel per artifact) ==";
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
-  in
+(* ---------- measurement and reporting ---------- *)
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let pretty_ns est =
+  if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+  else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+  else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+  else Printf.sprintf "%8.0f ns" est
+
+let measure_all ~quota ~handicaps =
+  List.map
+    (fun (area, name, fn) ->
+      let k = Bench.measure ~quota ~name ~area fn in
+      match List.assoc_opt name handicaps with
+      | Some factor ->
+          { k with Bench.k_ns_per_run = k.Bench.k_ns_per_run *. factor }
+      | None -> k)
+    kernels
+
+let print_micro measured =
+  print_endline "== micro-benchmarks (one kernel per artifact) ==";
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analysis = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] ->
-              let pretty =
-                if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
-                else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
-                else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
-                else Printf.sprintf "%8.0f ns" est
-              in
-              Printf.printf "  %-34s %s/run\n%!" name pretty
-          | _ -> Printf.printf "  %-34s (no estimate)\n%!" name)
-        analysis)
-    micro_tests;
-  (* Translate the measured hash throughput into the Figure 5 axis. *)
-  let t0 = Unix.gettimeofday () in
+    (fun area ->
+      Printf.printf "-- %s --\n" area;
+      List.iter
+        (fun k ->
+          if String.equal k.Bench.k_area area then
+            Printf.printf
+              "  %-34s %s/run  minor %10.1f w/run  major %8.1f w/run  (runs %d)\n"
+              k.Bench.k_name
+              (pretty_ns k.Bench.k_ns_per_run)
+              k.Bench.k_minor_words_per_run k.Bench.k_major_words_per_run
+              k.Bench.k_runs)
+        measured)
+    areas;
+  (* Translate the measured hash throughput into the Figure 5 axis —
+     monotonic clock, so NTP steps can't skew the calibration line. *)
   let iters = 2000 in
+  let t0 = Fl_prof.Clock.now_ns_int () in
   for _ = 1 to iters do
     ignore (Fl_crypto.Sha256.digest payload_4k)
   done;
   let ns_per_byte =
-    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (iters * 4096)
+    float_of_int (Fl_prof.Clock.now_ns_int () - t0)
+    /. float_of_int (iters * 4096)
   in
   Printf.printf
     "\n  measured SHA-256 throughput here: %.1f ns/byte (simulator's \
-     m5.xlarge model: %.1f ns/byte for the JVM stack)\n\n"
+     m5.xlarge model: %.1f ns/byte for the JVM stack)\n\n%!"
     ns_per_byte
     Fl_crypto.Cost_model.default.Fl_crypto.Cost_model.hash_ns_per_byte
+
+let files_of ~mode_name measured =
+  let host = Bench.host_fingerprint () in
+  let commit = git_commit () in
+  List.map
+    (fun area ->
+      { Bench.f_area = area;
+        f_host = host;
+        f_ocaml = Sys.ocaml_version;
+        f_commit = commit;
+        f_mode = mode_name;
+        f_kernels =
+          List.filter (fun k -> String.equal k.Bench.k_area area) measured })
+    areas
+
+let ensure_dir d =
+  if not (Sys.file_exists d) then Unix.mkdir d 0o755
+
+let write_json ~dir ~mode_name measured =
+  ensure_dir dir;
+  List.iter
+    (fun f ->
+      let path = Bench.write_file ~dir f in
+      Printf.printf "wrote %s (%d kernels)\n%!" path
+        (List.length f.Bench.f_kernels))
+    (files_of ~mode_name measured)
+
+(* A baseline path is either one fl-bench JSON file or a directory of
+   BENCH_*.json files; either way the kernels are pooled (Compare
+   matches by name, so areas don't collide). *)
+let load_baseline path =
+  let fail msg =
+    Printf.eprintf "bench: %s\n" msg;
+    exit 2
+  in
+  if not (Sys.file_exists path) then
+    fail (Printf.sprintf "no such baseline: %s" path);
+  let kernels =
+    if Sys.is_directory path then begin
+      let names =
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun fn ->
+               String.length fn > 6
+               && String.equal (String.sub fn 0 6) "BENCH_"
+               && Filename.check_suffix fn ".json")
+        |> List.sort compare
+      in
+      if names = [] then
+        fail (Printf.sprintf "no BENCH_*.json under %s" path);
+      List.concat_map
+        (fun fn ->
+          match Bench.read_file (Filename.concat path fn) with
+          | Ok f -> f.Bench.f_kernels
+          | Error e -> fail (Printf.sprintf "%s: %s" fn e))
+        names
+    end
+    else
+      match Bench.read_file path with
+      | Ok f -> f.Bench.f_kernels
+      | Error e -> fail (Printf.sprintf "%s: %s" path e)
+  in
+  { Bench.f_area = "all";
+    f_host = "baseline";
+    f_ocaml = "";
+    f_commit = "";
+    f_mode = "";
+    f_kernels = kernels }
+
+let run_check ~tolerance ~baseline_path measured =
+  let baseline = load_baseline baseline_path in
+  let current =
+    { Bench.f_area = "all";
+      f_host = Bench.host_fingerprint ();
+      f_ocaml = Sys.ocaml_version;
+      f_commit = git_commit ();
+      f_mode = "";
+      f_kernels = measured }
+  in
+  let report = Compare.check ~tolerance ~baseline ~current () in
+  print_string (Compare.render report);
+  Compare.passed report
 
 (* ---------- entry point ---------- *)
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let skip_micro = List.mem "--skip-micro" args in
-  let ids =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  let json = ref false in
+  let out_dir = ref "." in
+  let check_path = ref None in
+  let smoke = ref false in
+  let full = ref false in
+  let skip_micro = ref false in
+  let tol = ref Compare.default_tolerance in
+  let handicaps = ref [] in
+  let ids = ref [] in
+  let usage () =
+    prerr_endline
+      "usage: main.exe [--full|--smoke] [--skip-micro] [--json] [--out DIR]\n\
+      \                [--check BASELINE] [--tol R] [--handicap NAME:FACTOR]\n\
+      \                [experiment-id ...]";
+    exit 2
   in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--out" :: d :: rest ->
+        out_dir := d;
+        parse rest
+    | "--check" :: p :: rest ->
+        check_path := Some p;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--full" :: rest ->
+        full := true;
+        parse rest
+    | "--skip-micro" :: rest ->
+        skip_micro := true;
+        parse rest
+    | "--tol" :: r :: rest ->
+        tol := float_of_string r;
+        parse rest
+    | "--handicap" :: spec :: rest ->
+        (match String.index_opt spec ':' with
+        | Some i ->
+            let name = String.sub spec 0 i in
+            let factor =
+              float_of_string
+                (String.sub spec (i + 1) (String.length spec - i - 1))
+            in
+            handicaps := (name, factor) :: !handicaps
+        | None -> usage ());
+        parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+        Printf.eprintf "unknown flag %s\n" a;
+        usage ()
+    | id :: rest ->
+        ids := !ids @ [ id ];
+        parse rest
+  in
+  parse (Array.to_list Sys.argv |> List.tl);
+  let quota, mode_name =
+    if !smoke then (Bench.smoke_quota, "smoke")
+    else if !full then (Bench.full_quota, "full")
+    else (Bench.default_quota, "default")
+  in
+  (* Micro measurements feed three consumers: the text report, the
+     JSON files and the baseline check. *)
+  let need_micro = (not !skip_micro) || !json || !check_path <> None in
+  let measured =
+    if need_micro then measure_all ~quota ~handicaps:!handicaps else []
+  in
+  if not !skip_micro then print_micro measured;
+  if !json then write_json ~dir:!out_dir ~mode_name measured;
+  let check_ok =
+    match !check_path with
+    | None -> true
+    | Some p -> run_check ~tolerance:!tol ~baseline_path:p measured
+  in
+  (* `--json` / `--check` invocations are CI bench runs: skip the (much
+     slower) experiment grid unless ids are named explicitly. *)
   let mode =
-    if full then Fl_harness.Experiments.Full else Fl_harness.Experiments.Quick
+    if !full then Fl_harness.Experiments.Full else Fl_harness.Experiments.Quick
   in
-  if not skip_micro then run_micro ();
-  match ids with
-  | [] -> Fl_harness.Experiments.run_all mode
+  (match !ids with
+  | [] ->
+      if (not !json) && !check_path = None then
+        Fl_harness.Experiments.run_all mode
   | ids ->
       List.iter
         (fun id ->
           if not (Fl_harness.Experiments.run_by_id id mode) then
             Printf.eprintf "unknown experiment %S\n" id)
-        ids
+        ids);
+  if not check_ok then exit 1

@@ -215,6 +215,78 @@ let plan_cmd =
         (const run $ plan_str $ budget_ms $ capacity_term $ out_term
         $ filt_term $ no_timeline_term))
 
+(* ---------- fl_trace prof ---------- *)
+
+let prof_cmd =
+  let open Arg in
+  let n = value & opt int 4 & info [ "n" ] ~doc:"Cluster size." in
+  let w = value & opt int 2 & info [ "w"; "workers" ] ~doc:"FLO workers." in
+  let batch = value & opt int 100 & info [ "b"; "batch" ] ~doc:"Block size (txs)." in
+  let sigma = value & opt int 128 & info [ "s"; "tx-size" ] ~doc:"Tx size (bytes)." in
+  let seconds = value & opt float 1.0 & info [ "t"; "seconds" ] ~doc:"Measured seconds (simulated)." in
+  let seed = value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed." in
+  let geo = value & flag & info [ "geo" ] ~doc:"Geo-distributed latency matrix." in
+  let persist =
+    value
+    & opt (some string) None
+    & info [ "persist" ] ~docv:"POLICY"
+        ~doc:
+          "Give every node a durability layer (e.g. group_commit, \
+           ssd/every_block) so WAL framing shows up in the profile."
+  in
+  let run n w batch sigma seconds seed geo persist =
+    let open Fl_harness.Settings in
+    let s =
+      { (flo ~n ~workers:w ~batch ~tx_size:sigma) with
+        net = (if geo then Geo else Single_dc);
+        duration = Fl_sim.Time.of_float_s seconds;
+        seed;
+        persist = Option.map persist_of_string persist }
+    in
+    (* Build outside the profiled window: construction cost is not
+       simulation cost. *)
+    let cluster = build_flo s in
+    reset_run_stats ();
+    Fl_prof.Prof.enable ();
+    let t0 = Fl_prof.Clock.now_ns_int () in
+    let r = run_cluster s cluster in
+    let wall_ns = Fl_prof.Clock.now_ns_int () - t0 in
+    Fl_prof.Prof.disable ();
+    Printf.printf "tps %.0f  lat p50 %.2f ms  p99 %.2f ms\n\n" r.tps
+      r.lat_p50_ms r.lat_p99_ms;
+    let stats =
+      List.sort
+        (fun a b -> compare b.Fl_prof.Prof.p_self_ns a.Fl_prof.Prof.p_self_ns)
+        (Fl_prof.Prof.stats ())
+    in
+    let wall_ms = float_of_int wall_ns /. 1e6 in
+    Printf.printf "host-time attribution (%.1f ms wall inside the run):\n"
+      wall_ms;
+    Printf.printf "  %-14s %12s %8s %12s\n" "subsystem" "self-ms" "%" "calls";
+    List.iter
+      (fun st ->
+        let self_ms = float_of_int st.Fl_prof.Prof.p_self_ns /. 1e6 in
+        Printf.printf "  %-14s %12.2f %7.1f%% %12d\n" st.Fl_prof.Prof.p_name
+          self_ms
+          (100.0 *. self_ms /. wall_ms)
+          st.Fl_prof.Prof.p_calls)
+      stats;
+    let attributed = Fl_prof.Prof.attributed_ns () in
+    Printf.printf "  %-14s %12.2f %7.1f%%\n" "(attributed)"
+      (float_of_int attributed /. 1e6)
+      (100.0 *. float_of_int attributed /. float_of_int wall_ns);
+    (match sim_rate_line (run_stats ()) with
+    | Some line -> Printf.printf "\n%s\n" line
+    | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Self-profile a FLO run: attribute host wall time to simulator \
+          subsystems (engine dispatch, codec, SHA-256, WAL, obs).")
+    Term.(
+      const run $ n $ w $ batch $ sigma $ seconds $ seed $ geo $ persist)
+
 let () =
   let info =
     Cmd.info "fl_trace" ~version:"1.0.0"
@@ -222,4 +294,4 @@ let () =
         "Capture a FireLedger run as Perfetto/JSONL/Prometheus artifacts \
          with per-round terminal timelines."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; experiment_cmd; plan_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; experiment_cmd; plan_cmd; prof_cmd ]))

@@ -130,17 +130,37 @@ let finalize t =
   put 4 t.h4; put 5 t.h5; put 6 t.h6; put 7 t.h7;
   Bytes.unsafe_to_string out
 
-let digest s =
+let digest_impl s =
   let t = init () in
   feed_string t s;
   finalize t
 
-let digest_bytes b =
+(* Self-profiling bracket (Fl_prof): pure, observe-only, one
+   load-and-branch when profiling is off. *)
+let digest s =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.sha256;
+    let r = digest_impl s in
+    Fl_prof.Prof.leave ();
+    r
+  end
+  else digest_impl s
+
+let digest_bytes_impl b =
   let t = init () in
   feed_bytes t b;
   finalize t
 
-let hmac ~key msg =
+let digest_bytes b =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.sha256;
+    let r = digest_bytes_impl b in
+    Fl_prof.Prof.leave ();
+    r
+  end
+  else digest_bytes_impl b
+
+let hmac_impl ~key msg =
   let block_size = 64 in
   let key = if String.length key > block_size then digest key else key in
   let ipad = Bytes.make block_size '\x36' in
@@ -157,3 +177,12 @@ let hmac ~key msg =
   feed_bytes outer opad;
   feed_string outer (finalize inner);
   finalize outer
+
+let hmac ~key msg =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.sha256;
+    let r = hmac_impl ~key msg in
+    Fl_prof.Prof.leave ();
+    r
+  end
+  else hmac_impl ~key msg

@@ -629,10 +629,31 @@ let all =
     ("restart_durable", "Durable restarts: WAL sync-policy sweep",
      restart_durable) ]
 
+(* Host-time footer: wall clock (monotonic, via Fl_prof) plus the
+   sim-rate delta accumulated by the Settings drivers this experiment
+   called. *)
+let sim_rate_delta before =
+  let a = Settings.run_stats () in
+  Settings.
+    { rs_host_ns = a.rs_host_ns - before.rs_host_ns;
+      rs_sim_ns = a.rs_sim_ns - before.rs_sim_ns;
+      rs_events = a.rs_events - before.rs_events;
+      rs_runs = a.rs_runs - before.rs_runs }
+
+let timed id run mode =
+  let t0 = Fl_prof.Clock.now_ns_int () in
+  let stats0 = Settings.run_stats () in
+  run mode;
+  let wall_s = float_of_int (Fl_prof.Clock.now_ns_int () - t0) /. 1e9 in
+  match Settings.sim_rate_line (sim_rate_delta stats0) with
+  | Some line ->
+      Printf.printf "(%s finished in %.1fs wall; %s)\n%!" id wall_s line
+  | None -> Printf.printf "(%s finished in %.1fs wall)\n%!" id wall_s
+
 let run_by_id id mode =
   match List.find_opt (fun (i, _, _) -> String.equal i id) all with
   | Some (_, _, run) ->
-      run mode;
+      timed id run mode;
       true
   | None -> false
 
@@ -640,8 +661,5 @@ let run_all mode =
   List.iter
     (fun (id, desc, run) ->
       Printf.printf "\n###### %s — %s ######\n%!" id desc;
-      let t0 = Unix.gettimeofday () in
-      run mode;
-      Printf.printf "(%s finished in %.1fs wall)\n%!" id
-        (Unix.gettimeofday () -. t0))
+      timed id run mode)
     all

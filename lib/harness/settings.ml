@@ -117,6 +117,51 @@ type result = {
 let default_obs : Fl_obs.Obs.t option ref = ref None
 let set_default_obs o = default_obs := o
 
+(* ---------- sim-rate accounting ----------
+
+   Every driver below funnels its simulation through [account], which
+   adds the run's host wall time (monotonic clock), simulated-time
+   advance and executed event count to a process-wide accumulator.
+   [Experiments] reads deltas of this to print a per-experiment
+   sim-rate (simulated-ms per host-ms, events/s) line; [fl_trace prof]
+   reads it for the self-profile header. *)
+
+type run_stats = {
+  rs_host_ns : int;
+  rs_sim_ns : int;
+  rs_events : int;
+  rs_runs : int;
+}
+
+let zero_stats = { rs_host_ns = 0; rs_sim_ns = 0; rs_events = 0; rs_runs = 0 }
+let stats = ref zero_stats
+
+let run_stats () = !stats
+let reset_run_stats () = stats := zero_stats
+
+let account ~engine f =
+  let t0 = Fl_prof.Clock.now_ns_int () in
+  let sim0 = Engine.now engine and ev0 = Engine.processed engine in
+  let r = f () in
+  let s = !stats in
+  stats :=
+    { rs_host_ns = s.rs_host_ns + (Fl_prof.Clock.now_ns_int () - t0);
+      rs_sim_ns = s.rs_sim_ns + (Engine.now engine - sim0);
+      rs_events = s.rs_events + (Engine.processed engine - ev0);
+      rs_runs = s.rs_runs + 1 };
+  r
+
+let sim_rate_line delta =
+  if delta.rs_host_ns <= 0 then None
+  else
+    let host_ms = float_of_int delta.rs_host_ns /. 1e6 in
+    Some
+      (Printf.sprintf
+         "sim-rate %.2f sim-ms/host-ms, %.2fM events/s over %d runs"
+         (float_of_int delta.rs_sim_ns /. float_of_int delta.rs_host_ns)
+         (float_of_int delta.rs_events /. host_ms /. 1e3)
+         delta.rs_runs)
+
 let effective_obs s =
   match s.obs with Some _ as o -> o | None -> !default_obs
 
@@ -246,8 +291,9 @@ let build_flo s =
   cluster
 
 let run_cluster s cluster =
-  Fl_flo.Cluster.start cluster;
-  Fl_flo.Cluster.run ~until:(s.warmup + s.duration) cluster;
+  account ~engine:cluster.Fl_flo.Cluster.engine (fun () ->
+      Fl_flo.Cluster.start cluster;
+      Fl_flo.Cluster.run ~until:(s.warmup + s.duration) cluster);
   let r =
     distil ~n:s.n ~recorder:cluster.Fl_flo.Cluster.recorder
       ~cpus:cluster.Fl_flo.Cluster.cpus ~nets:cluster.Fl_flo.Cluster.nets
@@ -312,8 +358,9 @@ let run_hotstuff s =
   in
   Fl_metrics.Recorder.set_window hs.Fl_baselines.Hotstuff.recorder
     ~start:s.b_warmup ~stop:(s.b_warmup + s.b_duration);
-  Fl_baselines.Hotstuff.start hs;
-  Fl_baselines.Hotstuff.run ~until:(s.b_warmup + s.b_duration) hs;
+  account ~engine:hs.Fl_baselines.Hotstuff.engine (fun () ->
+      Fl_baselines.Hotstuff.start hs;
+      Fl_baselines.Hotstuff.run ~until:(s.b_warmup + s.b_duration) hs);
   distil ~n:s.b_n ~recorder:hs.Fl_baselines.Hotstuff.recorder ~cpus:[||]
     ~nets:[||] ~engine:hs.Fl_baselines.Hotstuff.engine
 
@@ -327,7 +374,8 @@ let run_pbft s =
   in
   Fl_metrics.Recorder.set_window pb.Fl_baselines.Pbft_cluster.recorder
     ~start:s.b_warmup ~stop:(s.b_warmup + s.b_duration);
-  Fl_baselines.Pbft_cluster.start pb;
-  Fl_baselines.Pbft_cluster.run ~until:(s.b_warmup + s.b_duration) pb;
+  account ~engine:pb.Fl_baselines.Pbft_cluster.engine (fun () ->
+      Fl_baselines.Pbft_cluster.start pb;
+      Fl_baselines.Pbft_cluster.run ~until:(s.b_warmup + s.b_duration) pb);
   distil ~n:s.b_n ~recorder:pb.Fl_baselines.Pbft_cluster.recorder ~cpus:[||]
     ~nets:[||] ~engine:pb.Fl_baselines.Pbft_cluster.engine

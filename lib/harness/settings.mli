@@ -97,7 +97,34 @@ val set_default_obs : Fl_obs.Obs.t option -> unit
     own [obs] is [None] — how [fl_trace] captures experiment drivers
     that build their settings internally. Pass [None] to clear. *)
 
+type run_stats = {
+  rs_host_ns : int;  (** monotonic host wall time spent simulating *)
+  rs_sim_ns : int;  (** simulated time advanced *)
+  rs_events : int;  (** engine events executed *)
+  rs_runs : int;
+}
+
+val run_stats : unit -> run_stats
+(** Process-wide accumulator over every [run_flo] / [run_hotstuff] /
+    [run_pbft] call — read a delta around an experiment to derive its
+    sim-rate (simulated-ms per host-ms, events/s). *)
+
+val reset_run_stats : unit -> unit
+
+val sim_rate_line : run_stats -> string option
+(** Render a stats delta as ["sim-rate X sim-ms/host-ms, ..."];
+    [None] when the delta carries no host time. *)
+
 val run_flo : flo_setting -> result
+
+val build_flo : flo_setting -> Fl_flo.Cluster.t
+(** The construction half of [run_flo]: build the cluster (with fault
+    schedule installed) without running it — for drivers that need a
+    hook between build and run, like [fl_trace prof] enabling the
+    self-profiler only around the simulation itself. *)
+
+val run_cluster : flo_setting -> Fl_flo.Cluster.t -> result
+(** The other half: start, run to [warmup + duration], distil. *)
 
 val latency_cdf : flo_setting -> points:int -> (float * float) list
 (** Run and return the end-to-end latency CDF [(ms, fraction)] —

@@ -32,11 +32,22 @@ let create ?(capacity = 1_000_000) () =
 
 let enabled = function Some _ -> true | None -> false
 
-let push t ~cat ~name ~node ~worker ~round ~kind ~args =
+let push_impl t ~cat ~name ~node ~worker ~round ~kind ~args =
   let ev = { seq = t.total; cat; name; node; worker; round; kind; args } in
   Queue.push ev t.buffer;
   t.total <- t.total + 1;
   if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+
+(* Self-profiling bracket (Fl_prof): the observer observes itself —
+   sink pushes are host-time the simulator pays only when a sink is
+   installed, and the perf observatory should say how much. *)
+let push t ~cat ~name ~node ~worker ~round ~kind ~args =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.obs;
+    push_impl t ~cat ~name ~node ~worker ~round ~kind ~args;
+    Fl_prof.Prof.leave ()
+  end
+  else push_impl t ~cat ~name ~node ~worker ~round ~kind ~args
 
 let span t ~cat ~name ?(node = -1) ?(worker = -1) ?(round = -1) ?(args = [])
     ~t_begin ~t_end () =

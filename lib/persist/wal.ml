@@ -112,10 +112,22 @@ let create ~segment_bytes =
     appends = 0;
     truncated_segments = 0 }
 
+(* Self-profiling bracket (Fl_prof): record encode + length framing —
+   the WAL's share of host time, with the nested envelope seal
+   re-attributed to codec_encode by the frame stack. *)
+let build_frame record =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.wal;
+    let fr = frame (encode_record record) in
+    Fl_prof.Prof.leave ();
+    fr
+  end
+  else frame (encode_record record)
+
 (* Append one record; returns the framed byte count (the disk write
    the caller must account for). *)
 let append t record =
-  let fr = frame (encode_record record) in
+  let fr = build_frame record in
   let seg = t.active in
   seg.frames <- fr :: seg.frames;
   seg.bytes <- seg.bytes + String.length fr;
@@ -227,7 +239,7 @@ type replay = {
 (* Parse a media byte image into its valid record prefix. Stops (and
    flags [torn]) at the first length underflow, CRC mismatch or
    undecodable record — everything after a torn frame is garbage. *)
-let replay_media media =
+let replay_media_impl media =
   let len = String.length media in
   let pos = ref 0 in
   let records = ref [] in
@@ -266,3 +278,14 @@ let replay_media media =
     end
   done;
   { records = List.rev !records; torn = !torn }
+
+(* Self-profiling bracket: replay parsing is total (never raises), so
+   a plain leave suffices. *)
+let replay_media media =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.wal;
+    let r = replay_media_impl media in
+    Fl_prof.Prof.leave ();
+    r
+  end
+  else replay_media_impl media

@@ -1,0 +1,12 @@
+(* Monotonic host clock (CLOCK_MONOTONIC via a C stub). All host-time
+   measurement in the repo — bench batches, the self-profiler, the
+   harness sim-rate accounting — reads this one clock, so numbers are
+   comparable and immune to wall-clock steps. *)
+
+external now_ns : unit -> (int64[@unboxed])
+  = "fl_prof_clock_ns_byte" "fl_prof_clock_ns_unboxed"
+[@@noalloc]
+
+let now_ns_int () = Int64.to_int (now_ns ())
+
+let ms_of_ns ns = float_of_int ns /. 1e6

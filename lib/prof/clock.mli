@@ -1,0 +1,14 @@
+(** Monotonic host clock.
+
+    [now_ns] reads CLOCK_MONOTONIC — immune to NTP steps and
+    wall-clock adjustments — and allocates nothing, so it is safe to
+    call from allocation-measuring code. *)
+
+val now_ns : unit -> int64
+
+val now_ns_int : unit -> int
+(** [now_ns] narrowed to a native int (63-bit: good for ~292 years of
+    uptime) — the convenient form for arithmetic against
+    {!Fl_sim.Time.t}-style nanosecond ints. *)
+
+val ms_of_ns : int -> float

@@ -1,0 +1,128 @@
+(* Baseline comparison: the regression gate behind
+   `bench/main.exe --check`.
+
+   Per-kernel relative tolerance on ns/run. Cross-machine runs are the
+   common case (a committed baseline checked on a CI runner), so the
+   default tolerance is generous — 4x — while still catching the
+   order-of-magnitude regressions that matter (an injected 10x
+   slowdown always fails). Explicit verdicts for kernels that appear
+   or disappear: a removed kernel fails the gate (silently dropping a
+   measurement is how trajectories rot), a new kernel passes with a
+   notice. A zero-ns baseline can't anchor a ratio and is flagged
+   incomparable rather than dividing by zero. *)
+
+type verdict =
+  | Within of float  (* ratio current/baseline, inside tolerance *)
+  | Slower of float  (* ratio above tolerance: the gate fails *)
+  | New_kernel  (* in current only: pass with notice *)
+  | Removed_kernel  (* in baseline only: fail *)
+  | Incomparable  (* zero/invalid baseline ns: guarded, pass *)
+
+type entry = {
+  e_area : string;
+  e_name : string;
+  e_baseline_ns : float option;
+  e_current_ns : float option;
+  e_verdict : verdict;
+}
+
+type report = { entries : entry list; failures : int }
+
+let default_tolerance = 4.0
+
+let min_anchor_ns = 1e-3
+(* below this a baseline carries no timing signal *)
+
+let check ?(tolerance = default_tolerance) ~baseline ~current () =
+  if tolerance <= 1.0 then invalid_arg "Compare.check: tolerance";
+  let entry_of (b : Bench.kernel) =
+    match
+      List.find_opt
+        (fun (c : Bench.kernel) -> c.Bench.k_name = b.Bench.k_name)
+        current.Bench.f_kernels
+    with
+    | None ->
+        { e_area = b.Bench.k_area;
+          e_name = b.Bench.k_name;
+          e_baseline_ns = Some b.Bench.k_ns_per_run;
+          e_current_ns = None;
+          e_verdict = Removed_kernel }
+    | Some c ->
+        let verdict =
+          if b.Bench.k_ns_per_run < min_anchor_ns then Incomparable
+          else
+            let ratio = c.Bench.k_ns_per_run /. b.Bench.k_ns_per_run in
+            if ratio > tolerance then Slower ratio else Within ratio
+        in
+        { e_area = b.Bench.k_area;
+          e_name = b.Bench.k_name;
+          e_baseline_ns = Some b.Bench.k_ns_per_run;
+          e_current_ns = Some c.Bench.k_ns_per_run;
+          e_verdict = verdict }
+  in
+  let from_baseline = List.map entry_of baseline.Bench.f_kernels in
+  let new_entries =
+    List.filter_map
+      (fun (c : Bench.kernel) ->
+        if
+          List.exists
+            (fun (b : Bench.kernel) -> b.Bench.k_name = c.Bench.k_name)
+            baseline.Bench.f_kernels
+        then None
+        else
+          Some
+            { e_area = c.Bench.k_area;
+              e_name = c.Bench.k_name;
+              e_baseline_ns = None;
+              e_current_ns = Some c.Bench.k_ns_per_run;
+              e_verdict = New_kernel })
+      current.Bench.f_kernels
+  in
+  let entries = from_baseline @ new_entries in
+  let failures =
+    List.length
+      (List.filter
+         (fun e ->
+           match e.e_verdict with
+           | Slower _ | Removed_kernel -> true
+           | Within _ | New_kernel | Incomparable -> false)
+         entries)
+  in
+  { entries; failures }
+
+let passed r = r.failures = 0
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else Printf.sprintf "%8.0f ns" ns
+
+let render r =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun e ->
+      let id = Printf.sprintf "%s/%s" e.e_area e.e_name in
+      match e.e_verdict with
+      | Within ratio ->
+          line "  ok       %-36s %s -> %s  (%.2fx)" id
+            (pretty_ns (Option.get e.e_baseline_ns))
+            (pretty_ns (Option.get e.e_current_ns))
+            ratio
+      | Slower ratio ->
+          line "  SLOWER   %-36s %s -> %s  (%.2fx, over tolerance)" id
+            (pretty_ns (Option.get e.e_baseline_ns))
+            (pretty_ns (Option.get e.e_current_ns))
+            ratio
+      | New_kernel ->
+          line "  new      %-36s %s (no baseline yet)" id
+            (pretty_ns (Option.get e.e_current_ns))
+      | Removed_kernel ->
+          line "  REMOVED  %-36s was %s, missing from current run" id
+            (pretty_ns (Option.get e.e_baseline_ns))
+      | Incomparable ->
+          line "  n/a      %-36s baseline ns too small to anchor a ratio" id)
+    r.entries;
+  line "  %d kernels, %d failing" (List.length r.entries) r.failures;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Baseline comparison — the regression gate behind
+    [bench/main.exe --check].
+
+    Relative per-kernel tolerance on ns/run, with explicit verdicts
+    for kernels that appear or vanish between baseline and current:
+    slower-than-tolerance and removed kernels fail the gate; new
+    kernels pass with a notice; a near-zero baseline is flagged
+    incomparable instead of anchoring a division by zero. *)
+
+type verdict =
+  | Within of float  (** ratio current/baseline, inside tolerance *)
+  | Slower of float  (** over tolerance — fails *)
+  | New_kernel  (** in current only — passes with a notice *)
+  | Removed_kernel  (** in baseline only — fails *)
+  | Incomparable  (** baseline ns below the anchor floor — passes *)
+
+type entry = {
+  e_area : string;
+  e_name : string;
+  e_baseline_ns : float option;
+  e_current_ns : float option;
+  e_verdict : verdict;
+}
+
+type report = { entries : entry list; failures : int }
+
+val default_tolerance : float
+(** 4.0 — generous enough for cross-machine noise, strict enough that
+    an injected 10x slowdown always fails. *)
+
+val check :
+  ?tolerance:float ->
+  baseline:Bench.file ->
+  current:Bench.file ->
+  unit ->
+  report
+(** Kernels are matched by name. Raises [Invalid_argument] on a
+    tolerance <= 1.0. *)
+
+val passed : report -> bool
+
+val render : report -> string
+(** Aligned per-kernel verdict lines plus a summary, deterministic
+    order (baseline order, then new kernels). *)

@@ -1,0 +1,25 @@
+/* Monotonic host clock for the perf observatory.
+
+   CLOCK_MONOTONIC, so NTP steps and wall-clock adjustments cannot skew
+   a measurement (the failure mode of Unix.gettimeofday-based timing).
+   The unboxed variant is [@@noalloc]: reading the clock from the
+   self-profiler's hot path must not itself allocate, or the profiler
+   would perturb the Gc-words-per-run numbers it sits next to. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t fl_prof_clock_ns_unboxed(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value fl_prof_clock_ns_byte(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(fl_prof_clock_ns_unboxed());
+}

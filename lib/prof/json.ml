@@ -1,0 +1,241 @@
+(* Minimal JSON, just enough for the BENCH_<area>.json schema: no
+   external dependency, deterministic output (fields in the order
+   given), and a recursive-descent parser that reports the offset of
+   the first error. Numbers are floats; strings must be ASCII-clean
+   apart from the standard escapes (all the schema ever emits). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then
+    (* %.17g survives a decode round-trip exactly. *)
+    Printf.sprintf "%.17g" f
+  else "0"
+
+let rec write ?(indent = 0) buf v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (num_to_string f)
+  | Str s -> escape buf s
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr xs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          write ~indent:(indent + 2) buf x)
+        xs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          escape buf k;
+          Buffer.add_string buf ": ";
+          write ~indent:(indent + 2) buf x)
+        fields;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  write buf v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse of int * string
+
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (!pos, msg)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if
+      !pos + String.length word <= len
+      && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= len then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char buf '"'; go ()
+          | '\\' -> Buffer.add_char buf '\\'; go ()
+          | '/' -> Buffer.add_char buf '/'; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'u' ->
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* Non-ASCII code points never appear in the schema;
+                 keep a lossy but total fallback. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_char buf '?';
+              go ()
+          | _ -> fail "bad escape")
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing bytes";
+    v
+  with
+  | v -> Ok v
+  | exception Parse (at, msg) ->
+      Error (Printf.sprintf "JSON error at offset %d: %s" at msg)
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_arr = function Arr xs -> Some xs | _ -> None

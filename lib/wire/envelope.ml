@@ -14,7 +14,7 @@ let version = 1
 let header_bytes = 6
 let max_tag = 0xff
 
-let seal ~tag write =
+let seal_impl ~tag write =
   if tag < 0 || tag > max_tag then invalid_arg "Envelope.seal: tag";
   Pool.with_writer (fun w ->
       write w;
@@ -31,11 +31,28 @@ let seal ~tag write =
       Bytes.blit_string body 0 out header_bytes n;
       Bytes.unsafe_to_string out)
 
+(* Self-profiling bracket (Fl_prof): every wire message and durable
+   record is encoded through here, so this one site attributes the
+   whole encode path. Exception-safe: seal re-raises after closing
+   its frame. *)
+let seal ~tag write =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.codec_encode;
+    match seal_impl ~tag write with
+    | r ->
+        Fl_prof.Prof.leave ();
+        r
+    | exception e ->
+        Fl_prof.Prof.leave ();
+        raise e
+  end
+  else seal_impl ~tag write
+
 (* Open a sealed frame living at [pos, pos+len) of [s] — zero-copy:
    the returned reader is a window over [s]. Raises
    {!Codec.Malformed} on version/CRC mismatch and
    {!Codec.Reader.Underflow} on a frame too short for its header. *)
-let open_sub s ~pos ~len =
+let open_sub_impl s ~pos ~len =
   if pos < 0 || len < 0 || len > String.length s - pos then
     raise Codec.Reader.Underflow;
   if len < header_bytes then raise Codec.Reader.Underflow;
@@ -48,6 +65,23 @@ let open_sub s ~pos ~len =
   if Crc32.digest_int_sub s ~pos:(pos + header_bytes) ~len:blen <> crc then
     raise (Codec.Malformed "envelope: checksum mismatch");
   (tag, Codec.Reader.of_substring s ~pos:(pos + header_bytes) ~len:blen)
+
+(* Self-profiling bracket: header check + CRC of the body — the fixed
+   per-frame decode cost. The body parse that follows is attributed by
+   {!Msg_codec.decode_frame}'s enclosing frame. Underflow/Malformed
+   are expected control flow here; re-raise after closing. *)
+let open_sub s ~pos ~len =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.codec_decode;
+    match open_sub_impl s ~pos ~len with
+    | r ->
+        Fl_prof.Prof.leave ();
+        r
+    | exception e ->
+        Fl_prof.Prof.leave ();
+        raise e
+  end
+  else open_sub_impl s ~pos ~len
 
 let open_ s = open_sub s ~pos:0 ~len:(String.length s)
 

@@ -21,7 +21,7 @@ end
    reader] parses one message class; the whole body must be consumed
    (trailing bytes are malformed — they would be invisible to the
    protocol yet still charged to the NIC). *)
-let decode_frame read s =
+let decode_frame_impl read s =
   match
     let tag, r = Envelope.open_ s in
     let m = read tag r in
@@ -31,3 +31,15 @@ let decode_frame read s =
   with
   | m -> Some m
   | exception (Codec.Reader.Underflow | Codec.Malformed _) -> None
+
+(* Self-profiling bracket (Fl_prof): the whole frame decode — envelope
+   open (a nested frame of the same subsystem) plus body parse. Total
+   by construction, so a plain leave suffices. *)
+let decode_frame read s =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.codec_decode;
+    let r = decode_frame_impl read s in
+    Fl_prof.Prof.leave ();
+    r
+  end
+  else decode_frame_impl read s

@@ -24,4 +24,5 @@ let () =
       ("app", Test_app.suite);
       ("persist", Test_persist.suite);
       ("resilience", Test_resilience.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("prof", Test_prof.suite) ]

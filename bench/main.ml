@@ -109,10 +109,27 @@ let wal_record =
   in
   Fl_persist.Wal.Append { block; signature = String.make 32 's' }
 
+(* Traffic-tier hot paths: the Zipfian account draw sits on every
+   generated transaction; admit-with-eviction is the mempool's
+   overload steady state (full pool, every arrival displaces or is
+   rejected). *)
+let load_zipf = Fl_load.Zipf.create ~n:1_000_000 ~s:1.01
+
+let load_rng = Fl_sim.Rng.create 42
+
+let load_pool =
+  let pool = Fl_chain.Mempool.create ~capacity:1024 () in
+  for i = 0 to 1023 do
+    ignore (Fl_chain.Mempool.submit pool (Fl_chain.Tx.create ~id:i ~size:128))
+  done;
+  pool
+
+let load_seq = ref 1024
+
 (* The explicit, ordered kernel registry: areas in fixed order, kernels
    in fixed order within each area, so text and JSON output are
    deterministic (no Hashtbl iteration order). *)
-let areas = [ "crypto"; "codec"; "substrate"; "kernels" ]
+let areas = [ "crypto"; "codec"; "substrate"; "kernels"; "load" ]
 
 let kernels : (string * string * (unit -> unit)) list =
   [ (* Figure 5 calibration: the real crypto kernels. *)
@@ -178,7 +195,30 @@ let kernels : (string * string * (unit -> unit)) list =
       mini_flo ~n:4 ~workers:1 ~batch:10 ~byzantine:true );
     ("kernels", "fig13-14-15/geo-kernel", mini_geo);
     ("kernels", "fig16/hotstuff-kernel", mini_hotstuff);
-    ("kernels", "fig17/pbft-kernel", mini_pbft) ]
+    ("kernels", "fig17/pbft-kernel", mini_pbft);
+    (* Traffic tier: per-transaction cost of the open-loop source's
+       account draw, and of fee-priority admission into a full pool
+       (each run either evicts the cheapest resident or is rejected —
+       the overload path the saturation experiment lives on). *)
+    ( "load",
+      "load/zipf-draw-1M-accounts",
+      fun () -> ignore (Fl_load.Zipf.draw load_zipf load_rng) );
+    ( "load",
+      "load/mempool-admit-evict-full",
+      fun () ->
+        (* full pool of fee-0 residents: the fee-1 arrival evicts one,
+           the priority drain pops it back out, the zero-fee refill
+           restores steady state — every run takes the eviction path *)
+        let id = !load_seq in
+        incr load_seq;
+        ignore
+          (Fl_chain.Mempool.admit load_pool
+             (Fl_chain.Tx.create ~id ~size:128)
+             ~fee:1);
+        ignore (Fl_chain.Mempool.take_batch load_pool ~max:1);
+        ignore
+          (Fl_chain.Mempool.submit load_pool
+             (Fl_chain.Tx.create ~id:(id + 1_000_000) ~size:128)) ) ]
 
 (* ---------- measurement and reporting ---------- *)
 

@@ -28,6 +28,16 @@ let pp_report verbose (r : Explorer.report) =
       (String.concat ";" (List.map string_of_int r.Explorer.accused));
   Printf.printf "engine    events=%d%s\n" r.Explorer.events
     (if r.Explorer.truncated then " (step budget exhausted)" else "");
+  (match r.Explorer.traffic with
+  | None -> ()
+  | Some (s : Fl_load.Source.stats) ->
+      Printf.printf
+        "traffic   generated=%d admitted=%d finalized=%d dropped=%d \
+         evicted=%d backpressured=%d pending=%d\n"
+        s.Fl_load.Source.generated s.Fl_load.Source.admitted
+        s.Fl_load.Source.finalized s.Fl_load.Source.dropped
+        s.Fl_load.Source.evicted s.Fl_load.Source.backpressured
+        s.Fl_load.Source.pending);
   if r.Explorer.total_violations = 0 then
     Printf.printf "oracles   all quiet\n"
   else begin
@@ -48,7 +58,7 @@ let summarise (s : Explorer.summary) =
     Fl_harness.Table.create ~title:"schedule exploration"
       ~columns:
         [ "seed"; "n"; "faults"; "min-def"; "max-round"; "recov"; "corrupt";
-          "decode-err"; "events"; "violations" ]
+          "decode-err"; "adm/fin/evic"; "events"; "violations" ]
   in
   List.iter
     (fun (r : Explorer.report) ->
@@ -61,17 +71,23 @@ let summarise (s : Explorer.summary) =
           string_of_int r.Explorer.recoveries;
           string_of_int r.Explorer.corrupted;
           string_of_int r.Explorer.decode_errors;
+          (match r.Explorer.traffic with
+          | None -> "-"
+          | Some s ->
+              Printf.sprintf "%d/%d/%d" s.Fl_load.Source.admitted
+                s.Fl_load.Source.finalized s.Fl_load.Source.evicted);
           Fl_harness.Table.cell_i r.Explorer.events;
           string_of_int r.Explorer.total_violations ])
     s.Explorer.reports;
   print_string (Fl_harness.Table.render tbl)
 
 let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
-    no_shrink verbose =
+    surge no_shrink verbose =
   let n = if n = 0 then None else Some n in
   let inject_fork = if inject_fork then Some true else None in
   let with_disk_faults = if disk then Some true else None in
   let with_corrupt_faults = if corrupt then Some true else None in
+  let with_surge_faults = if surge then Some true else None in
   let persist =
     if disk then Some Fl_persist.Node.default_config else None
   in
@@ -105,14 +121,16 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
       | Some seed ->
           let r =
             Explorer.run_seed ?inject_fork ?with_disk_faults
-              ?with_corrupt_faults ?persist ?n ~budget_ms seed
+              ?with_corrupt_faults ?with_surge_faults ?persist ?n ~budget_ms
+              seed
           in
           pp_report true r;
           finish_failure r
       | None ->
           let s =
             Explorer.explore ?inject_fork ?with_disk_faults
-              ?with_corrupt_faults ?persist ?n ~seeds ~base_seed ~budget_ms ()
+              ?with_corrupt_faults ?with_surge_faults ?persist ?n ~seeds
+              ~base_seed ~budget_ms ()
           in
           if verbose || List.length s.Explorer.reports <= 40 then summarise s;
           Printf.printf
@@ -129,7 +147,8 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
               (* replay the exact seed to confirm determinism *)
               let again =
                 Explorer.run_seed ?inject_fork ?with_disk_faults
-                  ?with_corrupt_faults ?persist ?n ~budget_ms seed
+                  ?with_corrupt_faults ?with_surge_faults ?persist ?n
+                  ~budget_ms seed
               in
               Printf.printf "replay    %s\n"
                 (if
@@ -198,6 +217,18 @@ let cmd =
              CRC-reject them (observable as decode errors, never as an \
              exception or an oracle violation).")
   in
+  let surge =
+    Arg.(
+      value & flag
+      & info [ "surge" ]
+          ~doc:
+            "Additionally draw a flash-crowd surge window: an open-loop \
+             client source floods one correct node's (deliberately tiny) \
+             fee-priority mempool; the tx-conservation oracle asserts no \
+             admitted transaction is ever silently dropped — each one ends \
+             finalized, explicitly evicted with backpressure, or still \
+             queued/in-flight at end of run.")
+  in
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip shrinking on failure.")
   in
@@ -209,6 +240,6 @@ let cmd =
           oracles, seed replay and shrinking.")
     Term.(
       const run $ seeds $ base_seed $ budget_ms $ n $ replay $ plan
-      $ inject_fork $ disk $ corrupt $ no_shrink $ verbose)
+      $ inject_fork $ disk $ corrupt $ surge $ no_shrink $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,36 +1,122 @@
+(* Fee-priority admission pool.
+
+   Transactions live in per-fee FIFO buckets held in an ordered map, so
+   [take_batch] drains highest-fee-first (FIFO within a fee level) and
+   overload eviction pops the oldest lowest-fee transaction — both
+   O(log #distinct-fees). The legacy zero-fee path degenerates to a
+   single bucket and reproduces the old FIFO queue exactly. *)
+
+module Fees = Map.Make (Int)
+
 type t = {
   capacity : int;
-  queue : Tx.t Queue.t;
+  mutable buckets : Tx.t Queue.t Fees.t;  (* fee -> FIFO of txs *)
+  mutable count : int;
   mutable bytes : int;
   mutable submitted : int;
   mutable rejected : int;
+  mutable evicted : int;
+  mutable on_evict : (Tx.t -> fee:int -> unit) option;
 }
 
 let create ?(capacity = 1_000_000) () =
   if capacity <= 0 then invalid_arg "Mempool.create: capacity";
-  { capacity; queue = Queue.create (); bytes = 0; submitted = 0; rejected = 0 }
+  { capacity;
+    buckets = Fees.empty;
+    count = 0;
+    bytes = 0;
+    submitted = 0;
+    rejected = 0;
+    evicted = 0;
+    on_evict = None }
 
-let submit t tx =
-  if Queue.length t.queue >= t.capacity then begin
-    t.rejected <- t.rejected + 1;
-    false
-  end
-  else begin
-    Queue.push tx t.queue;
-    t.bytes <- t.bytes + tx.Tx.size;
-    t.submitted <- t.submitted + 1;
+let set_on_evict t cb = t.on_evict <- cb
+
+let push t tx ~fee =
+  (match Fees.find_opt fee t.buckets with
+  | Some q -> Queue.push tx q
+  | None ->
+      let q = Queue.create () in
+      Queue.push tx q;
+      t.buckets <- Fees.add fee q t.buckets);
+  t.count <- t.count + 1;
+  t.bytes <- t.bytes + tx.Tx.size;
+  t.submitted <- t.submitted + 1
+
+(* Pop the oldest transaction of the lowest fee level. *)
+let pop_min t =
+  match Fees.min_binding_opt t.buckets with
+  | None -> None
+  | Some (fee, q) ->
+      let tx = Queue.pop q in
+      if Queue.is_empty q then t.buckets <- Fees.remove fee t.buckets;
+      t.count <- t.count - 1;
+      t.bytes <- t.bytes - tx.Tx.size;
+      Some (tx, fee)
+
+let min_fee t =
+  match Fees.min_binding_opt t.buckets with
+  | None -> None
+  | Some (fee, _) -> Some fee
+
+let evict_min t =
+  match pop_min t with
+  | None -> ()
+  | Some (victim, fee) ->
+      t.evicted <- t.evicted + 1;
+      (match t.on_evict with Some cb -> cb victim ~fee | None -> ())
+
+let admit t tx ~fee =
+  if t.count < t.capacity then begin
+    push t tx ~fee;
     true
   end
+  else
+    match min_fee t with
+    | Some low when fee > low ->
+        (* overload: a better-paying transaction displaces the oldest
+           lowest-fee one — the displaced client gets an explicit
+           eviction signal via [set_on_evict] *)
+        evict_min t;
+        push t tx ~fee;
+        true
+    | _ ->
+        t.rejected <- t.rejected + 1;
+        false
 
-let take_batch t ~max:max_txs =
-  let available = Queue.length t.queue in
-  let count = min max_txs available in
+(* Re-queue a transaction the node already accepted (e.g. one drained
+   into a proposal whose block was later rescinded by recovery). It
+   must never vanish silently: when even eviction cannot make room,
+   the transaction itself is reported evicted-with-backpressure. *)
+let readmit t tx ~fee =
+  if admit t tx ~fee then true
+  else begin
+    t.rejected <- t.rejected - 1;  (* not a client submission *)
+    t.evicted <- t.evicted + 1;
+    (match t.on_evict with Some cb -> cb tx ~fee | None -> ());
+    false
+  end
+
+let submit t tx = admit t tx ~fee:0
+
+let take_batch_prio t ~max:max_txs =
+  let count = min max_txs t.count in
   Array.init count (fun _ ->
-      let tx = Queue.pop t.queue in
-      t.bytes <- t.bytes - tx.Tx.size;
-      tx)
+      match Fees.max_binding_opt t.buckets with
+      | None -> assert false
+      | Some (fee, q) ->
+          let tx = Queue.pop q in
+          if Queue.is_empty q then t.buckets <- Fees.remove fee t.buckets;
+          t.count <- t.count - 1;
+          t.bytes <- t.bytes - tx.Tx.size;
+          (tx, fee))
 
-let size t = Queue.length t.queue
+let take_batch t ~max = Array.map fst (take_batch_prio t ~max)
+
+let iter t f = Fees.iter (fun fee q -> Queue.iter (fun tx -> f tx ~fee) q) t.buckets
+
+let size t = t.count
 let pending_bytes t = t.bytes
 let submitted_total t = t.submitted
 let rejected_total t = t.rejected
+let evicted_total t = t.evicted

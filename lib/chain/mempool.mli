@@ -1,22 +1,59 @@
-(** Transaction pool (the paper's "TX pool").
+(** Transaction pool (the paper's "TX pool") with fee-priority
+    admission.
 
-    Clients submit; proposers drain FIFO batches when building blocks.
-    Bounded: beyond [capacity] pending transactions, [submit] applies
-    backpressure by rejecting — the flow-control behaviour §7.2
-    mentions. *)
+    Clients submit with a fee bid; proposers drain batches
+    highest-fee-first (FIFO within a fee level) when building blocks.
+    Bounded: beyond [capacity] pending transactions, {!admit} either
+    evicts the oldest lowest-fee transaction to make room for a
+    better-paying one (the displaced client is told via
+    {!set_on_evict}) or rejects the newcomer — the backpressure
+    behaviour §7.2 mentions. The legacy zero-fee {!submit} path is a
+    single FIFO bucket, byte-identical to the pre-fee pool. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 (** Default capacity 1_000_000 transactions. *)
 
+val admit : t -> Tx.t -> fee:int -> bool
+(** [false] when the pool is full and [fee] does not beat the lowest
+    pending fee (client should retry/raise the fee). [true] may have
+    evicted a lower-fee transaction — see {!set_on_evict}. *)
+
 val submit : t -> Tx.t -> bool
-(** [false] when the pool is full (client should retry). *)
+(** [admit ~fee:0]: never evicts; [false] when the pool is full. *)
+
+val readmit : t -> Tx.t -> fee:int -> bool
+(** Re-queue a transaction the node had already admitted (a rescinded
+    proposal's batch). Unlike {!admit}, a failure is accounted as an
+    eviction of [tx] itself — including the {!set_on_evict}
+    notification — so an admitted transaction can never vanish without
+    an explicit signal. *)
+
+val set_on_evict : t -> (Tx.t -> fee:int -> unit) option -> unit
+(** Called for every transaction displaced under overload (and for
+    failed {!readmit}s) — the explicit backpressure signal the
+    conservation oracle demands. *)
 
 val take_batch : t -> max:int -> Tx.t array
-(** Remove and return up to [max] transactions, FIFO order. *)
+(** Remove and return up to [max] transactions, highest fee first,
+    FIFO within a fee level (plain FIFO when everything is fee 0). *)
+
+val take_batch_prio : t -> max:int -> (Tx.t * int) array
+(** {!take_batch} keeping each transaction's fee — proposers use this
+    so a rescinded batch can be re-queued at its original priority. *)
+
+val iter : t -> (Tx.t -> fee:int -> unit) -> unit
+(** Every pending transaction, lowest fee level first. *)
+
+val min_fee : t -> int option
+(** Lowest pending fee — the admission hint a backpressured client
+    would need to outbid. [None] when empty. *)
 
 val size : t -> int
 val pending_bytes : t -> int
 val submitted_total : t -> int
 val rejected_total : t -> int
+
+val evicted_total : t -> int
+(** Transactions displaced under overload (plus failed readmits). *)

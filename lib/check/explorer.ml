@@ -15,6 +15,7 @@ type report = {
   evidence_count : int;
   events : int;
   truncated : bool;
+  traffic : Fl_load.Source.stats option;
 }
 
 let failed r = r.total_violations > 0
@@ -116,13 +117,44 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
   let persist_app i =
     match persist with None -> None | Some _ -> Some (kv_app kvs.(i))
   in
+  let surge = Plan.has_surge_faults plan in
   let config = base_config ~n:plan.Plan.n ~f:plan.Plan.f in
+  (* surge plans get a deliberately small pool so the flash crowd
+     actually exercises backpressure and fee-priority eviction *)
+  let config =
+    if surge then { config with Config.mempool_capacity = 64 } else config
+  in
+  (* The traffic source targets one correct node (and not the one
+     whose output [--inject-fork] deliberately forks). *)
+  let target =
+    let faulty = Plan.faulty plan in
+    let rec pick i =
+      if i >= plan.Plan.n then 0
+      else if (not (List.mem i faulty)) && not (inject_fork && i = 0) then i
+      else pick (i + 1)
+    in
+    pick 0
+  in
   (* The oracle is built before the cluster (whose engine provides the
      clock), so give it an indirected [now]; nothing fires before the
-     run starts. *)
+     run starts. The traffic source has the same chicken-and-egg shape:
+     the target's output closure consults [src_ref], filled after the
+     cluster (and hence the engine) exists. *)
   let clock = ref (fun () -> 0) in
+  let src_ref = ref None in
   let oracle =
     Oracle.create ~now:(fun () -> !clock ()) ~n:plan.Plan.n ~f:plan.Plan.f ()
+  in
+  let traffic_output inner =
+    { inner with
+      Instance.on_definite =
+        (fun ~round block ~times ->
+          (match !src_ref with
+          | Some src ->
+              Fl_load.Source.note_block src block.Fl_chain.Block.txs
+                ~a:times.Instance.a ~final:times.Instance.d
+          | None -> ());
+          inner.Instance.on_definite ~round block ~times) }
   in
   let cluster =
     Cluster.create ~seed:plan.Plan.seed ?obs
@@ -131,10 +163,44 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
       ~config_of:(Plan.config_of plan)
       ~output:(fun i ->
         let out = Oracle.output_for oracle i in
-        if inject_fork && i = 0 then forked_output plan.Plan.n out else out)
+        let out =
+          if inject_fork && i = 0 then forked_output plan.Plan.n out else out
+        in
+        if surge && i = target then traffic_output out else out)
       ?persist ~persist_app ~config ()
   in
   clock := (fun () -> Engine.now cluster.Cluster.engine);
+  if surge then begin
+    let surges =
+      List.map
+        (fun (factor, from_ms, to_ms) ->
+          { Fl_load.Arrivals.from_ = Time.ms from_ms;
+            until = Time.ms to_ms;
+            factor })
+        (Plan.surge_windows plan)
+    in
+    let arrivals = Fl_load.Arrivals.create ~rate_per_s:400.0 ~surges () in
+    let cfg =
+      { (Fl_load.Source.default_config ~arrivals) with
+        Fl_load.Source.tx_size = config.Config.tx_size;
+        accounts = 10_000;
+        fee_levels = 8;
+        max_retries = 3;
+        retry_backoff = Time.ms 10 }
+    in
+    let pool = Instance.mempool cluster.Cluster.instances.(target) in
+    let src =
+      Fl_load.Source.create cluster.Cluster.engine
+        ~rng:(Rng.named_split (Rng.create plan.Plan.seed) "traffic")
+        ~recorder:cluster.Cluster.recorder
+        ~sink:(fun tx ~fee -> Fl_chain.Mempool.admit pool tx ~fee)
+        cfg
+    in
+    src_ref := Some src;
+    Fl_chain.Mempool.set_on_evict pool
+      (Some (fun tx ~fee -> Fl_load.Source.note_evicted src tx ~fee));
+    Fl_load.Source.start src
+  end;
   Oracle.attach_stores oracle
     (Array.map Instance.store cluster.Cluster.instances);
   Cluster.set_on_restart cluster (fun i ->
@@ -180,6 +246,33 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
               ~replayed:(app.Fl_persist.Recovery.app_hash ())
           end)
         (List.init plan.Plan.n Fun.id));
+  (* Traffic conservation: every transaction the target admitted must
+     be finalized, explicitly evicted (both already settled inside the
+     source), still in the pool, or riding an in-flight proposal the
+     node tracks for recovery re-admission. Anything else is a silent
+     drop. *)
+  let traffic =
+    match !src_ref with
+    | None -> None
+    | Some src ->
+        Fl_load.Source.stop src;
+        let inst = cluster.Cluster.instances.(target) in
+        let present = Hashtbl.create 256 in
+        Fl_chain.Mempool.iter (Instance.mempool inst) (fun tx ~fee:_ ->
+            Hashtbl.replace present tx.Fl_chain.Tx.id ());
+        List.iter
+          (fun ((tx : Fl_chain.Tx.t), _fee) ->
+            Hashtbl.replace present tx.Fl_chain.Tx.id ())
+          (Instance.inflight_client_txs inst);
+        let pending = Fl_load.Source.pending_ids src in
+        let missing =
+          List.length
+            (List.filter (fun id -> not (Hashtbl.mem present id)) pending)
+        in
+        Oracle.check_no_silent_drop oracle ~node:target ~missing
+          ~pending:(List.length pending);
+        Some (Fl_load.Source.stats src)
+  in
   let correct = List.filter (fun i -> not (List.mem i faulty))
       (List.init plan.Plan.n Fun.id)
   in
@@ -208,13 +301,14 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
     accused = Oracle.accused oracle;
     evidence_count = Oracle.evidence_count oracle;
     events = Engine.processed cluster.Cluster.engine;
-    truncated }
+    truncated;
+    traffic }
 
-let run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults ?persist ?n
-    ~budget_ms seed =
+let run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults
+    ?with_surge_faults ?persist ?n ~budget_ms seed =
   run_plan ?inject_fork ?persist ~budget_ms
-    (Plan.generate ?with_disk_faults ?with_corrupt_faults ?n ~seed ~budget_ms
-       ())
+    (Plan.generate ?with_disk_faults ?with_corrupt_faults ?with_surge_faults
+       ?n ~seed ~budget_ms ())
 
 type summary = {
   seeds : int;
@@ -224,12 +318,12 @@ type summary = {
   total_events : int;
 }
 
-let explore ?inject_fork ?with_disk_faults ?with_corrupt_faults ?persist ?n
-    ~seeds ~base_seed ~budget_ms () =
+let explore ?inject_fork ?with_disk_faults ?with_corrupt_faults
+    ?with_surge_faults ?persist ?n ~seeds ~base_seed ~budget_ms () =
   let reports =
     List.init seeds (fun k ->
-        run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults ?persist
-          ?n ~budget_ms (base_seed + k))
+        run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults
+          ?with_surge_faults ?persist ?n ~budget_ms (base_seed + k))
   in
   { seeds;
     base_seed;
@@ -254,6 +348,16 @@ let fingerprint summary =
                r.truncated
                (String.concat "," (List.map string_of_int r.accused))
                r.evidence_count)
+        in
+        let h =
+          match r.traffic with
+          | None -> h
+          | Some s ->
+              fnv h
+                (Printf.sprintf "traffic|%d|%d|%d|%d|%d|%d\n"
+                   s.Fl_load.Source.generated s.Fl_load.Source.admitted
+                   s.Fl_load.Source.finalized s.Fl_load.Source.dropped
+                   s.Fl_load.Source.evicted s.Fl_load.Source.backpressured)
         in
         List.fold_left
           (fun h (v : Oracle.violation) ->
@@ -313,6 +417,15 @@ let weaken (fault : Plan.fault) : Plan.fault list =
       if prob > 0.1 then
         [ Plan.Corrupt { node; prob = prob /. 2.0; from_ms; to_ms } ]
       else []
+  | Plan.Surge { factor; from_ms; to_ms } ->
+      (if to_ms - from_ms > 100 then
+         [ Plan.Surge
+             { factor; from_ms; to_ms = from_ms + ((to_ms - from_ms) / 2) } ]
+       else [])
+      @
+      if factor > 2.0 then
+        [ Plan.Surge { factor = factor /. 2.0; from_ms; to_ms } ]
+      else []
 
 let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
 
@@ -335,6 +448,7 @@ let reduce_n (p : Plan.t) : Plan.t option =
           | Plan.Disk_loss { node; _ } | Plan.Fsync_stall { node; _ }
           | Plan.Corrupt { node; _ } ->
               if keep node then Some fault else None
+          | Plan.Surge _ -> Some fault  (* node-independent *)
           | Plan.Partition { groups; at_ms; heal_ms } ->
               let groups =
                 List.filter_map

@@ -25,6 +25,9 @@ type report = {
   evidence_count : int;  (** distinct evidence objects collected *)
   events : int;  (** engine events executed *)
   truncated : bool;  (** engine step budget exhausted *)
+  traffic : Fl_load.Source.stats option;
+      (** the open-loop source's conservation ledger — [Some] exactly
+          when the plan contains [Surge] faults *)
 }
 
 val failed : report -> bool
@@ -51,12 +54,17 @@ val run_plan :
     [persist] puts a durability layer (plus a per-node KV state
     machine checked by the end-of-run app-state oracle) under every
     node; plans containing disk faults get one implicitly
-    ([Fl_persist.Node.default_config]). *)
+    ([Fl_persist.Node.default_config]). Plans containing [Surge]
+    faults attach an {!Fl_load.Source} open-loop client source to one
+    correct node (small pool, fee-priority admission); at end of run
+    {!Oracle.check_no_silent_drop} asserts every admitted transaction
+    is finalized, explicitly evicted, or still queued/in-flight. *)
 
 val run_seed :
   ?inject_fork:bool ->
   ?with_disk_faults:bool ->
   ?with_corrupt_faults:bool ->
+  ?with_surge_faults:bool ->
   ?persist:Fl_persist.Node.config ->
   ?n:int ->
   budget_ms:int ->
@@ -74,8 +82,8 @@ type summary = {
 
 val explore :
   ?inject_fork:bool -> ?with_disk_faults:bool -> ?with_corrupt_faults:bool ->
-  ?persist:Fl_persist.Node.config -> ?n:int -> seeds:int -> base_seed:int ->
-  budget_ms:int -> unit -> summary
+  ?with_surge_faults:bool -> ?persist:Fl_persist.Node.config -> ?n:int ->
+  seeds:int -> base_seed:int -> budget_ms:int -> unit -> summary
 (** Run seeds [base_seed .. base_seed + seeds - 1]. *)
 
 val fingerprint : summary -> string

@@ -306,6 +306,13 @@ let check_app_state t ~node ~live ~replayed =
        definite prefix (%s)"
       live replayed
 
+let check_no_silent_drop t ~node ~missing ~pending =
+  if missing > 0 then
+    flag t ~oracle:"tx-conservation" ~node ~round:(-1)
+      "%d of %d admitted transactions vanished: neither finalized, \
+       explicitly evicted, in the node's pool, nor in an in-flight proposal"
+      missing pending
+
 let violations t = List.rev t.violations
 let total t = t.total
 

@@ -94,6 +94,13 @@ val check_app_state : t -> node:int -> live:string -> replayed:string -> unit
     when the node's [live] state-machine hash differs from [replayed],
     a from-scratch fold over the node's own definite prefix. *)
 
+val check_no_silent_drop : t -> node:int -> missing:int -> pending:int -> unit
+(** End-of-run traffic oracle: of the source's [pending] admitted
+    transactions, [missing] could not be located in the target node's
+    pool or in-flight proposals — every admitted transaction must end
+    finalized, explicitly evicted, or still queued. Flags a
+    ["tx-conservation"] violation when [missing > 0]. *)
+
 val violations : t -> violation list
 (** In detection order, capped at 100 (see {!total}). *)
 

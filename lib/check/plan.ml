@@ -11,6 +11,7 @@ type fault =
   | Disk_loss of { node : int; at_ms : int; restart_ms : int }
   | Fsync_stall of { node : int; from_ms : int; to_ms : int }
   | Corrupt of { node : int; prob : float; from_ms : int; to_ms : int }
+  | Surge of { factor : float; from_ms : int; to_ms : int }
 
 type t = { n : int; f : int; seed : int; faults : fault list }
 
@@ -55,10 +56,21 @@ let has_disk_faults t =
 let has_corrupt_faults t =
   List.exists (function Corrupt _ -> true | _ -> false) t.faults
 
+let has_surge_faults t =
+  List.exists (function Surge _ -> true | _ -> false) t.faults
+
+let surge_windows t =
+  List.filter_map
+    (function
+      | Surge { factor; from_ms; to_ms } -> Some (factor, from_ms, to_ms)
+      | _ -> None)
+    t.faults
+
 let expect_liveness t =
   List.for_all
     (function
-      | Crash _ | Equivocate _ | Torn_tail _ | Disk_loss _ -> true
+      (* load surges stress admission, never consensus liveness *)
+      | Crash _ | Equivocate _ | Torn_tail _ | Disk_loss _ | Surge _ -> true
       | Partition _ | Loss _ | Slow_nic _ | Clock_skew _ | Fsync_stall _
       | Corrupt _ ->
           false)
@@ -78,8 +90,8 @@ let distinct_nodes rng ~n ~k ~avoid =
   done;
   !picked
 
-let generate ?(with_disk_faults = false) ?(with_corrupt_faults = false) ?n
-    ~seed ~budget_ms () =
+let generate ?(with_disk_faults = false) ?(with_corrupt_faults = false)
+    ?(with_surge_faults = false) ?n ~seed ~budget_ms () =
   let rng = Rng.named_split (Rng.create seed) "plan" in
   let n = match n with Some n -> n | None -> if Rng.bool rng then 4 else 7 in
   let f = (n - 1) / 3 in
@@ -175,6 +187,18 @@ let generate ?(with_disk_faults = false) ?(with_corrupt_faults = false) ?n
       faults := Corrupt { node; prob; from_ms; to_ms } :: !faults
     done
   end;
+  (* Traffic surges last: behind their own flag and drawn strictly
+     after every earlier family, so pre-existing plans for a given
+     seed replay byte-identically with the flag off. A surge is a
+     flash-crowd multiplier on the open-loop client source over a time
+     window — it stresses admission (backpressure, fee eviction),
+     never consensus. *)
+  if with_surge_faults then begin
+    let factor = 2.0 +. Rng.float rng 6.0 in
+    let from_ms = early 10 40 in
+    let to_ms = Rng.int_in rng (from_ms + 50) (budget_ms * 70 / 100) in
+    faults := Surge { factor; from_ms; to_ms } :: !faults
+  end;
   { n; f; seed; faults = List.rev !faults }
 
 (* ---------- validation ---------- *)
@@ -238,6 +262,11 @@ let validate t =
                 else if prob < 0.0 || prob > 1.0 then
                   err "corrupt: prob %f" prob
                 else if to_ms <= from_ms then err "corrupt: window"
+                else Ok ()
+            | Surge { factor; from_ms; to_ms } ->
+                if factor <= 0.0 then err "surge: factor %f" factor
+                else if from_ms < 0 then err "surge: from %d" from_ms
+                else if to_ms <= from_ms then err "surge: window"
                 else Ok ()))
       (Ok ()) t.faults
 
@@ -277,6 +306,7 @@ let apply t ~engine ~cluster =
   List.iter
     (function
       | Equivocate _ | Slow_nic _ | Clock_skew _ -> ()  (* construction-time *)
+      | Surge _ -> ()  (* consumed by the traffic source, not the net *)
       | Crash { node; at_ms; restart_ms } ->
           at at_ms (fun () -> Fl_fireledger.Cluster.crash cluster node);
           Option.iter
@@ -346,6 +376,8 @@ let string_of_fault = function
       Printf.sprintf "stall=%d@%d-%d" node from_ms to_ms
   | Corrupt { node; prob; from_ms; to_ms } ->
       Printf.sprintf "corrupt=%d:%.2f@%d-%d" node prob from_ms to_ms
+  | Surge { factor; from_ms; to_ms } ->
+      Printf.sprintf "surge=%.2f@%d-%d" factor from_ms to_ms
 
 let to_string t =
   String.concat ";"
@@ -429,6 +461,19 @@ let parse_fault tok =
                     if String.equal key "torn" then
                       Ok (Torn_tail { node; at_ms; restart_ms })
                     else Ok (Disk_loss { node; at_ms; restart_ms })
+                | _ -> invalid ())
+            | _ -> invalid ())
+        | "surge" -> (
+            match String.split_on_char '@' v with
+            | [ factor; window ] -> (
+                let factor = float_of_string factor in
+                match String.split_on_char '-' window with
+                | [ a; b ] ->
+                    Ok
+                      (Surge
+                         { factor;
+                           from_ms = int_of_string a;
+                           to_ms = int_of_string b })
                 | _ -> invalid ())
             | _ -> invalid ())
         | "stall" -> (

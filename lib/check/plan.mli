@@ -52,6 +52,13 @@ type fault =
           CRC and drop (degenerating to omission). Benign in the BFT
           model, so may hit anyone; like {!Loss} it suspends the
           liveness expectation. *)
+  | Surge of { factor : float; from_ms : int; to_ms : int }
+      (** Flash crowd: multiply the open-loop client source's arrival
+          rate by [factor] during the window. Attacks the admission
+          layer (backpressure, fee-priority eviction, retry cohorts),
+          not consensus — the paired oracle asserts no admitted
+          transaction is ever silently dropped. Keeps the liveness
+          expectation. *)
 
 type t = {
   n : int;
@@ -63,6 +70,7 @@ type t = {
 val generate :
   ?with_disk_faults:bool ->
   ?with_corrupt_faults:bool ->
+  ?with_surge_faults:bool ->
   ?n:int ->
   seed:int ->
   budget_ms:int ->
@@ -76,7 +84,8 @@ val generate :
     other draw, so plans without the flag are unchanged for a given
     seed. [with_corrupt_faults] (default false) further appends 1–2
     byte-corruption windows, drawn after even the disk faults for the
-    same replay-stability reason. *)
+    same replay-stability reason. [with_surge_faults] (default false)
+    appends one flash-crowd window, drawn last of all. *)
 
 val byzantine : t -> int list
 val crashed : t -> int list
@@ -93,6 +102,14 @@ val has_disk_faults : t -> bool
 
 val has_corrupt_faults : t -> bool
 (** The plan contains at least one byte-corruption window. *)
+
+val has_surge_faults : t -> bool
+(** The plan contains at least one flash-crowd window — the explorer
+    then attaches an open-loop traffic source and the no-silent-drop
+    oracle. *)
+
+val surge_windows : t -> (float * int * int) list
+(** All [(factor, from_ms, to_ms)] surge windows, in plan order. *)
 
 val validate : t -> (unit, string) result
 (** Structural checks: node ids in range, windows ordered, process

@@ -23,6 +23,7 @@ type t = {
   permute_period : int;
   dissemination : dissemination;
   pipeline_depth : int;
+  mempool_capacity : int;
 }
 
 and dissemination = Clique | Gossip of int
@@ -49,7 +50,8 @@ let default ~n =
     permute_proposers = false;
     permute_period = 128;
     dissemination = Clique;
-    pipeline_depth = 1 }
+    pipeline_depth = 1;
+    mempool_capacity = 1_000_000 }
 
 let validate t =
   if t.n <= 0 then invalid_arg "Config: n must be positive";
@@ -66,4 +68,5 @@ let validate t =
   | Clique -> ()
   | Gossip fanout ->
       if fanout < 1 then invalid_arg "Config: gossip fanout");
-  if t.pipeline_depth < 1 then invalid_arg "Config: pipeline_depth"
+  if t.pipeline_depth < 1 then invalid_arg "Config: pipeline_depth";
+  if t.mempool_capacity <= 0 then invalid_arg "Config: mempool_capacity"

@@ -53,6 +53,10 @@ type t = {
       (** how many block bodies a prospective proposer prepares and
           ships ahead of its turn (≥1); §7.2.1 credits deeper body
           pipelines for larger clusters' throughput *)
+  mempool_capacity : int;
+      (** bound on pending client transactions per worker pool; beyond
+          it admission applies fee-priority eviction / backpressure
+          (saturation studies shrink this to a few thousand) *)
 }
 
 and dissemination =

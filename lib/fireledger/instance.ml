@@ -50,6 +50,12 @@ type t = {
       (* bodies built (and shipped) ahead of our proposing turns; the
          head is the next block we will propose *)
   own_in_flight : (string, unit) Hashtbl.t;  (* flow control (§7.2) *)
+  pool_txs : (string, (Tx.t * int) array) Hashtbl.t;
+      (* body_hash -> the client (mempool-drained) transactions in a
+         body we built, with their fees, kept until the block is
+         definite: a recovery that rescinds one of our blocks re-queues
+         exactly these so an admitted transaction never vanishes
+         silently *)
   (* round state *)
   mutable round : int;
   mutable attempt : int;
@@ -175,7 +181,10 @@ let synth_tx t =
 (* Assemble a block body: drain the mempool, pad to β with synthetic
    transactions under the paper's full-load mode. *)
 let build_body t =
-  let batch = Mempool.take_batch t.mempool ~max:t.config.Config.batch_size in
+  let prio =
+    Mempool.take_batch_prio t.mempool ~max:t.config.Config.batch_size
+  in
+  let batch = Array.map fst prio in
   let txs =
     if
       t.config.Config.fill_blocks
@@ -189,6 +198,7 @@ let build_body t =
   in
   let at = now t in
   let bh = store_body t txs ~at in
+  if Array.length prio > 0 then Hashtbl.replace t.pool_txs bh prio;
   (txs, bh, at)
 
 (* Sample [fanout] distinct peers (never self). *)
@@ -676,8 +686,10 @@ let mark_definite t =
         Fl_metrics.Recorder.mark (recorder t) "blocks_definite" ~now:d 1;
         Fl_metrics.Recorder.mark (recorder t) "txs_definite" ~now:d
           b.Block.header.Header.tx_count;
-        if b.Block.header.Header.proposer = me t then
+        if b.Block.header.Header.proposer = me t then begin
           Hashtbl.remove t.own_in_flight b.Block.header.Header.body_hash;
+          Hashtbl.remove t.pool_txs b.Block.header.Header.body_hash
+        end;
         (match t.persist with
         | Some per -> Fl_persist.Node.log_definite per ~upto:r ~era:t.era b
         | None -> ());
@@ -909,11 +921,43 @@ let recovery t r =
       let old_len = Store.length t.store in
       let new_tip = Types.version_tip v in
       if new_tip + 1 < old_len then rescinded := !rescinded + (old_len - new_tip - 1);
+      (* Our own rescinded blocks may carry client transactions drained
+         from the mempool; collect them before the store surgery so
+         they can be re-queued at their original fee priority. *)
+      let readmit = ref [] in
+      let collect_mine (old : Block.t) =
+        if old.Block.header.Header.proposer = me t then begin
+          let bh = old.Block.header.Header.body_hash in
+          match Hashtbl.find_opt t.pool_txs bh with
+          | Some batch ->
+              Hashtbl.remove t.pool_txs bh;
+              readmit := batch :: !readmit
+          | None -> ()
+        end
+      in
+      List.iter
+        (fun (b, _) ->
+          match Store.get t.store b.Block.header.Header.round with
+          | Some old when not (String.equal (Block.hash old) (Block.hash b))
+            ->
+              collect_mine old
+          | _ -> ())
+        v.Types.blocks;
+      for r = new_tip + 1 to old_len - 1 do
+        match Store.get t.store r with
+        | Some old -> collect_mine old
+        | None -> ()
+      done;
       match
         Store.replace_suffix t.store ~from:first_round
           (List.map fst v.Types.blocks)
       with
       | Ok () ->
+          List.iter
+            (Array.iter (fun (tx, fee) ->
+                 incr_c t "txs_readmitted";
+                 ignore (Mempool.readmit t.mempool tx ~fee)))
+            !readmit;
           (match t.persist with
           | Some per ->
               (* the WAL must mirror the store surgery: a truncate
@@ -1371,7 +1415,7 @@ let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ?persist
     valid;
     output;
     store = Store.create ();
-    mempool = Mempool.create ();
+    mempool = Mempool.create ~capacity:config.Config.mempool_capacity ();
     timer = Timer.create config;
     detector = Detector.create config;
     rotation = Rotation.create config ~seed:env.Env.seed;
@@ -1385,6 +1429,7 @@ let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ?persist
     pulse = Ivar.create engine;
     prepared = Queue.create ();
     own_in_flight = Hashtbl.create 8;
+    pool_txs = Hashtbl.create 8;
     round = 0;
     attempt = 0;
     era = 0;
@@ -1516,6 +1561,11 @@ let shutdown t =
   match t.ab with Some ab -> Pbft.halt ab | None -> ()
 let store t = t.store
 let mempool t = t.mempool
+
+let inflight_client_txs t =
+  Hashtbl.fold
+    (fun _ batch acc -> Array.fold_left (fun acc p -> p :: acc) acc batch)
+    t.pool_txs []
 let round t = t.round
 let definite_upto t = t.definite_upto
 let recoveries t = Fl_metrics.Recorder.counter (recorder t) "recoveries"

@@ -83,6 +83,14 @@ val shutdown : t -> unit
 
 val store : t -> Store.t
 val mempool : t -> Mempool.t
+
+val inflight_client_txs : t -> (Tx.t * int) list
+(** Client (mempool-drained) transactions sitting in blocks this
+    instance proposed that are not yet definite, with their fees. A
+    recovery that rescinds one of those blocks re-queues its batch via
+    {!Mempool.readmit}, so admitted transactions are always either
+    here, in the pool, finalized, or explicitly evicted. *)
+
 val round : t -> int
 val definite_upto : t -> int
 val recoveries : t -> int

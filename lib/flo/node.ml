@@ -117,7 +117,7 @@ let attach_workers t workers =
     invalid_arg "Flo.Node.attach_workers: worker count mismatch";
   t.workers <- workers
 
-let submit t tx =
+let submit_fee t tx ~fee =
   if Array.length t.workers = 0 then false
   else begin
     let best = ref 0 and best_load = ref max_int in
@@ -129,8 +129,10 @@ let submit t tx =
           best_load := load
         end)
       t.workers;
-    Mempool.submit (Fl_fireledger.Instance.mempool t.workers.(!best)) tx
+    Mempool.admit (Fl_fireledger.Instance.mempool t.workers.(!best)) tx ~fee
   end
+
+let submit t tx = submit_fee t tx ~fee:0
 
 let delivered_blocks t = t.delivered_blocks
 let delivered_txs t = t.delivered_txs

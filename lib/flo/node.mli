@@ -49,7 +49,13 @@ val output_for : t -> worker:int -> Fl_fireledger.Instance.output
 val attach_workers : t -> Fl_fireledger.Instance.t array -> unit
 
 val submit : t -> Tx.t -> bool
-(** Client write path: route to the least-loaded worker's pool. *)
+(** Client write path: route to the least-loaded worker's pool at
+    fee 0 ([submit_fee ~fee:0]). *)
+
+val submit_fee : t -> Tx.t -> fee:int -> bool
+(** Fee-priority write path: {!Fl_chain.Mempool.admit} on the
+    least-loaded worker's pool. [false] is backpressure — the pool is
+    full and [fee] does not beat its lowest pending bid. *)
 
 val delivered_blocks : t -> int
 val delivered_txs : t -> int

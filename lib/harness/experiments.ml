@@ -610,6 +610,217 @@ let restart_durable mode =
              sync = Fl_persist.Node.Every_block }));
   Table.print t
 
+(* ---------- Saturation studies (traffic tier) ---------- *)
+
+(* One run with the aggregate open-loop source attached to node 0:
+   fill_blocks off (blocks carry real client transactions only), a
+   deliberately small mempool so overload is visible, the source's
+   completions fed from the node's FLO merge output and the mempool's
+   eviction signal. Returns the harness result plus the source's
+   conservation ledger. *)
+let run_traffic mode ~rate_per_s ~pool_cap ~read_ratio ~consistency ?(surges = [])
+    ?(seed = 42) ~n ~workers ~batch ~tx_size () =
+  let open Fl_load in
+  let src_ref = ref None in
+  let s =
+    { (base mode ~n ~workers ~batch ~tx_size) with
+      Settings.seed;
+      warmup = Time.ms 500;
+      duration = (match mode with Quick -> Time.s 2 | Full -> Time.s 6);
+      config_tweaks =
+        (fun c ->
+          { c with
+            Fl_fireledger.Config.fill_blocks = false;
+            mempool_capacity = pool_cap });
+      on_deliver =
+        Some
+          (fun ~node d ->
+            if node = 0 then
+              match !src_ref with
+              | Some src ->
+                  Source.note_block src d.Fl_flo.Node.block.Fl_chain.Block.txs
+                    ~a:d.Fl_flo.Node.times.Fl_fireledger.Instance.a
+                    ~final:d.Fl_flo.Node.delivered_at
+              | None -> ()) }
+  in
+  let cluster = Settings.build_flo s in
+  let engine = cluster.Fl_flo.Cluster.engine in
+  let arrivals = Arrivals.create ~rate_per_s ~surges () in
+  let cfg =
+    { (Source.default_config ~arrivals) with
+      Source.tx_size;
+      accounts = 1_000_000;
+      read_ratio;
+      consistency }
+  in
+  let sink tx ~fee =
+    Fl_flo.Node.submit_fee cluster.Fl_flo.Cluster.nodes.(0) tx ~fee
+  in
+  let src =
+    Source.create engine
+      ~rng:(Rng.create (seed + 7919))
+      ~recorder:cluster.Fl_flo.Cluster.recorder ~sink cfg
+  in
+  src_ref := Some src;
+  Array.iter
+    (fun inst ->
+      Fl_chain.Mempool.set_on_evict
+        (Fl_fireledger.Instance.mempool inst)
+        (Some (fun tx ~fee -> Source.note_evicted src tx ~fee)))
+    cluster.Fl_flo.Cluster.workers.(0);
+  Source.start src;
+  let r = Settings.run_cluster s cluster in
+  Source.stop src;
+  (r, Source.stats src, s)
+
+let saturation mode =
+  let n = 4 and workers = 2 and batch = 100 and tx_size = 128 in
+  (* Calibrate the drain capacity once with the paper's full-load mode
+     (proposers pad blocks to β themselves), then sweep the offered
+     client load as multiples of it. *)
+  let cal =
+    Settings.run_flo
+      { (base mode ~n ~workers ~batch ~tx_size) with
+        Settings.warmup = Time.ms 500;
+        duration = Time.s 2 }
+  in
+  (* the source submits to node 0 only, and client transactions drain
+     only through node 0's own proposals — 1/n of the rounds — so the
+     relevant drain capacity is the per-node share *)
+  let capacity = cal.Settings.tps /. float_of_int n in
+  Printf.printf
+    "calibrated drain capacity: %.1f ktps full-load, %.1f ktps node-0 share\n%!"
+    (cal.Settings.tps /. 1000.0) (capacity /. 1000.0);
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Saturation sweep: open-loop client load into node 0 (n=%d w=%d \
+            beta=%d sigma=%d, pool=%d txs, 3 retries)"
+           n workers batch tx_size (4 * batch))
+      ~columns:
+        [ "offered x"; "offered ktps"; "goodput ktps"; "dropped"; "evicted";
+          "admit p50 ms"; "e2e p50 ms"; "e2e p99 ms"; "backpressure" ]
+  in
+  let mults =
+    match mode with
+    | Quick -> [ 0.3; 0.9; 1.8; 2.7 ]
+    | Full -> [ 0.2; 0.4; 0.6; 0.8; 1.0; 1.3; 1.8; 2.5; 3.5 ]
+  in
+  let points =
+    List.map
+      (fun m ->
+        let rate = capacity *. m in
+        let r, st, s =
+          run_traffic mode ~rate_per_s:rate ~pool_cap:(4 * batch)
+            ~read_ratio:0. ~consistency:Fl_load.Source.Session ~n ~workers
+            ~batch ~tx_size ()
+        in
+        let secs =
+          Fl_sim.Time.to_float_s (s.Settings.warmup + s.Settings.duration)
+        in
+        let goodput = float_of_int st.Fl_load.Source.finalized /. secs in
+        Table.add_row t
+          [ Table.cell_f ~dec:1 m;
+            Table.cell_f ~dec:1 (rate /. 1000.0);
+            Table.cell_f ~dec:1 (goodput /. 1000.0);
+            Table.cell_i st.Fl_load.Source.dropped;
+            Table.cell_i st.Fl_load.Source.evicted;
+            Table.cell_f ~dec:2
+              (Settings.histo_q_ms r.Settings.recorder "phase_admission_wait"
+                 0.50);
+            Table.cell_f ~dec:2
+              (Settings.histo_q_ms r.Settings.recorder "latency_client_e2e"
+                 0.50);
+            Table.cell_f ~dec:2
+              (Settings.histo_q_ms r.Settings.recorder "latency_client_e2e"
+                 0.99);
+            Table.cell_i st.Fl_load.Source.backpressured ];
+        (rate, goodput))
+      mults
+  in
+  Table.print t;
+  (* knee: the last sweep point whose goodput still grew ≥ 10% over
+     its predecessor *)
+  (match points with
+  | [] | [ _ ] -> ()
+  | (_, g0) :: rest ->
+      let knee, _ =
+        List.fold_left
+          (fun (knee, prev) (rate, g) ->
+            if g >= prev *. 1.10 then ((rate, g), g) else (knee, prev))
+          (((match points with (r0, g) :: _ -> (r0, g) | [] -> (0., 0.)), g0))
+          rest
+      in
+      Printf.printf "knee: goodput plateaus at ~%.1f ktps (offered %.1f ktps)\n%!"
+        (snd knee /. 1000.0) (fst knee /. 1000.0));
+  (* replica read path: same load, reads riding along under the two
+     consistency options *)
+  let rt =
+    Table.create
+      ~title:"Replica reads under load (0.9x capacity, 0.5 reads/write)"
+      ~columns:[ "consistency"; "reads"; "stale %"; "staleness p99 ms" ]
+  in
+  List.iter
+    (fun (name, c) ->
+      let r, st, _ =
+        run_traffic mode ~rate_per_s:(capacity *. 0.9) ~pool_cap:(4 * batch)
+          ~read_ratio:0.5 ~consistency:c ~n ~workers ~batch ~tx_size ()
+      in
+      let stale_pct =
+        if st.Fl_load.Source.reads = 0 then 0.
+        else
+          100.0
+          *. float_of_int st.Fl_load.Source.reads_stale
+          /. float_of_int st.Fl_load.Source.reads
+      in
+      Table.add_row rt
+        [ name;
+          Table.cell_i st.Fl_load.Source.reads;
+          Table.cell_f ~dec:1 stale_pct;
+          Table.cell_f ~dec:1
+            (Settings.histo_q_ms r.Settings.recorder "read_staleness" 0.99) ])
+    [ ("session", Fl_load.Source.Session);
+      ("bounded 50ms", Fl_load.Source.Bounded_staleness (Time.ms 50));
+      ("bounded 500ms", Fl_load.Source.Bounded_staleness (Time.ms 500)) ];
+  Table.print rt;
+  (* flash crowd: a 4x surge window mid-measurement *)
+  match mode with
+  | Quick -> ()
+  | Full ->
+      let surge =
+        { Fl_load.Arrivals.from_ = Time.s 2;
+          until = Time.s 3;
+          factor = 4.0 }
+      in
+      let st_tbl =
+        Table.create ~title:"Flash crowd: 4x surge over [2s,3s) at 0.8x base"
+          ~columns:
+            [ "variant"; "goodput ktps"; "dropped"; "evicted"; "e2e p99 ms" ]
+      in
+      List.iter
+        (fun (name, surges) ->
+          let r, st, s =
+            run_traffic mode ~rate_per_s:(capacity *. 0.8)
+              ~pool_cap:(4 * batch) ~read_ratio:0.
+              ~consistency:Fl_load.Source.Session ~surges ~n ~workers ~batch
+              ~tx_size ()
+          in
+          let secs =
+            Fl_sim.Time.to_float_s (s.Settings.warmup + s.Settings.duration)
+          in
+          Table.add_row st_tbl
+            [ name;
+              Table.cell_f ~dec:1
+                (float_of_int st.Fl_load.Source.finalized /. secs /. 1000.0);
+              Table.cell_i st.Fl_load.Source.dropped;
+              Table.cell_i st.Fl_load.Source.evicted;
+              Table.cell_f ~dec:2
+                (Settings.histo_q_ms r.Settings.recorder "latency_client_e2e"
+                   0.99) ])
+        [ ("steady", []); ("4x surge", [ surge ]) ];
+      Table.print st_tbl
+
 let all =
   [ ("table1", "Table 1: per-mode protocol costs", table1);
     ("fig5", "Figure 5: signature generation rate", fig5);
@@ -627,7 +838,9 @@ let all =
     ("fig17", "Figure 17: FLO vs BFT-SMaRt", fig17);
     ("ablations", "Design-choice ablations", ablations);
     ("restart_durable", "Durable restarts: WAL sync-policy sweep",
-     restart_durable) ]
+     restart_durable);
+    ("saturation", "Saturation studies: open-loop load sweep and replica reads",
+     saturation) ]
 
 (* Host-time footer: wall clock (monotonic, via Fl_prof) plus the
    sim-rate delta accumulated by the Settings drivers this experiment

@@ -15,3 +15,26 @@ val run_by_id : string -> mode -> bool
 (** Run one experiment; [false] if the id is unknown. *)
 
 val run_all : mode -> unit
+
+val run_traffic :
+  mode ->
+  rate_per_s:float ->
+  pool_cap:int ->
+  read_ratio:float ->
+  consistency:Fl_load.Source.consistency ->
+  ?surges:Fl_load.Arrivals.surge list ->
+  ?seed:int ->
+  n:int ->
+  workers:int ->
+  batch:int ->
+  tx_size:int ->
+  unit ->
+  Settings.result * Fl_load.Source.stats * Settings.flo_setting
+(** One traffic-tier run behind the saturation sweep: an
+    {!Fl_load.Source} open-loop client source submits to node 0's
+    fee-priority pool (capacity [pool_cap]) while the cluster runs in
+    client-drain mode ([fill_blocks = false]); deliveries and
+    evictions feed back into the source, so its stats and the
+    recorder's [phase_admission_wait] / [client_consensus] /
+    [latency_client_e2e] histograms describe the client-observed
+    outcome. Exposed for the saturation/telescoping tests. *)

@@ -46,6 +46,7 @@ type flo_setting = {
   config_tweaks : Fl_fireledger.Config.t -> Fl_fireledger.Config.t;
   obs : Fl_obs.Obs.t option;
   persist : Fl_persist.Node.config option;
+  on_deliver : (node:int -> Fl_flo.Node.delivery -> unit) option;
 }
 
 (* "never" | "group_commit" | "group_commit:5ms" | "every_block",
@@ -91,7 +92,8 @@ let flo ~n ~workers ~batch ~tx_size =
     faults = no_faults;
     config_tweaks = Fun.id;
     obs = None;
-    persist = None }
+    persist = None;
+    on_deliver = None }
 
 type result = {
   tps : float;
@@ -254,7 +256,8 @@ let build_flo s =
       ~latency:(latency_of ~net:s.net ~n:s.n)
       ~cost:s.machine.cost ~cores:s.machine.cores
       ~bandwidth_bps:s.machine.bandwidth_bps ~behavior ~config
-      ?obs:(effective_obs s) ?persist:s.persist ~workers:s.workers ()
+      ?obs:(effective_obs s) ?persist:s.persist ?on_deliver:s.on_deliver
+      ~workers:s.workers ()
   in
   Fl_metrics.Recorder.set_window cluster.Fl_flo.Cluster.recorder
     ~start:s.warmup ~stop:(s.warmup + s.duration);

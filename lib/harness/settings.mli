@@ -59,6 +59,10 @@ type flo_setting = {
   persist : Fl_persist.Node.config option;
       (** give every (node, worker) instance a durability layer; [None]
           (the default) keeps the run purely in-memory *)
+  on_deliver : (node:int -> Fl_flo.Node.delivery -> unit) option;
+      (** per-delivery tap on every node's FLO merge output — how the
+          traffic tier's {!Fl_load.Source} learns its transactions
+          finalized (default [None]) *)
 }
 
 val persist_of_string : string -> Fl_persist.Node.config
@@ -125,6 +129,11 @@ val build_flo : flo_setting -> Fl_flo.Cluster.t
 
 val run_cluster : flo_setting -> Fl_flo.Cluster.t -> result
 (** The other half: start, run to [warmup + duration], distil. *)
+
+val histo_mean_ms : Fl_metrics.Recorder.t -> string -> float
+val histo_q_ms : Fl_metrics.Recorder.t -> string -> float -> float
+(** Mean / quantile of a named recorder histogram in milliseconds
+    (0 when the histogram was never written). *)
 
 val latency_cdf : flo_setting -> points:int -> (float * float) list
 (** Run and return the end-to-end latency CDF [(ms, fraction)] —

@@ -1,0 +1,76 @@
+(* Zipf(n, s) sampling by rejection-inversion (Hörmann & Derflinger,
+   "Rejection-inversion to generate variates from monotone discrete
+   distributions", 1996). O(1) per draw with no table, so a source can
+   skew over a million accounts without a million-entry alias table.
+
+   H below is the integral of the hat function h(x) = x^(-s); the
+   sampler inverts H over [0.5, n + 0.5] and accepts by comparing
+   against the true pmf. Acceptance probability is bounded away from
+   zero uniformly in n. *)
+
+open Fl_sim
+
+type t = {
+  n : int;
+  s : float;
+  h_x1 : float;  (* H(1.5) - 1 *)
+  h_n : float;  (* H(n + 0.5) *)
+  threshold : float;  (* s' = 2 - H_inv(H(2.5) - h(2)) *)
+  mutable harmonic : float;  (* generalized harmonic H_{n,s}; < 0 = unset *)
+}
+
+(* H(x) = (x^(1-s) - 1) / (1-s), continued as log x at s = 1. *)
+let h_integral ~s x =
+  let log_x = log x in
+  if Float.abs (1. -. s) < 1e-9 then log_x
+  else Float.expm1 ((1. -. s) *. log_x) /. (1. -. s)
+
+let h_integral_inv ~s x =
+  if Float.abs (1. -. s) < 1e-9 then exp x
+  else begin
+    let t = x *. (1. -. s) in
+    (* clamp: inverse only queried inside the hat's range, but float
+       noise near the lower end can push t below -1 *)
+    let t = if t < -1. then -1. else t in
+    exp (Float.log1p t /. (1. -. s))
+  end
+
+let h ~s x = exp (-.s *. log x)
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: n";
+  if s <= 0. then invalid_arg "Zipf.create: s";
+  let h_x1 = h_integral ~s 1.5 -. 1. in
+  let h_n = h_integral ~s (float_of_int n +. 0.5) in
+  let threshold = 2. -. h_integral_inv ~s (h_integral ~s 2.5 -. h ~s 2.) in
+  { n; s; h_x1; h_n; threshold; harmonic = -1. }
+
+let n t = t.n
+let s t = t.s
+
+let draw t rng =
+  let rec go () =
+    let u = t.h_n +. (Rng.float rng 1.0 *. (t.h_x1 -. t.h_n)) in
+    let x = h_integral_inv ~s:t.s u in
+    let k = int_of_float (x +. 0.5) in
+    let k = if k < 1 then 1 else if k > t.n then t.n else k in
+    if
+      float_of_int k -. x <= t.threshold
+      || u >= h_integral ~s:t.s (float_of_int k +. 0.5) -. h ~s:t.s (float_of_int k)
+    then k
+    else go ()
+  in
+  go ()
+
+let pmf t k =
+  if k < 1 || k > t.n then 0.
+  else begin
+    if t.harmonic < 0. then begin
+      let sum = ref 0. in
+      for i = 1 to t.n do
+        sum := !sum +. h ~s:t.s (float_of_int i)
+      done;
+      t.harmonic <- !sum
+    end;
+    h ~s:t.s (float_of_int k) /. t.harmonic
+  end

@@ -1,0 +1,26 @@
+(** Zipfian rank sampling for account/key skew.
+
+    [draw] returns ranks in [1, n] with P(k) ∝ k{^-s} — rank 1 is the
+    hottest account. Rejection-inversion (Hörmann & Derflinger 1996):
+    O(1) per draw, no precomputed table, so key spaces of millions of
+    accounts cost nothing to set up. Deterministic given the
+    {!Fl_sim.Rng} stream. *)
+
+open Fl_sim
+
+type t
+
+val create : n:int -> s:float -> t
+(** [n] ranks, exponent [s > 0] ([s ≈ 1] is the classic web/account
+    skew; larger is hotter). *)
+
+val draw : t -> Rng.t -> int
+(** A rank in [1, n]. *)
+
+val pmf : t -> int -> float
+(** Exact probability of a rank (0 outside [1, n]) — the analytic
+    reference the chi-square test compares observed draws against.
+    First call computes the normalizing harmonic sum in O(n). *)
+
+val n : t -> int
+val s : t -> float

@@ -67,6 +67,13 @@ let ensure_sorted t =
     t.sorted <- true
   end
 
+let sum t =
+  let s = ref 0 in
+  for i = 0 to t.len - 1 do
+    s := !s + t.data.(i)
+  done;
+  !s
+
 let mean t =
   if t.len = 0 then 0.0
   else begin

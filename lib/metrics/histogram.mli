@@ -10,6 +10,12 @@ type t
 val create : unit -> t
 val record : t -> int -> unit
 val count : t -> int
+
+val sum : t -> int
+(** Exact integer sum of every recorded sample — the basis for the
+    telescoping checks (sums of phase histograms must equal the sum of
+    the end-to-end histogram, with no float rounding). *)
+
 val mean : t -> float
 val min_value : t -> int
 val max_value : t -> int

@@ -44,3 +44,38 @@ val names : string list
 val record : Fl_metrics.Recorder.t -> components -> unit
 (** Observe each component into its phase histogram (see {!names}) —
     the series behind the phase-decomposed Figure 8 CDFs. *)
+
+(** {2 Client-observed decomposition}
+
+    The traffic tier measures latency from the client's side: submit
+    (the transaction enters a node's admission queue, possibly after
+    retries) → A (drained into a block body) → final (that block is
+    definite and merged). Two components:
+
+    - {b admission wait} (submit→A): queueing in the fee-priority
+      mempool — the congestion signal of the saturation studies;
+    - {b consensus} (A→final): the block pipeline itself (≈ E − A of
+      the block decomposition above).
+
+    Raw differences again, so per transaction
+    [admission_wait + consensus = final − submit] exactly, and the
+    histogram sums telescope: sum(phase_admission_wait) +
+    sum(client_consensus) = sum(latency_client_e2e). *)
+
+type client_components = {
+  admission_wait : Time.t;
+  consensus : Time.t;
+}
+
+val of_client_times :
+  submit:Time.t -> a:Time.t -> final:Time.t -> client_components
+
+val client_total : client_components -> Time.t
+(** Exactly [final - submit]. *)
+
+val client_names : string list
+(** Histogram names written by {!record_client}:
+    ["phase_admission_wait"; "client_consensus"; "latency_client_e2e"]. *)
+
+val record_client : Fl_metrics.Recorder.t -> client_components -> unit
+(** Observe both components and their telescoped end-to-end total. *)

@@ -4,33 +4,63 @@ open Fl_chain
 type t = {
   engine : Engine.t;
   mutable submitted : int;
-  mutable rejected : int;
+  mutable backpressured : int;
+  mutable dropped : int;
   mutable stopped : bool;
 }
+
+(* Inverse-CDF exponential gap in ns. Uses log1p (-u), which is finite
+   for every u in [0,1) — the plain  -mean * log u  form has a
+   singularity at u = 0.0, which a 64-bit uniform draw does hit. u is
+   clamped below 1.0 so a (theoretically impossible, but cheap to
+   exclude) top-end draw cannot yield log1p (-1.) = -inf. *)
+let exp_gap_ns ~mean_gap_ns ~u =
+  let u = if u < 0.0 then 0.0 else if u >= 1.0 then Float.pred 1.0 else u in
+  -.mean_gap_ns *. Float.log1p (-.u)
 
 let make_tx ~rng ~id ~size ~payloads =
   if payloads then Tx.create_payload ~id (Rng.bytes rng size)
   else Tx.create ~id ~size
 
-let spawn engine ~rng ~node ~rate_per_s ~tx_size ?(payloads = false) () =
+let spawn engine ~rng ~node ~rate_per_s ~tx_size ?(payloads = false)
+    ?(max_retries = 0) ?(retry_backoff = Time.ms 1) () =
   if rate_per_s <= 0.0 then invalid_arg "Clients.spawn: rate";
-  let t = { engine; submitted = 0; rejected = 0; stopped = false } in
+  if max_retries < 0 then invalid_arg "Clients.spawn: max_retries";
+  let t =
+    { engine; submitted = 0; backpressured = 0; dropped = 0; stopped = false }
+  in
   let mean_gap = 1e9 /. rate_per_s in
   Fiber.spawn engine (fun () ->
       let next_id = ref 0 in
       while not t.stopped do
         (* Poisson arrivals. *)
-        let gap = Rng.exponential rng ~mean:mean_gap in
+        let gap = exp_gap_ns ~mean_gap_ns:mean_gap ~u:(Rng.float rng 1.0) in
         Fiber.sleep engine (max 1 (int_of_float gap));
         if not t.stopped then begin
           let tx = make_tx ~rng ~id:!next_id ~size:tx_size ~payloads in
           incr next_id;
-          if Fl_flo.Node.submit node tx then t.submitted <- t.submitted + 1
-          else t.rejected <- t.rejected + 1
+          (* Backpressure from the pool is retried up to [max_retries]
+             times with a fixed backoff; only a transaction that
+             exhausts its retries counts as dropped. *)
+          let rec attempt tries =
+            if Fl_flo.Node.submit node tx then
+              t.submitted <- t.submitted + 1
+            else begin
+              t.backpressured <- t.backpressured + 1;
+              if tries < max_retries && not t.stopped then begin
+                Fiber.sleep engine retry_backoff;
+                attempt (tries + 1)
+              end
+              else t.dropped <- t.dropped + 1
+            end
+          in
+          attempt 0
         end
       done);
   t
 
 let submitted t = t.submitted
-let rejected t = t.rejected
+let backpressured t = t.backpressured
+let dropped t = t.dropped
+let rejected t = t.dropped
 let stop t = t.stopped <- true

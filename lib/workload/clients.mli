@@ -3,7 +3,11 @@
     Benchmarks run the paper's full-load mode (blocks padded to β by
     the proposers themselves), so clients are mainly for the examples
     and for open-loop experiments: a client fiber submits transactions
-    of a given size at a given rate to a FLO node's client manager. *)
+    of a given size at a given rate to a FLO node's client manager.
+
+    Aggregate million-client traffic (diurnal curves, flash crowds,
+    Zipfian skew, cohort retries) lives in {!Fl_load.Source}; this
+    module stays the simple per-fiber generator. *)
 
 open Fl_sim
 open Fl_chain
@@ -17,17 +21,39 @@ val spawn :
   rate_per_s:float ->
   tx_size:int ->
   ?payloads:bool ->
+  ?max_retries:int ->
+  ?retry_backoff:Time.t ->
   unit ->
   t
 (** Start an open-loop client against one node. [payloads] makes
     transactions carry real random bytes (default: synthetic sizes
-    only). *)
+    only). A backpressured submission is retried up to [max_retries]
+    times (default 0), sleeping [retry_backoff] (default 1 ms) between
+    attempts. *)
 
 val submitted : t -> int
+(** Transactions the node accepted (possibly after retries). *)
+
+val backpressured : t -> int
+(** Submission {e attempts} the node refused — each retry that fails
+    counts again. Backpressure the client absorbed, not lost work. *)
+
+val dropped : t -> int
+(** Transactions abandoned after exhausting [max_retries] — actual
+    lost work. [submitted + dropped] = transactions generated. *)
+
 val rejected : t -> int
-(** Back-pressured submissions (mempool full). *)
+(** Deprecated alias for {!dropped} (the old counter conflated
+    retried backpressure with losses). *)
 
 val stop : t -> unit
 
 val make_tx : rng:Rng.t -> id:int -> size:int -> payloads:bool -> Tx.t
 (** One transaction as the generator builds them. *)
+
+val exp_gap_ns : mean_gap_ns:float -> u:float -> float
+(** Pure inter-arrival sampler behind the generator: the inverse-CDF
+    exponential [-mean * log1p (-u)] with [u] clamped into [0, 1) —
+    finite and non-negative for {e every} [u], including the [u = 0.]
+    a 64-bit uniform draw does produce (the naive [-mean * log u] form
+    returns +inf there and stalls the client fiber forever). *)

@@ -14,6 +14,7 @@ let () =
       ("protocol-units", Test_protocol_units.suite);
       ("metrics", Test_metrics.suite);
       ("workload", Test_workload.suite);
+      ("load", Test_load.suite);
       ("harness", Test_harness.suite);
       ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite);

@@ -75,7 +75,7 @@ let test_latency_cdf () =
   Alcotest.(check bool) "monotone values" true (List.sort compare ms = ms)
 
 let test_experiment_registry () =
-  Alcotest.(check int) "16 experiments" 16
+  Alcotest.(check int) "17 experiments" 17
     (List.length Experiments.all);
   List.iter
     (fun id ->
@@ -85,7 +85,7 @@ let test_experiment_registry () =
         (List.exists (fun (i, _, _) -> String.equal i id) Experiments.all))
     [ "table1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
       "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "ablations";
-      "restart_durable" ];
+      "restart_durable"; "saturation" ];
   Alcotest.(check bool) "unknown id rejected" false
     (Experiments.run_by_id "nope" Experiments.Quick)
 

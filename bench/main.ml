@@ -126,10 +126,44 @@ let load_pool =
 
 let load_seq = ref 1024
 
+(* Reconfig tier: a multi-chunk snapshot of a 64-round chain, chunked
+   the way the state-transfer donor does (8 KiB String.sub + Snap_chunk
+   framing per chunk), and the epoch-switch computation (decode the
+   reconfiguration payload off the decided block, fold the change,
+   build the successor epoch). *)
+let reconfig_snap_enc =
+  let store = Fl_chain.Store.create () in
+  let prev = ref Fl_chain.Block.genesis_hash in
+  for r = 0 to 63 do
+    let txs =
+      Array.init 10 (fun i -> Fl_chain.Tx.create ~id:((r * 10) + i) ~size:128)
+    in
+    let b = Fl_chain.Block.create ~round:r ~proposer:(r mod 4) ~prev_hash:!prev txs in
+    prev := Fl_chain.Block.hash b;
+    match Fl_chain.Store.append store b with
+    | Ok () -> ()
+    | Error _ -> failwith "bench: reconfig chain build"
+  done;
+  match
+    Fl_persist.Snapshot.build ~store ~upto:63 ~era:1 ~app:"" ~app_hash:""
+  with
+  | Some s -> Fl_persist.Snapshot.encode s
+  | None -> failwith "bench: reconfig snapshot build"
+
+let reconfig_chunk_bytes = 8192
+let reconfig_chunk_seq = ref 0
+
+let reconfig_block =
+  let tx = Fl_fireledger.Epoch.reconfig_tx (Fl_fireledger.Epoch.Join 4) in
+  Fl_chain.Block.create ~round:10 ~proposer:0 ~prev_hash:"" [| tx |]
+
+let reconfig_genesis =
+  Fl_fireledger.Epoch.genesis ~members:[ 0; 1; 2; 3 ] ~universe:5 ()
+
 (* The explicit, ordered kernel registry: areas in fixed order, kernels
    in fixed order within each area, so text and JSON output are
    deterministic (no Hashtbl iteration order). *)
-let areas = [ "crypto"; "codec"; "substrate"; "kernels"; "load" ]
+let areas = [ "crypto"; "codec"; "substrate"; "kernels"; "load"; "reconfig" ]
 
 let kernels : (string * string * (unit -> unit)) list =
   [ (* Figure 5 calibration: the real crypto kernels. *)
@@ -218,7 +252,34 @@ let kernels : (string * string * (unit -> unit)) list =
         ignore (Fl_chain.Mempool.take_batch load_pool ~max:1);
         ignore
           (Fl_chain.Mempool.submit load_pool
-             (Fl_chain.Tx.create ~id:(id + 1_000_000) ~size:128)) ) ]
+             (Fl_chain.Tx.create ~id:(id + 1_000_000) ~size:128)) );
+    (* Reconfiguration tier: per-chunk donor cost of a state transfer,
+       and the full epoch-switch computation a decided reconfiguration
+       block triggers on every member. *)
+    ( "reconfig",
+      "reconfig/state-transfer-chunk",
+      fun () ->
+        let len = String.length reconfig_snap_enc in
+        let total = (len + reconfig_chunk_bytes - 1) / reconfig_chunk_bytes in
+        let seq = !reconfig_chunk_seq in
+        reconfig_chunk_seq := (seq + 1) mod total;
+        let off = seq * reconfig_chunk_bytes in
+        let data =
+          String.sub reconfig_snap_enc off (min reconfig_chunk_bytes (len - off))
+        in
+        ignore
+          (Fl_fireledger.Msg.encode
+             (Fl_fireledger.Msg.Snap_chunk { sid = 1; seq; total; data })) );
+    ( "reconfig",
+      "reconfig/epoch-switch",
+      fun () ->
+        let changes = Fl_fireledger.Epoch.changes_of_block reconfig_block in
+        match
+          Fl_fireledger.Epoch.succeed ~universe:5 reconfig_genesis changes
+            ~activation:14
+        with
+        | Some _ -> ()
+        | None -> failwith "bench: epoch-switch produced no successor" ) ]
 
 (* ---------- measurement and reporting ---------- *)
 

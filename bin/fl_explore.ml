@@ -26,6 +26,9 @@ let pp_report verbose (r : Explorer.report) =
     Printf.printf "evidence  %d object(s), accused=[%s]\n"
       r.Explorer.evidence_count
       (String.concat ";" (List.map string_of_int r.Explorer.accused));
+  if r.Explorer.epochs > 0 || r.Explorer.transfers > 0 then
+    Printf.printf "epochs    scheduled=%d state-transfers=%d\n"
+      r.Explorer.epochs r.Explorer.transfers;
   Printf.printf "engine    events=%d%s\n" r.Explorer.events
     (if r.Explorer.truncated then " (step budget exhausted)" else "");
   (match r.Explorer.traffic with
@@ -57,8 +60,9 @@ let summarise (s : Explorer.summary) =
   let tbl =
     Fl_harness.Table.create ~title:"schedule exploration"
       ~columns:
-        [ "seed"; "n"; "faults"; "min-def"; "max-round"; "recov"; "corrupt";
-          "decode-err"; "adm/fin/evic"; "events"; "violations" ]
+        [ "seed"; "n"; "faults"; "min-def"; "max-round"; "recov"; "epochs";
+          "xfers"; "corrupt"; "decode-err"; "adm/fin/evic"; "events";
+          "violations" ]
   in
   List.iter
     (fun (r : Explorer.report) ->
@@ -69,6 +73,8 @@ let summarise (s : Explorer.summary) =
           string_of_int r.Explorer.min_definite;
           string_of_int r.Explorer.max_round;
           string_of_int r.Explorer.recoveries;
+          string_of_int r.Explorer.epochs;
+          string_of_int r.Explorer.transfers;
           string_of_int r.Explorer.corrupted;
           string_of_int r.Explorer.decode_errors;
           (match r.Explorer.traffic with
@@ -82,12 +88,13 @@ let summarise (s : Explorer.summary) =
   print_string (Fl_harness.Table.render tbl)
 
 let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
-    surge no_shrink verbose =
+    surge reconfig no_shrink verbose =
   let n = if n = 0 then None else Some n in
   let inject_fork = if inject_fork then Some true else None in
   let with_disk_faults = if disk then Some true else None in
   let with_corrupt_faults = if corrupt then Some true else None in
   let with_surge_faults = if surge then Some true else None in
+  let with_reconfig_faults = if reconfig then Some true else None in
   let persist =
     if disk then Some Fl_persist.Node.default_config else None
   in
@@ -121,16 +128,16 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
       | Some seed ->
           let r =
             Explorer.run_seed ?inject_fork ?with_disk_faults
-              ?with_corrupt_faults ?with_surge_faults ?persist ?n ~budget_ms
-              seed
+              ?with_corrupt_faults ?with_surge_faults ?with_reconfig_faults
+              ?persist ?n ~budget_ms seed
           in
           pp_report true r;
           finish_failure r
       | None ->
           let s =
             Explorer.explore ?inject_fork ?with_disk_faults
-              ?with_corrupt_faults ?with_surge_faults ?persist ?n ~seeds
-              ~base_seed ~budget_ms ()
+              ?with_corrupt_faults ?with_surge_faults ?with_reconfig_faults
+              ?persist ?n ~seeds ~base_seed ~budget_ms ()
           in
           if verbose || List.length s.Explorer.reports <= 40 then summarise s;
           Printf.printf
@@ -147,8 +154,8 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
               (* replay the exact seed to confirm determinism *)
               let again =
                 Explorer.run_seed ?inject_fork ?with_disk_faults
-                  ?with_corrupt_faults ?with_surge_faults ?persist ?n
-                  ~budget_ms seed
+                  ?with_corrupt_faults ?with_surge_faults
+                  ?with_reconfig_faults ?persist ?n ~budget_ms seed
               in
               Printf.printf "replay    %s\n"
                 (if
@@ -229,6 +236,20 @@ let cmd =
              finalized, explicitly evicted with backpressure, or still \
              queued/in-flight at end of run.")
   in
+  let reconfig =
+    Arg.(
+      value & flag
+      & info [ "reconfig" ]
+          ~doc:
+            "Draw dynamic-membership plans instead: one node joins a live \
+             cluster through a decided reconfiguration (state transfer + \
+             catch-up before it votes), optionally one member leaves, under \
+             one of three stress scenarios — f crash-restarts, a rolling \
+             restart of every node during a surge, or a join under \
+             open-loop load. Clusters get persistence and the epoch-fork, \
+             epoch-proposer and state-transfer oracles apply; every seed \
+             must converge with zero violations.")
+  in
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip shrinking on failure.")
   in
@@ -240,6 +261,6 @@ let cmd =
           oracles, seed replay and shrinking.")
     Term.(
       const run $ seeds $ base_seed $ budget_ms $ n $ replay $ plan
-      $ inject_fork $ disk $ corrupt $ surge $ no_shrink $ verbose)
+      $ inject_fork $ disk $ corrupt $ surge $ reconfig $ no_shrink $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -14,7 +14,7 @@ type t = {
   mutable count : int;
   mutable bytes : int;
   mutable submitted : int;
-  mutable rejected : int;
+  mutable backpressured : int;
   mutable evicted : int;
   mutable on_evict : (Tx.t -> fee:int -> unit) option;
 }
@@ -26,7 +26,7 @@ let create ?(capacity = 1_000_000) () =
     count = 0;
     bytes = 0;
     submitted = 0;
-    rejected = 0;
+    backpressured = 0;
     evicted = 0;
     on_evict = None }
 
@@ -81,7 +81,7 @@ let admit t tx ~fee =
         push t tx ~fee;
         true
     | _ ->
-        t.rejected <- t.rejected + 1;
+        t.backpressured <- t.backpressured + 1;
         false
 
 (* Re-queue a transaction the node already accepted (e.g. one drained
@@ -91,7 +91,7 @@ let admit t tx ~fee =
 let readmit t tx ~fee =
   if admit t tx ~fee then true
   else begin
-    t.rejected <- t.rejected - 1;  (* not a client submission *)
+    t.backpressured <- t.backpressured - 1;  (* not a client submission *)
     t.evicted <- t.evicted + 1;
     (match t.on_evict with Some cb -> cb tx ~fee | None -> ());
     false
@@ -118,5 +118,5 @@ let iter t f = Fees.iter (fun fee q -> Queue.iter (fun tx -> f tx ~fee) q) t.buc
 let size t = t.count
 let pending_bytes t = t.bytes
 let submitted_total t = t.submitted
-let rejected_total t = t.rejected
+let backpressured_total t = t.backpressured
 let evicted_total t = t.evicted

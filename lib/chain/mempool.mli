@@ -53,7 +53,12 @@ val min_fee : t -> int option
 val size : t -> int
 val pending_bytes : t -> int
 val submitted_total : t -> int
-val rejected_total : t -> int
+
+val backpressured_total : t -> int
+(** Submissions refused outright (pool full, fee too low) — the
+    client kept its transaction and may retry. Formerly
+    [rejected_total]; renamed to match the {!Fl_load.Source} ledger
+    (backpressured = absorbed, dropped = lost). *)
 
 val evicted_total : t -> int
 (** Transactions displaced under overload (plus failed readmits). *)

@@ -13,6 +13,8 @@ type report = {
   decode_errors : int;
   accused : int list;
   evidence_count : int;
+  epochs : int;  (* successor epochs the canonical schedule reached *)
+  transfers : int;  (* completed state transfers, cluster-wide *)
   events : int;
   truncated : bool;
   traffic : Fl_load.Source.stats option;
@@ -103,13 +105,27 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
     end
     else plan
   in
-  (* disk faults need a durability layer under every node *)
+  (* disk faults need a durability layer under every node; so do
+     reconfiguration plans — rolling restarts recover from media, and
+     joiners persist their adopted snapshot prefix *)
   let persist =
     match persist with
     | Some _ as p -> p
     | None ->
-        if Plan.has_disk_faults plan then Some Fl_persist.Node.default_config
+        if Plan.has_disk_faults plan || Plan.has_reconfig_faults plan then
+          Some Fl_persist.Node.default_config
         else None
+  in
+  (* joiners are outside the genesis membership: they boot as
+     observers and enter through their decided [Join] *)
+  let joiners = Plan.joiners plan in
+  let members =
+    if joiners = [] then None
+    else
+      Some
+        (List.filter
+           (fun i -> not (List.mem i joiners))
+           (List.init plan.Plan.n Fun.id))
   in
   let kvs =
     Array.init plan.Plan.n (fun _ -> ref (Fl_app.Kv.create ()))
@@ -124,13 +140,14 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
   let config =
     if surge then { config with Config.mempool_capacity = 64 } else config
   in
-  (* The traffic source targets one correct node (and not the one
-     whose output [--inject-fork] deliberately forks). *)
+  (* The traffic source targets one correct node that stays in the
+     membership (and not the one whose output [--inject-fork]
+     deliberately forks). *)
   let target =
-    let faulty = Plan.faulty plan in
+    let avoid = Plan.faulty plan @ joiners @ Plan.leavers plan in
     let rec pick i =
       if i >= plan.Plan.n then 0
-      else if (not (List.mem i faulty)) && not (inject_fork && i = 0) then i
+      else if (not (List.mem i avoid)) && not (inject_fork && i = 0) then i
       else pick (i + 1)
     in
     pick 0
@@ -143,7 +160,9 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
   let clock = ref (fun () -> 0) in
   let src_ref = ref None in
   let oracle =
-    Oracle.create ~now:(fun () -> !clock ()) ~n:plan.Plan.n ~f:plan.Plan.f ()
+    Oracle.create ?members
+      ~now:(fun () -> !clock ())
+      ~n:plan.Plan.n ~f:plan.Plan.f ()
   in
   let traffic_output inner =
     { inner with
@@ -167,7 +186,7 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
           if inject_fork && i = 0 then forked_output plan.Plan.n out else out
         in
         if surge && i = target then traffic_output out else out)
-      ?persist ~persist_app ~config ()
+      ?persist ~persist_app ?members ~config ()
   in
   clock := (fun () -> Engine.now cluster.Cluster.engine);
   if surge then begin
@@ -188,16 +207,18 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
         max_retries = 3;
         retry_backoff = Time.ms 10 }
     in
-    let pool = Instance.mempool cluster.Cluster.instances.(target) in
+    (* resolve the target's pool at call time: a cold restart replaces
+       the instance (and its mempool) in place *)
+    let pool () = Instance.mempool cluster.Cluster.instances.(target) in
     let src =
       Fl_load.Source.create cluster.Cluster.engine
         ~rng:(Rng.named_split (Rng.create plan.Plan.seed) "traffic")
         ~recorder:cluster.Cluster.recorder
-        ~sink:(fun tx ~fee -> Fl_chain.Mempool.admit pool tx ~fee)
+        ~sink:(fun tx ~fee -> Fl_chain.Mempool.admit (pool ()) tx ~fee)
         cfg
     in
     src_ref := Some src;
-    Fl_chain.Mempool.set_on_evict pool
+    Fl_chain.Mempool.set_on_evict (pool ())
       (Some (fun tx ~fee -> Fl_load.Source.note_evicted src tx ~fee));
     Fl_load.Source.start src
   end;
@@ -208,7 +229,15 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
          recovered definite prefix *)
       Oracle.note_restart oracle i;
       Oracle.attach_stores oracle
-        (Array.map Instance.store cluster.Cluster.instances));
+        (Array.map Instance.store cluster.Cluster.instances);
+      (* the fresh mempool needs the eviction hook re-installed *)
+      if i = target then
+        match !src_ref with
+        | Some src ->
+            Fl_chain.Mempool.set_on_evict
+              (Instance.mempool cluster.Cluster.instances.(target))
+              (Some (fun tx ~fee -> Fl_load.Source.note_evicted src tx ~fee))
+        | None -> ());
   Plan.apply plan ~engine:cluster.Cluster.engine ~cluster;
   Cluster.start cluster;
   let until = Time.ms budget_ms in
@@ -216,10 +245,20 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
   Engine.run ~until ~max_events cluster.Cluster.engine;
   let truncated = Engine.now cluster.Cluster.engine < until in
   let faulty = Plan.faulty plan in
+  (* A rolling restart cold-restarts every node, and a restarted node
+     may legitimately double-sign across incarnations (its
+     no-double-sign archive is volatile) — excuse all nodes from the
+     false-accusation check, exactly like plan-crashed ones, while
+     still holding them to the liveness bound (rolled nodes never
+     enter [Plan.faulty], so the f budget is untouched). *)
+  let excused =
+    if Plan.has_rolling plan then List.init plan.Plan.n Fun.id else []
+  in
   let expect_accused =
     if inject_fork then Some (Plan.byzantine plan) else None
   in
-  Oracle.finish ?expect_accused oracle ~cluster ~faulty
+  Oracle.finish ?expect_accused ~departed:(Plan.leavers plan) ~excused oracle
+    ~cluster ~faulty
     ~expect_progress:(Plan.expect_liveness plan && not truncated)
     ~min_rounds:(min_rounds_for ~budget_ms);
   (* Application oracle: each surviving node's live KV state must
@@ -256,24 +295,37 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
     | None -> None
     | Some src ->
         Fl_load.Source.stop src;
-        let inst = cluster.Cluster.instances.(target) in
-        let present = Hashtbl.create 256 in
-        Fl_chain.Mempool.iter (Instance.mempool inst) (fun tx ~fee:_ ->
-            Hashtbl.replace present tx.Fl_chain.Tx.id ());
-        List.iter
-          (fun ((tx : Fl_chain.Tx.t), _fee) ->
-            Hashtbl.replace present tx.Fl_chain.Tx.id ())
-          (Instance.inflight_client_txs inst);
-        let pending = Fl_load.Source.pending_ids src in
-        let missing =
-          List.length
-            (List.filter (fun id -> not (Hashtbl.mem present id)) pending)
-        in
-        Oracle.check_no_silent_drop oracle ~node:target ~missing
-          ~pending:(List.length pending);
+        (* A leaving target hands its pending transactions to a
+           surviving member, so scan every live node's pool and
+           in-flight proposals, not just the target's. Skipped under a
+           rolling restart: a cold restart legitimately loses the
+           volatile pool (real clients re-submit). *)
+        if not (Plan.has_rolling plan) then begin
+          let present = Hashtbl.create 256 in
+          Array.iteri
+            (fun i inst ->
+              if not (Hashtbl.mem cluster.Cluster.crashed i) then begin
+                Fl_chain.Mempool.iter (Instance.mempool inst) (fun tx ~fee:_ ->
+                    Hashtbl.replace present tx.Fl_chain.Tx.id ());
+                List.iter
+                  (fun ((tx : Fl_chain.Tx.t), _fee) ->
+                    Hashtbl.replace present tx.Fl_chain.Tx.id ())
+                  (Instance.inflight_client_txs inst)
+              end)
+            cluster.Cluster.instances;
+          let pending = Fl_load.Source.pending_ids src in
+          let missing =
+            List.length
+              (List.filter (fun id -> not (Hashtbl.mem present id)) pending)
+          in
+          Oracle.check_no_silent_drop oracle ~node:target ~missing
+            ~pending:(List.length pending)
+        end;
         Some (Fl_load.Source.stats src)
   in
-  let correct = List.filter (fun i -> not (List.mem i faulty))
+  let correct =
+    List.filter
+      (fun i -> not (List.mem i (faulty @ Plan.leavers plan)))
       (List.init plan.Plan.n Fun.id)
   in
   let min_definite =
@@ -300,15 +352,17 @@ let run_plan ?(inject_fork = false) ?obs ?persist ~budget_ms (plan : Plan.t) =
       Fl_metrics.Recorder.counter cluster.Cluster.recorder "decode_errors";
     accused = Oracle.accused oracle;
     evidence_count = Oracle.evidence_count oracle;
+    epochs = Oracle.epoch_count oracle;
+    transfers = Oracle.transfer_count oracle;
     events = Engine.processed cluster.Cluster.engine;
     truncated;
     traffic }
 
 let run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults
-    ?with_surge_faults ?persist ?n ~budget_ms seed =
+    ?with_surge_faults ?with_reconfig_faults ?persist ?n ~budget_ms seed =
   run_plan ?inject_fork ?persist ~budget_ms
     (Plan.generate ?with_disk_faults ?with_corrupt_faults ?with_surge_faults
-       ?n ~seed ~budget_ms ())
+       ?with_reconfig_faults ?n ~seed ~budget_ms ())
 
 type summary = {
   seeds : int;
@@ -319,11 +373,13 @@ type summary = {
 }
 
 let explore ?inject_fork ?with_disk_faults ?with_corrupt_faults
-    ?with_surge_faults ?persist ?n ~seeds ~base_seed ~budget_ms () =
+    ?with_surge_faults ?with_reconfig_faults ?persist ?n ~seeds ~base_seed
+    ~budget_ms () =
   let reports =
     List.init seeds (fun k ->
         run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults
-          ?with_surge_faults ?persist ?n ~budget_ms (base_seed + k))
+          ?with_surge_faults ?with_reconfig_faults ?persist ?n ~budget_ms
+          (base_seed + k))
   in
   { seeds;
     base_seed;
@@ -343,11 +399,11 @@ let fingerprint summary =
       (fun h r ->
         let h =
           fnv h
-            (Printf.sprintf "%s|%d|%d|%d|%d|%b|%s|%d\n" (Plan.to_string r.plan)
-               r.total_violations r.min_definite r.max_round r.events
-               r.truncated
+            (Printf.sprintf "%s|%d|%d|%d|%d|%b|%s|%d|%d|%d\n"
+               (Plan.to_string r.plan) r.total_violations r.min_definite
+               r.max_round r.events r.truncated
                (String.concat "," (List.map string_of_int r.accused))
-               r.evidence_count)
+               r.evidence_count r.epochs r.transfers)
         in
         let h =
           match r.traffic with
@@ -426,6 +482,12 @@ let weaken (fault : Plan.fault) : Plan.fault list =
       if factor > 2.0 then
         [ Plan.Surge { factor = factor /. 2.0; from_ms; to_ms } ]
       else []
+  (* membership changes are atomic — dropping them entirely (the
+     generic drop candidates) is the only simplification *)
+  | Plan.Join _ | Plan.Leave _ -> []
+  | Plan.Rolling { from_ms; gap_ms; down_ms } ->
+      (* widen the gap: more recovery room between restarts *)
+      [ Plan.Rolling { from_ms; gap_ms = 2 * gap_ms; down_ms } ]
 
 let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
 
@@ -446,9 +508,11 @@ let reduce_n (p : Plan.t) : Plan.t option =
           | Plan.Equivocate { node } | Plan.Slow_nic { node; _ }
           | Plan.Clock_skew { node; _ } | Plan.Torn_tail { node; _ }
           | Plan.Disk_loss { node; _ } | Plan.Fsync_stall { node; _ }
-          | Plan.Corrupt { node; _ } ->
+          | Plan.Corrupt { node; _ } | Plan.Join { node; _ }
+          | Plan.Leave { node; _ } ->
               if keep node then Some fault else None
-          | Plan.Surge _ -> Some fault  (* node-independent *)
+          | Plan.Surge _ | Plan.Rolling _ ->
+              Some fault  (* node-independent *)
           | Plan.Partition { groups; at_ms; heal_ms } ->
               let groups =
                 List.filter_map

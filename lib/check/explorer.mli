@@ -23,6 +23,9 @@ type report = {
   accused : int list;
       (** nodes some collected equivocation evidence accuses (sorted) *)
   evidence_count : int;  (** distinct evidence objects collected *)
+  epochs : int;
+      (** successor epochs the canonical membership schedule reached *)
+  transfers : int;  (** completed state transfers, cluster-wide *)
   events : int;  (** engine events executed *)
   truncated : bool;  (** engine step budget exhausted *)
   traffic : Fl_load.Source.stats option;
@@ -58,13 +61,19 @@ val run_plan :
     faults attach an {!Fl_load.Source} open-loop client source to one
     correct node (small pool, fee-priority admission); at end of run
     {!Oracle.check_no_silent_drop} asserts every admitted transaction
-    is finalized, explicitly evicted, or still queued/in-flight. *)
+    is finalized, explicitly evicted, or still queued/in-flight on
+    some live node (a leaving target hands its pool over first); the
+    check is suspended for plans that rolling-restart the cluster (a
+    cold restart loses the volatile pool). Reconfiguration plans get
+    persistence implicitly and a genesis membership excluding the
+    joiners, which boot as observers and state-transfer in. *)
 
 val run_seed :
   ?inject_fork:bool ->
   ?with_disk_faults:bool ->
   ?with_corrupt_faults:bool ->
   ?with_surge_faults:bool ->
+  ?with_reconfig_faults:bool ->
   ?persist:Fl_persist.Node.config ->
   ?n:int ->
   budget_ms:int ->
@@ -82,7 +91,8 @@ type summary = {
 
 val explore :
   ?inject_fork:bool -> ?with_disk_faults:bool -> ?with_corrupt_faults:bool ->
-  ?with_surge_faults:bool -> ?persist:Fl_persist.Node.config -> ?n:int ->
+  ?with_surge_faults:bool -> ?with_reconfig_faults:bool ->
+  ?persist:Fl_persist.Node.config -> ?n:int ->
   seeds:int -> base_seed:int -> budget_ms:int -> unit -> summary
 (** Run seeds [base_seed .. base_seed + seeds - 1]. *)
 

@@ -31,22 +31,34 @@ type t = {
   now : unit -> Time.t;
   n : int;
   f : int;
+  genesis_members : int array;  (* epoch-0 membership *)
   nodes : node_state array;
   canonical : (int, string) Hashtbl.t;  (* round -> first reported hash *)
+  epochs : (int, int * int array) Hashtbl.t;
+      (* epoch index -> (activation, members), first report wins: the
+         schedule is a pure function of the definite chain prefix, so
+         every correct node must report identical entries *)
   evidence : (string, Fl_fireledger.Types.evidence) Hashtbl.t;  (* by digest *)
   accused_tbl : (int, unit) Hashtbl.t;
   mutable rescind_seen : bool;
       (* some recovery actually rescinded blocks — the trigger for the
          accountability obligation: rescinds demand evidence *)
+  mutable transfers : int;  (* completed state transfers, cluster-wide *)
   mutable stores : Store.t array option;
   mutable violations : violation list;  (* newest first, capped *)
   mutable total : int;
 }
 
-let create ~now ~n ~f () =
+let create ?members ~now ~n ~f () =
+  let genesis_members =
+    match members with
+    | None -> Array.init n (fun i -> i)
+    | Some ms -> Array.of_list (List.sort_uniq compare ms)
+  in
   { now;
     n;
     f;
+    genesis_members;
     nodes =
       Array.init n (fun _ ->
           { next_definite = 0;
@@ -56,9 +68,11 @@ let create ~now ~n ~f () =
             recoveries = 0;
             restarted = false });
     canonical = Hashtbl.create 64;
+    epochs = Hashtbl.create 4;
     evidence = Hashtbl.create 8;
     accused_tbl = Hashtbl.create 4;
     rescind_seen = false;
+    transfers = 0;
     stores = None;
     violations = [];
     total = 0 }
@@ -82,6 +96,19 @@ let attach_stores t stores = t.stores <- Some stores
 let note_restart t i =
   let ns = t.nodes.(i) in
   ns.restarted <- true
+
+(* Membership governing [round] under the canonical epoch schedule:
+   the reported epoch with the greatest activation <= round, genesis
+   otherwise. *)
+let members_at t ~round =
+  snd
+    (Hashtbl.fold
+       (fun _ (activation, members) ((best_act, _) as best) ->
+         if activation <= round && activation > best_act then
+           (activation, members)
+         else best)
+       t.epochs
+       (-1, t.genesis_members))
 
 (* ---------- streaming checks ---------- *)
 
@@ -114,6 +141,15 @@ let on_definite t i ~round (block : Block.t) =
   | Some _ ->
       flag t ~oracle:"agreement" ~node:i ~round
         "definite block differs from another node's definite block");
+  (* epoch membership: a definite block's proposer must belong to the
+     epoch governing its round (a vote counted under the wrong epoch's
+     quorum could only surface as a block an outsider got decided) *)
+  (let p = block.Block.header.Header.proposer in
+   let members = members_at t ~round in
+   if not (Array.exists (fun m -> m = p) members) then
+     flag t ~oracle:"epoch-proposer" ~node:i ~round
+       "definite block proposed by %d, outside the epoch governing round %d"
+       p round);
   (* distinct proposers in every f+1 window of the definite chain *)
   Queue.push block.Block.header.Header.proposer ns.window;
   if Queue.length ns.window > t.f + 1 then ignore (Queue.pop ns.window);
@@ -189,21 +225,77 @@ let on_recovery t i ~round ~rescinded =
         | _ -> ()
       done
 
+(* Epoch-fork oracle: the schedule is a pure function of the definite
+   chain prefix, so every node must report each epoch index with the
+   same activation round and member set. First report wins as
+   canonical. *)
+let on_epoch t i (e : Fl_fireledger.Epoch.t) =
+  let open Fl_fireledger in
+  match Hashtbl.find_opt t.epochs e.Epoch.index with
+  | None ->
+      Hashtbl.replace t.epochs e.Epoch.index
+        (e.Epoch.activation, Array.copy e.Epoch.members)
+  | Some (act, members) ->
+      if act <> e.Epoch.activation || members <> e.Epoch.members then
+        flag t ~oracle:"epoch-fork" ~node:i ~round:e.Epoch.activation
+          "epoch %d scheduled with a different activation or member set \
+           than another node reported"
+          e.Epoch.index
+
+(* State-transfer oracle: the adopted prefix was CRC-verified on
+   decode and hash-link revalidated on restore, but it was never
+   streamed block-by-block — audit it against the canonical hashes
+   and jump the per-node stream cursor forward so definite-order
+   checks resume at [upto + 1]. *)
+let on_transfer t i ~upto ~chunks ~retries:_ =
+  t.transfers <- t.transfers + 1;
+  let ns = t.nodes.(i) in
+  if chunks <= 0 || upto < 0 then
+    flag t ~oracle:"transfer" ~node:i ~round:upto
+      "state transfer adopted rounds 0..%d from %d chunks" upto chunks;
+  (match t.stores with
+  | Some stores when i < Array.length stores ->
+      for r = 0 to upto do
+        match (Store.get stores.(i) r, Hashtbl.find_opt t.canonical r) with
+        | Some b, Some h when not (String.equal (Block.hash b) h) ->
+            flag t ~oracle:"transfer" ~node:i ~round:r
+              "adopted snapshot block diverges from the canonical definite \
+               block"
+        | Some b, None -> Hashtbl.replace t.canonical r (Block.hash b)
+        | None, _ ->
+            flag t ~oracle:"transfer" ~node:i ~round:r
+              "state transfer claims rounds 0..%d but round %d is missing"
+              upto r
+        | Some _, Some _ -> ()
+      done;
+      (match Store.get stores.(i) upto with
+      | Some b -> ns.prev_hash <- Block.hash b
+      | None -> ())
+  | _ -> ());
+  if upto + 1 > ns.next_definite then ns.next_definite <- upto + 1;
+  Queue.clear ns.window
+
 let output_for t i =
   { Fl_fireledger.Instance.on_tentative = (fun ~round:_ _ -> ());
     on_definite = (fun ~round block ~times:_ -> on_definite t i ~round block);
     on_recovery = (fun ~round ~rescinded -> on_recovery t i ~round ~rescinded);
-    on_evidence = (fun ev -> on_evidence t i ev) }
+    on_evidence = (fun ev -> on_evidence t i ev);
+    on_epoch = (fun e -> on_epoch t i e);
+    on_transfer =
+      (fun ~upto ~chunks ~retries -> on_transfer t i ~upto ~chunks ~retries) }
 
 let accused t =
   List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.accused_tbl [])
 
 let evidence_count t = Hashtbl.length t.evidence
 let rescind_seen t = t.rescind_seen
+let epoch_count t = Hashtbl.length t.epochs
+let transfer_count t = t.transfers
 
 (* ---------- end-of-run checks ---------- *)
 
-let finish ?expect_accused t ~cluster ~faulty ~expect_progress ~min_rounds =
+let finish ?expect_accused ?(departed = []) ?(excused = []) t ~cluster ~faulty
+    ~expect_progress ~min_rounds =
   let open Fl_fireledger in
   let crashed i = Hashtbl.mem cluster.Cluster.crashed i in
   let inst i = cluster.Cluster.instances.(i) in
@@ -220,10 +312,12 @@ let finish ?expect_accused t ~cluster ~faulty ~expect_progress ~min_rounds =
     t.evidence;
   (* Zero false accusations: only faulty nodes (Byzantine or crashed —
      a crashed node legitimately double-signs across incarnations since
-     its no-double-sign archive is volatile) may be accused. *)
+     its no-double-sign archive is volatile) may be accused. [excused]
+     widens the exemption to nodes that restarted for a benign reason
+     (a rolling restart) without entering the plan's fault budget. *)
   Hashtbl.iter
     (fun a () ->
-      if not (List.mem a faulty) then
+      if not (List.mem a faulty || List.mem a excused) then
         flag t ~oracle:"false-accusation" ~node:a ~round:(-1)
           "evidence accuses node %d, which is correct" a)
     t.accused_tbl;
@@ -281,10 +375,15 @@ let finish ?expect_accused t ~cluster ~faulty ~expect_progress ~min_rounds =
     if (not (crashed i)) && not (Store.check_integrity (Instance.store (inst i)))
     then flag t ~oracle:"integrity" ~node:i ~round:(-1) "hash-chain walk failed"
   done;
-  (* bounded progress *)
+  (* bounded progress — [departed] nodes left the membership and owe
+     no further progress *)
   if expect_progress then
     for i = 0 to t.n - 1 do
-      if (not (List.mem i faulty)) && not (crashed i) then begin
+      if
+        (not (List.mem i faulty))
+        && (not (List.mem i departed))
+        && not (crashed i)
+      then begin
         let d = Instance.definite_upto (inst i) in
         if d < min_rounds then
           flag t ~oracle:"liveness" ~node:i ~round:d

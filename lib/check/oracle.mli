@@ -24,6 +24,15 @@
       carries valid signatures, accuses only faulty nodes, and (when
       an expected set is supplied and a rescinding fork ran) names the
       injected equivocators exactly;
+    - {b epoch-fork}: every node reports each scheduled epoch with the
+      same activation round and member set (no two chains across an
+      epoch change);
+    - {b epoch-proposer}: a definite block's proposer belongs to the
+      epoch governing its round (a vote counted under the wrong
+      epoch's quorum could only surface as an outsider's block
+      deciding);
+    - {b transfer}: a state-transferred snapshot prefix matches the
+      canonical definite chain block-for-block;
     - {b liveness} / {b integrity} / final agreement: end-of-run
       checks performed by {!finish}.
 
@@ -42,10 +51,14 @@ val pp_violation : Format.formatter -> violation -> unit
 
 type t
 
-val create : now:(unit -> Fl_sim.Time.t) -> n:int -> f:int -> unit -> t
+val create :
+  ?members:int list -> now:(unit -> Fl_sim.Time.t) -> n:int -> f:int ->
+  unit -> t
 (** [now] timestamps violations (pass the cluster engine's clock; a
     thunk because the oracle is typically built before the cluster
-    whose outputs it watches). *)
+    whose outputs it watches). [members] is the genesis membership
+    (default: the whole universe) — the baseline of the canonical
+    epoch schedule the epoch oracles check against. *)
 
 val output_for : t -> int -> Fl_fireledger.Instance.output
 (** The sink to install as node [i]'s [output] (tee it with the real
@@ -64,6 +77,8 @@ val note_restart : t -> int -> unit
 
 val finish :
   ?expect_accused:int list ->
+  ?departed:int list ->
+  ?excused:int list ->
   t ->
   cluster:Fl_fireledger.Cluster.t ->
   faulty:int list ->
@@ -72,10 +87,14 @@ val finish :
   unit
 (** End-of-run checks: pairwise definite-prefix agreement and chain
     integrity over non-crashed nodes, and — when [expect_progress] —
-    bounded-progress liveness: every node outside [faulty] must have
-    ≥ [min_rounds] definite rounds. Accountability: all collected
+    bounded-progress liveness: every node outside [faulty] and
+    [departed] (nodes a decided reconfiguration removed — they owe no
+    further progress) must have ≥ [min_rounds] definite rounds. Accountability: all collected
     evidence must validate under the cluster registry and accuse only
-    [faulty] nodes; with [expect_accused], if a rescinding recovery
+    [faulty] or [excused] nodes ([excused] covers benign restarts —
+    e.g. a rolling restart — whose cold-started incarnation may
+    legitimately double-sign without counting against the fault
+    budget or being exempt from liveness); with [expect_accused], if a rescinding recovery
     ran and the equivocators really split their audience (the
     ["equivocations"] counter is positive), the accused set must equal
     [expect_accused] exactly. *)
@@ -88,6 +107,13 @@ val evidence_count : t -> int
 
 val rescind_seen : t -> bool
 (** Whether any watched recovery actually rescinded blocks. *)
+
+val epoch_count : t -> int
+(** Successor epochs reported (canonical schedule size, genesis
+    excluded). *)
+
+val transfer_count : t -> int
+(** Completed state transfers observed cluster-wide. *)
 
 val check_app_state : t -> node:int -> live:string -> replayed:string -> unit
 (** End-of-run application oracle: flag an ["app-state"] violation

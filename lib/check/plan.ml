@@ -12,6 +12,9 @@ type fault =
   | Fsync_stall of { node : int; from_ms : int; to_ms : int }
   | Corrupt of { node : int; prob : float; from_ms : int; to_ms : int }
   | Surge of { factor : float; from_ms : int; to_ms : int }
+  | Join of { node : int; at_ms : int }
+  | Leave of { node : int; at_ms : int }
+  | Rolling of { from_ms : int; gap_ms : int; down_ms : int }
 
 type t = { n : int; f : int; seed : int; faults : fault list }
 
@@ -59,6 +62,26 @@ let has_corrupt_faults t =
 let has_surge_faults t =
   List.exists (function Surge _ -> true | _ -> false) t.faults
 
+let joiners t =
+  dedup
+    (List.filter_map
+       (function Join { node; _ } -> Some node | _ -> None)
+       t.faults)
+
+let leavers t =
+  dedup
+    (List.filter_map
+       (function Leave { node; _ } -> Some node | _ -> None)
+       t.faults)
+
+let has_rolling t =
+  List.exists (function Rolling _ -> true | _ -> false) t.faults
+
+let has_reconfig_faults t =
+  List.exists
+    (function Join _ | Leave _ | Rolling _ -> true | _ -> false)
+    t.faults
+
 let surge_windows t =
   List.filter_map
     (function
@@ -69,8 +92,11 @@ let surge_windows t =
 let expect_liveness t =
   List.for_all
     (function
-      (* load surges stress admission, never consensus liveness *)
-      | Crash _ | Equivocate _ | Torn_tail _ | Disk_loss _ | Surge _ -> true
+      (* load surges stress admission, never consensus liveness;
+         reconfiguration and rolling restarts must preserve it *)
+      | Crash _ | Equivocate _ | Torn_tail _ | Disk_loss _ | Surge _
+      | Join _ | Leave _ | Rolling _ ->
+          true
       | Partition _ | Loss _ | Slow_nic _ | Clock_skew _ | Fsync_stall _
       | Corrupt _ ->
           false)
@@ -90,8 +116,69 @@ let distinct_nodes rng ~n ~k ~avoid =
   done;
   !picked
 
-let generate ?(with_disk_faults = false) ?(with_corrupt_faults = false)
-    ?(with_surge_faults = false) ?n ~seed ~budget_ms () =
+(* Reconfiguration plans have their own generator: membership changes
+   interact with every fault family, so the sweep that must converge
+   to zero violations over every seed sticks to the families whose
+   liveness expectation is unconditional (crash-restart, rolling
+   restart, surge) and keeps the anchor — the member that submits the
+   reconfiguration transactions — fault-free. Universe sizes are 5 and
+   8 so member-count transitions (4↔5, 7↔8) preserve f. *)
+let generate_reconfig ?n ~seed ~budget_ms () =
+  let rng = Rng.named_split (Rng.create seed) "plan-reconfig" in
+  let n = match n with Some n -> n | None -> if Rng.bool rng then 5 else 8 in
+  let f = (n - 1) / 3 in
+  let early lo_pct hi_pct =
+    Rng.int_in rng (budget_ms * lo_pct / 100) (budget_ms * hi_pct / 100)
+  in
+  let joiner = n - 1 in
+  let faults = ref [ Join { node = joiner; at_ms = early 10 25 } ] in
+  (* maybe shrink back: a leave submitted once the join has activated
+     (the apply hook defers it), keeping every transition f-preserving *)
+  let leaver =
+    if Rng.bool rng then begin
+      let node = 1 + Rng.int rng (n - 2) in
+      faults := Leave { node; at_ms = early 45 60 } :: !faults;
+      Some node
+    end
+    else None
+  in
+  (match Rng.int rng 3 with
+  | 0 ->
+      (* leave with f crash-restarts in flight *)
+      let avoid = [ 0; joiner ] @ Option.to_list leaver in
+      let nodes = distinct_nodes rng ~n ~k:f ~avoid in
+      List.iter
+        (fun node ->
+          let at_ms = early 30 45 in
+          let restart_ms =
+            Rng.int_in rng (at_ms + 100) (budget_ms * 75 / 100)
+          in
+          faults := Crash { node; at_ms; restart_ms = Some restart_ms } :: !faults)
+        nodes
+  | 1 ->
+      (* rolling restart of the whole cluster during a surge *)
+      let from_ms = budget_ms * 55 / 100 in
+      let gap_ms = max 80 (budget_ms * 40 / 100 / n) in
+      let down_ms = max 40 (gap_ms / 2) in
+      faults := Rolling { from_ms; gap_ms; down_ms } :: !faults;
+      faults :=
+        Surge
+          { factor = 2.0 +. Rng.float rng 2.0;
+            from_ms = early 10 20;
+            to_ms = budget_ms * 80 / 100 }
+        :: !faults
+  | _ ->
+      (* join under open-loop load *)
+      faults :=
+        Surge
+          { factor = 2.0 +. Rng.float rng 4.0;
+            from_ms = early 15 30;
+            to_ms = budget_ms * 70 / 100 }
+        :: !faults);
+  { n; f; seed; faults = List.rev !faults }
+
+let generate_base ~with_disk_faults ~with_corrupt_faults ~with_surge_faults
+    ?n ~seed ~budget_ms () =
   let rng = Rng.named_split (Rng.create seed) "plan" in
   let n = match n with Some n -> n | None -> if Rng.bool rng then 4 else 7 in
   let f = (n - 1) / 3 in
@@ -201,6 +288,14 @@ let generate ?(with_disk_faults = false) ?(with_corrupt_faults = false)
   end;
   { n; f; seed; faults = List.rev !faults }
 
+let generate ?(with_disk_faults = false) ?(with_corrupt_faults = false)
+    ?(with_surge_faults = false) ?(with_reconfig_faults = false) ?n ~seed
+    ~budget_ms () =
+  if with_reconfig_faults then generate_reconfig ?n ~seed ~budget_ms ()
+  else
+    generate_base ~with_disk_faults ~with_corrupt_faults ~with_surge_faults
+      ?n ~seed ~budget_ms ()
+
 (* ---------- validation ---------- *)
 
 let validate t =
@@ -267,6 +362,22 @@ let validate t =
                 if factor <= 0.0 then err "surge: factor %f" factor
                 else if from_ms < 0 then err "surge: from %d" from_ms
                 else if to_ms <= from_ms then err "surge: window"
+                else Ok ()
+            | Join { node; at_ms } ->
+                if not (in_range node) then err "join: node %d" node
+                else if at_ms < 0 then err "join: at %d" at_ms
+                else Ok ()
+            | Leave { node; at_ms } ->
+                if not (in_range node) then err "leave: node %d" node
+                else if at_ms < 0 then err "leave: at %d" at_ms
+                else Ok ()
+            | Rolling { from_ms; gap_ms; down_ms } ->
+                (* sequential by construction: the next node only goes
+                   down after the previous one is back *)
+                if from_ms < 0 then err "rolling: from %d" from_ms
+                else if down_ms <= 0 then err "rolling: down %d" down_ms
+                else if gap_ms <= down_ms then
+                  err "rolling: gap %d <= down %d" gap_ms down_ms
                 else Ok ()))
       (Ok ()) t.faults
 
@@ -300,13 +411,55 @@ let config_of t i (c : Fl_fireledger.Config.t) =
       | _ -> c)
     c t.faults
 
+(* The member that submits reconfiguration transactions: lowest-id
+   node that is neither joining, leaving nor process-faulty — it is
+   guaranteed to stay in the membership for the whole run. *)
+let anchor t =
+  let avoid = faulty t @ joiners t @ leavers t in
+  let rec go i = if i >= t.n then 0 else if List.mem i avoid then go (i + 1) else i in
+  go 0
+
 let apply t ~engine ~cluster =
   let at ms action = ignore (Engine.schedule engine ~delay:(Time.ms ms) action) in
   let net = cluster.Fl_fireledger.Cluster.net in
+  (* Reconfiguration transactions enter through the anchor's mempool at
+     fire time — resolved late, so a restarted anchor's fresh instance
+     is used. A [Leave] additionally waits until any pending [Join] has
+     activated (the anchor's active epoch spans the full universe), so
+     every member-count transition the sweep generates is
+     f-preserving; the retry loop dies with the engine at budget end. *)
+  let submit_when ready change =
+    let rec attempt () =
+      let a = cluster.Fl_fireledger.Cluster.instances.(anchor t) in
+      if
+        (not (Hashtbl.mem cluster.Fl_fireledger.Cluster.crashed (anchor t)))
+        && ready a
+      then Fl_fireledger.Instance.submit_reconfig a change
+      else ignore (Engine.schedule engine ~delay:(Time.ms 100) attempt)
+    in
+    attempt
+  in
   List.iter
     (function
       | Equivocate _ | Slow_nic _ | Clock_skew _ -> ()  (* construction-time *)
       | Surge _ -> ()  (* consumed by the traffic source, not the net *)
+      | Join { node; at_ms } ->
+          at at_ms
+            (submit_when (fun _ -> true) (Fl_fireledger.Epoch.Join node))
+      | Leave { node; at_ms } ->
+          at at_ms
+            (submit_when
+               (fun a ->
+                 Fl_fireledger.Epoch.n (Fl_fireledger.Instance.active_epoch a)
+                 = t.n)
+               (Fl_fireledger.Epoch.Leave node))
+      | Rolling { from_ms; gap_ms; down_ms } ->
+          for i = 0 to t.n - 1 do
+            let start = from_ms + (i * gap_ms) in
+            at start (fun () -> Fl_fireledger.Cluster.crash cluster i);
+            at (start + down_ms) (fun () ->
+                Fl_fireledger.Cluster.restart cluster i)
+          done
       | Crash { node; at_ms; restart_ms } ->
           at at_ms (fun () -> Fl_fireledger.Cluster.crash cluster node);
           Option.iter
@@ -378,6 +531,10 @@ let string_of_fault = function
       Printf.sprintf "corrupt=%d:%.2f@%d-%d" node prob from_ms to_ms
   | Surge { factor; from_ms; to_ms } ->
       Printf.sprintf "surge=%.2f@%d-%d" factor from_ms to_ms
+  | Join { node; at_ms } -> Printf.sprintf "join=%d@%d" node at_ms
+  | Leave { node; at_ms } -> Printf.sprintf "leave=%d@%d" node at_ms
+  | Rolling { from_ms; gap_ms; down_ms } ->
+      Printf.sprintf "rolling=%d/%d/%d" from_ms gap_ms down_ms
 
 let to_string t =
   String.concat ";"
@@ -475,6 +632,22 @@ let parse_fault tok =
                            from_ms = int_of_string a;
                            to_ms = int_of_string b })
                 | _ -> invalid ())
+            | _ -> invalid ())
+        | "join" | "leave" -> (
+            match String.split_on_char '@' v with
+            | [ node; at ] ->
+                let node = int_of_string node and at_ms = int_of_string at in
+                if String.equal key "join" then Ok (Join { node; at_ms })
+                else Ok (Leave { node; at_ms })
+            | _ -> invalid ())
+        | "rolling" -> (
+            match String.split_on_char '/' v with
+            | [ a; g; d ] ->
+                Ok
+                  (Rolling
+                     { from_ms = int_of_string a;
+                       gap_ms = int_of_string g;
+                       down_ms = int_of_string d })
             | _ -> invalid ())
         | "stall" -> (
             match String.split_on_char '@' v with

@@ -59,6 +59,23 @@ type fault =
           not consensus — the paired oracle asserts no admitted
           transaction is ever silently dropped. Keeps the liveness
           expectation. *)
+  | Join of { node : int; at_ms : int }
+      (** Submit a [Join node] reconfiguration transaction through the
+          plan's anchor member at [at_ms]. The explorer excludes
+          joiners from the genesis membership, so [node] boots as an
+          observer that state-transfers and catches up before the
+          admitting epoch activates. *)
+  | Leave of { node : int; at_ms : int }
+      (** Submit a [Leave node] reconfiguration transaction at [at_ms]
+          — deferred until any pending join has activated, keeping
+          member-count transitions f-preserving. The leaver hands its
+          pending transactions to a surviving member and degrades to an
+          observer. *)
+  | Rolling of { from_ms : int; gap_ms : int; down_ms : int }
+      (** Rolling restart of the whole cluster: node [i] power-fails at
+          [from_ms + i*gap_ms] and cold-restarts [down_ms] later;
+          [gap_ms > down_ms] keeps at most one node down at a time, so
+          quorums survive throughout. *)
 
 type t = {
   n : int;
@@ -71,6 +88,7 @@ val generate :
   ?with_disk_faults:bool ->
   ?with_corrupt_faults:bool ->
   ?with_surge_faults:bool ->
+  ?with_reconfig_faults:bool ->
   ?n:int ->
   seed:int ->
   budget_ms:int ->
@@ -85,7 +103,15 @@ val generate :
     seed. [with_corrupt_faults] (default false) further appends 1–2
     byte-corruption windows, drawn after even the disk faults for the
     same replay-stability reason. [with_surge_faults] (default false)
-    appends one flash-crowd window, drawn last of all. *)
+    appends one flash-crowd window, drawn last of all.
+    [with_reconfig_faults] (default false) switches to a dedicated
+    membership-change generator: universe n ∈ {5, 8} (so member-count
+    transitions preserve f), always one join of node n−1, optionally a
+    later leave, and one of three stress scenarios — f crash-restarts,
+    a rolling restart of the whole cluster under a surge, or a join
+    under open-loop load. Only unconditionally-live fault families are
+    drawn, so a sweep over any seed set must produce zero
+    violations. *)
 
 val byzantine : t -> int list
 val crashed : t -> int list
@@ -110,6 +136,27 @@ val has_surge_faults : t -> bool
 
 val surge_windows : t -> (float * int * int) list
 (** All [(factor, from_ms, to_ms)] surge windows, in plan order. *)
+
+val joiners : t -> int list
+(** Nodes a [Join] fault admits — the explorer excludes them from the
+    genesis membership. *)
+
+val leavers : t -> int list
+(** Nodes a [Leave] fault removes — exempt from the liveness oracle
+    once departed. *)
+
+val has_rolling : t -> bool
+(** The plan rolling-restarts every node; volatile pools are lost, so
+    the traffic-conservation oracle is suspended. *)
+
+val has_reconfig_faults : t -> bool
+(** The plan changes membership (join/leave) or rolls the cluster —
+    the explorer then builds a persistence-enabled cluster with a
+    restricted genesis membership. *)
+
+val anchor : t -> int
+(** The member that submits reconfiguration transactions: lowest node
+    id that is neither joining, leaving nor process-faulty. *)
 
 val validate : t -> (unit, string) result
 (** Structural checks: node ids in range, windows ordered, process

@@ -23,9 +23,14 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
     ?(behavior = fun _ -> Instance.Honest) ?valid ?trace ?obs
     ?(config_of = fun _ c -> c) ?(output = fun _ -> Instance.null_output)
     ?(halves_of = fun _ -> None) ?persist:persist_config
-    ?(persist_app = fun _ -> None) ~config () =
+    ?(persist_app = fun _ -> None) ?members ~config () =
   Config.validate config;
   let n = config.Config.n in
+  (* The transport universe (NICs, registry, inboxes) is always sized
+     [n]; [members] restricts the genesis membership epoch — nodes
+     outside it boot as joiners and only vote once a decided
+     reconfiguration admits them. *)
+  let genesis_epoch = Epoch.genesis ?members ~universe:n () in
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let recorder = Fl_metrics.Recorder.create () in
@@ -108,7 +113,8 @@ let create ?(seed = 42) ?(latency = Latency.single_dc)
       c
     in
     Instance.create env ~config ~behavior:(behavior i) ?valid
-      ?persist:persist.(i) ?halves:(halves_of i) ~output:(output i) ()
+      ?persist:persist.(i) ?halves:(halves_of i) ~epoch:genesis_epoch
+      ~output:(output i) ()
   in
   let instances = Array.init n (fun i -> mk_instance i ~incarnation:0) in
   { engine;

@@ -45,6 +45,7 @@ val create :
   ?halves_of:(int -> (int list * int list) option) ->
   ?persist:Fl_persist.Node.config ->
   ?persist_app:(int -> Fl_persist.Recovery.app option) ->
+  ?members:int list ->
   config:Config.t ->
   unit ->
   t
@@ -61,7 +62,11 @@ val create :
     a simulated disk); [persist_app] optionally supplies the per-node
     application hooks (e.g. the KV state machine) the layer snapshots
     and replays. Without [persist] the run schedules zero disk events
-    and traces are byte-identical to a persistence-less build. *)
+    and traces are byte-identical to a persistence-less build.
+    [members] restricts the genesis membership epoch to a subset of
+    the [n]-node transport universe (default: everyone): excluded
+    nodes boot as joiners that state-transfer and catch up, voting
+    only once a decided reconfiguration admits them. *)
 
 val start : t -> unit
 (** Start every instance's fibers. *)

@@ -12,13 +12,20 @@ type output = {
   on_definite : round:int -> Block.t -> times:block_times -> unit;
   on_recovery : round:int -> rescinded:int -> unit;
   on_evidence : Types.evidence -> unit;
+  on_epoch : Epoch.t -> unit;
+      (** a successor epoch was scheduled from a definite block — fires
+          identically (same epoch, same order) on every correct node *)
+  on_transfer : upto:int -> chunks:int -> retries:int -> unit;
+      (** this node adopted a state-transfer snapshot *)
 }
 
 let null_output =
   { on_tentative = (fun ~round:_ _ -> ());
     on_definite = (fun ~round:_ _ ~times:_ -> ());
     on_recovery = (fun ~round:_ ~rescinded:_ -> ());
-    on_evidence = (fun _ -> ()) }
+    on_evidence = (fun _ -> ());
+    on_epoch = (fun _ -> ());
+    on_transfer = (fun ~upto:_ ~chunks:_ ~retries:_ -> ()) }
 
 type pending_times = { pt_a : Time.t; pt_b : Time.t; pt_c : Time.t }
 
@@ -79,6 +86,18 @@ type t = {
   mutable next_tx_id : int;
   halves : int list * int list;  (* equivocation split *)
   mutable stopped : bool;
+  (* membership epochs *)
+  genesis_epoch : Epoch.t;
+  mutable epochs : Epoch.t list;  (* newest (highest activation) first *)
+  mutable active_epoch : Epoch.t;  (* the epoch governing [round] *)
+  mutable was_member : bool;  (* ever inside the active membership *)
+  mutable handoff_done : bool;  (* leaver's one-shot mempool handoff *)
+  mutable reconfig_fibers : bool;  (* snap/handoff fibers spawned *)
+  mutable wedged : bool;
+      (* watchdog verdict: parked in a round whose consensus the
+         cluster already completed — pull the block instead *)
+  mutable snap_cache : (int * string) option;
+      (* (definite_upto + 1, encoded snapshot) served to joiners *)
   (* durability *)
   persist : Fl_persist.Node.t option;
   mutable boot_delay : Time.t;
@@ -90,6 +109,35 @@ type t = {
 
 let n_of t = t.config.Config.n
 let f_of t = t.config.Config.f
+
+(* ---------- membership epochs ---------- *)
+
+(* The epoch governing [round]: the newest scheduled epoch whose
+   activation is at or below it. [t.epochs] is newest-first and always
+   ends in the genesis epoch (activation 0). *)
+let epoch_at t round =
+  let rec go = function
+    | [] -> t.genesis_epoch
+    | e :: rest -> if e.Epoch.activation <= round then e else go rest
+  in
+  go t.epochs
+
+(* Epochs are scheduled from definite blocks with a fixed lag of
+   f + 3 rounds, one past the definiteness horizon (f + 2) — so the
+   local schedule is provably complete for every round at or below
+   this bound, and incomplete knowledge is only possible beyond it. *)
+let membership_known t ~round = round <= t.definite_upto + f_of t + 3
+
+let is_member_at t ~round id = Epoch.is_member (epoch_at t round) id
+
+(* Quorum parameters of an epoch. Full-universe epochs use the
+   configured (n, f) verbatim (a config may pin a non-default f);
+   partial epochs re-derive them from the member count, never
+   exceeding the configured Byzantine budget. *)
+let epoch_quorum_params t e =
+  if Epoch.n e = n_of t then (n_of t, f_of t)
+  else (Epoch.n e, min (f_of t) (Epoch.f e))
+
 let me t = t.env.Env.me
 let engine t = t.env.Env.engine
 let recorder t = t.env.Env.recorder
@@ -409,7 +457,19 @@ let note_proposal t ~src (p : Types.proposal) =
      who authored the proposal. *)
   let h = p.Types.sh.Types.header in
   let owner = h.Header.proposer in
-  if owner >= 0 && owner < n_of t then begin
+  (* Gen-guard: a proposer outside the epoch governing the proposal's
+     round can never enter the stash (and so can never be voted on or
+     served onward). Rounds beyond the locally complete part of the
+     membership schedule are accepted charitably — a joiner catching
+     up cannot yet know the schedule, and stashed entries are still
+     quorum-gated before acceptance. *)
+  let member_ok =
+    (not (membership_known t ~round:h.Header.round))
+    || is_member_at t ~round:h.Header.round owner
+  in
+  if owner >= 0 && owner < n_of t && not member_ok then
+    incr_c t "stale_epoch_proposals_dropped";
+  if owner >= 0 && owner < n_of t && member_ok then begin
     if h.Header.round >= t.round then begin
       (* Accept same-round replacements: a proposer whose earlier
          attempt was rejected re-signs its proposal on top of the block
@@ -511,9 +571,23 @@ let obbc_for t ~r ~attempt ~k =
   | None ->
       let era = t.era in
       let skey = Msg.ob_key ~era ~round:r ~attempt in
+      (* Per-epoch quorum: the OBBC of round r counts votes against the
+         member count of the epoch governing r, and drops frames from
+         non-members on the receive side — a stale-epoch node's vote is
+         never counted under the wrong epoch's quorum. By the time this
+         node runs round r its schedule is complete for r (the
+         activation lag is one past the definiteness horizon). *)
+      let e = epoch_at t r in
+      let qn, qf = epoch_quorum_params t e in
       let channel =
         Channel.of_hub t.env.Env.hub ~key:skey ~net:t.env.Env.net
-          ~self:(me t) ~f:(f_of t) ~encode:Msg.encode
+          ~self:(me t) ~n:qn
+          ~accept:(fun src ->
+            Epoch.is_member e src
+            ||
+            (incr_c t "stale_epoch_votes_dropped";
+             false))
+          ~f:qf ~encode:Msg.encode
           ~inj:(fun m -> Msg.Ob { era; round = r; attempt; m })
           ~prj:(function
             | Msg.Ob { m; _ } -> m
@@ -627,7 +701,8 @@ let wrb_deliver t ~k =
     | _ -> None
   in
   let obbc = obbc_for t ~r ~attempt:t.attempt ~k in
-  Cpu.charge t.env.Env.cpu (n_of t * t.config.Config.vote_cpu);
+  let an, _ = epoch_quorum_params t (epoch_at t r) in
+  Cpu.charge t.env.Env.cpu (an * t.config.Config.vote_cpu);
   let decision = Obbc.propose obbc ?abort ~vote ~pgd () in
   if not decision then begin
     Timer.on_timeout t.timer;
@@ -658,6 +733,130 @@ let wrb_deliver t ~k =
     end;
     Some (p, txs, arr)
   end
+
+(* ---------- reconfiguration: state transfer and tx handoff ---------- *)
+
+let snap_chunk_bytes = 8192
+
+(* Donor side: serve the definite prefix as a chunked, CRC-framed
+   {!Fl_persist.Snapshot} (the exact on-disk encoding, shipped over
+   the wire-true transport). The stream id is [definite_upto + 1] at
+   build time, so a joiner that resumes mid-transfer can tell whether
+   a later donor is continuing the same snapshot or starting a newer
+   one. The encoded snapshot is cached per stream id — retries and
+   multiple joiners rebuild nothing. *)
+let spawn_snap_server t =
+  Fiber.spawn (engine t) (fun () ->
+      let box = Hub.box t.env.Env.hub "snapreq" in
+      while true do
+        match Mailbox.recv box with
+        | src, Msg.Snap_req { from_chunk } -> (
+            if t.definite_upto < 0 then
+              (* nothing durable yet: an explicit empty reply beats
+                 silence — the joiner backs off instead of timing out *)
+              send t ~dst:src
+                (Msg.Snap_chunk { sid = 0; seq = 0; total = 0; data = "" })
+            else
+              let sid = t.definite_upto + 1 in
+              let encoded =
+                match t.snap_cache with
+                | Some (s, enc) when s = sid -> Some enc
+                | _ -> (
+                    match
+                      Fl_persist.Snapshot.build ~store:t.store
+                        ~upto:t.definite_upto ~era:t.era ~app:"" ~app_hash:""
+                    with
+                    | None -> None
+                    | Some snap ->
+                        let enc = Fl_persist.Snapshot.encode snap in
+                        charge_hash t ~bytes:(String.length enc);
+                        t.snap_cache <- Some (sid, enc);
+                        Some enc)
+              in
+              match encoded with
+              | None -> ()
+              | Some enc ->
+                  let len = String.length enc in
+                  let total = (len + snap_chunk_bytes - 1) / snap_chunk_bytes in
+                  incr_c t "snap_requests_served";
+                  for seq = max 0 from_chunk to total - 1 do
+                    let off = seq * snap_chunk_bytes in
+                    let data =
+                      String.sub enc off (min snap_chunk_bytes (len - off))
+                    in
+                    send t ~dst:src (Msg.Snap_chunk { sid; seq; total; data })
+                  done)
+        | _ -> ()
+      done)
+
+(* Receive a leaving node's pending transactions into our pool at
+   their original fee priority — the conservation half of a Leave. *)
+let spawn_handoff_fiber t =
+  Fiber.spawn (engine t) (fun () ->
+      let box = Hub.box t.env.Env.hub "handoff" in
+      while true do
+        match Mailbox.recv box with
+        | _src, Msg.Tx_handoff { txs; fees } ->
+            Array.iteri
+              (fun i tx ->
+                incr_c t "txs_handoff_in";
+                ignore (Mempool.readmit t.mempool tx ~fee:fees.(i)))
+              txs;
+            pulse_fill t
+        | _ -> ()
+      done)
+
+(* The snap/handoff fibers are spawned lazily — only on instances that
+   can actually see reconfiguration (a partial genesis membership, or
+   a scheduled epoch) — so fully static clusters run a byte-identical
+   event schedule to the pre-epoch code. *)
+let ensure_reconfig_fibers t =
+  if not t.reconfig_fibers then begin
+    t.reconfig_fibers <- true;
+    spawn_snap_server t;
+    spawn_handoff_fiber t
+  end
+
+(* ---------- epoch scheduling (from definite blocks) ---------- *)
+
+let schedule_epoch t ~round changes =
+  let head = List.hd t.epochs in
+  let activation = round + f_of t + 3 in
+  match Epoch.succeed ~universe:(n_of t) head changes ~activation with
+  | None -> ()
+  | Some e ->
+      t.epochs <- e :: t.epochs;
+      incr_c t "epochs_scheduled";
+      trace t ~category:"epoch" "scheduled idx=%d act=%d members=%d (from r=%d)"
+        e.Epoch.index e.Epoch.activation (Epoch.n e) round;
+      obs_instant t ~name:"epoch_scheduled" ~round
+        ~args:
+          [ ("epoch", string_of_int e.Epoch.index);
+            ("activation", string_of_int e.Epoch.activation);
+            ("members", string_of_int (Epoch.n e)) ]
+        ();
+      ensure_reconfig_fibers t;
+      t.output.on_epoch e
+
+let note_reconfig t ~round (b : Block.t) =
+  match Epoch.changes_of_block b with
+  | [] -> ()
+  | changes -> schedule_epoch t ~round changes
+
+(* Rebuild the epoch schedule from the definite chain prefix — used
+   when a whole chain is adopted at once (boot from disk, state
+   transfer). Bodies inside the prune window are sufficient: epochs
+   are only ever scheduled from definite blocks. *)
+let rebuild_epochs t =
+  t.epochs <- [ t.genesis_epoch ];
+  for r = 0 to t.definite_upto do
+    match Store.get t.store r with
+    | Some b -> note_reconfig t ~round:r b
+    | None -> ()
+  done;
+  let e = epoch_at t t.round in
+  t.active_epoch <- e;
+  Rotation.set_members t.rotation (Epoch.members e)
 
 (* ---------- definite decisions, pruning, GC ---------- *)
 
@@ -693,6 +892,7 @@ let mark_definite t =
         (match t.persist with
         | Some per -> Fl_persist.Node.log_definite per ~upto:r ~era:t.era b
         | None -> ());
+        note_reconfig t ~round:r b;
         t.output.on_definite ~round:r b ~times
     | None -> ()
   done
@@ -776,7 +976,13 @@ let accept_block t (p : Types.proposal) txs ~header_at =
   Hashtbl.remove t.body_arrival h.Header.body_hash;
   mark_definite t;
   t.attempt <- 0;
-  t.proposer <- Rotation.successor t.rotation ~round:r t.proposer;
+  (* Advance the cursor from the block's proposer, not the local
+     cursor: for a member mid-round they are the same node, but a
+     block adopted by pull (a joiner following the tip, the wedge
+     pull) arrives with a stale cursor, and seeding the successor walk
+     from anything but the accepted proposer desynchronises the
+     proposer schedule from the members that decided the round. *)
+  t.proposer <- Rotation.successor t.rotation ~round:r h.Header.proposer;
   t.round <- r + 1;
   if r land 63 = 0 then gc t
 
@@ -829,9 +1035,17 @@ let recovery t r =
       (* per recovery: headers seen in received versions, by round *)
   let collected = ref [] in
   let count = ref 0 in
-  while !count < n_of t - f do
+  (* The version quorum counts against the membership of the epoch
+     governing the recovery round; versions from non-members (a
+     departed node replaying stale state) are discarded. *)
+  let an, af = epoch_quorum_params t (epoch_at t r) in
+  while !count < an - af do
     let vj = Mailbox.recv box in
-    if not (Hashtbl.mem seen vj.Types.origin) then begin
+    if
+      (not (Hashtbl.mem seen vj.Types.origin))
+      && ((not (membership_known t ~round:r))
+         || is_member_at t ~round:r vj.Types.origin)
+    then begin
       Hashtbl.add seen vj.Types.origin ();
       (* price of authenticating a received version (Table 1's
          (n−f)·chain-size signature checks) *)
@@ -878,7 +1092,7 @@ let recovery t r =
           then Hashtbl.replace version_headers rb (sh :: prior))
         vj.Types.blocks;
       match
-        Types.validate_version t.env.Env.registry ~f ~n:(n_of t) ~anchor vj
+        Types.validate_version t.env.Env.registry ~f:af ~n:(n_of t) ~anchor vj
       with
       | Types.Adoptable ->
           collected := vj :: !collected;
@@ -1099,6 +1313,53 @@ let max_stash_round t =
     (fun _ (p, _) acc -> max acc p.Types.sh.Types.header.Header.round)
     t.stash (-1)
 
+(* Drop the tentative suffix — every stored round past the definite
+   watermark. The catch-up sync uses this when a pulled canonical
+   block contradicts blocks we appended before an absence: a recovery
+   we never saw rescinded them, and no amount of re-pulling will link
+   onto a dead branch. Definite rounds are agreed, so the canonical
+   chain is guaranteed to re-link at the watermark. Our own rescinded
+   proposals re-queue their client transactions at original priority
+   (the conservation contract), and the WAL mirrors the surgery. *)
+let rescind_tentative_suffix t =
+  let from = t.definite_upto + 1 in
+  let old_len = Store.length t.store in
+  if from < old_len then begin
+    let readmit = ref [] in
+    for r = from to old_len - 1 do
+      (match Store.get t.store r with
+      | Some old when old.Block.header.Header.proposer = me t -> (
+          let bh = old.Block.header.Header.body_hash in
+          match Hashtbl.find_opt t.pool_txs bh with
+          | Some batch ->
+              Hashtbl.remove t.pool_txs bh;
+              readmit := batch :: !readmit
+          | None -> ())
+      | _ -> ());
+      Hashtbl.remove t.signed_headers r;
+      Hashtbl.remove t.times r
+    done;
+    (match Store.replace_suffix t.store ~from [] with
+    | Ok () -> ()
+    | Error e ->
+        Logs.err (fun m ->
+            m "instance %d: tentative rescind failed: %a" (me t)
+              Store.pp_error e));
+    List.iter
+      (Array.iter (fun (tx, fee) ->
+           incr_c t "txs_readmitted";
+           ignore (Mempool.readmit t.mempool tx ~fee)))
+      !readmit;
+    (match t.persist with
+    | Some per -> Fl_persist.Node.log_truncate per ~from
+    | None -> ());
+    Fl_metrics.Recorder.add (recorder t) "blocks_rescinded" (old_len - from);
+    incr_c t "catchup_rescinds";
+    trace t ~category:"catchup" "rescind tentative %d..%d" from (old_len - 1);
+    t.round <- Store.length t.store;
+    t.attempt <- 0
+  end
+
 (* Catch-up sync: a node that was isolated past its peers' live
    protocol window (their per-round OBBC state is garbage-collected)
    can no longer complete old rounds by consensus. Signed proposals in
@@ -1136,6 +1397,21 @@ let maybe_catch_up t =
           charge_hash t ~bytes:(body_bytes txs);
           accept_block t { Types.sh; body = None } txs ~header_at:(now t);
           stalls := 0
+      | Some (sh, txs)
+        when t.definite_upto < r - 1
+             && sh.Types.header.Header.tx_count = Array.length txs
+             && String.equal (Block.body_hash txs)
+                  sh.Types.header.Header.body_hash
+             && t.valid { Block.header = sh.Types.header; txs } ->
+          (* A well-formed, proposer-signed block for our next round
+             that does not link onto our tip: the tentative rounds we
+             stored before the absence were rescinded behind our back.
+             Drop them and resume pulling from the definite watermark
+             (worst case an adversarial reply costs us re-pulling
+             blocks we already had — tentative rounds only, so never
+             safety). *)
+          rescind_tentative_suffix t;
+          stalls := 0
       | found ->
           if found <> None then Hashtbl.remove t.fetched r;
           bcast t (Msg.Req { round = r });
@@ -1170,8 +1446,79 @@ let maybe_catch_up t =
     trace t ~category:"catchup" "done at=%d" t.round
   end
 
+(* Activate the epoch governing the current round: swap the rotation
+   onto the new member set and re-seat the proposer cursor inside it.
+   Pure function of (definite chain, round) — every correct node
+   switches at the same round with the same members. *)
+let refresh_epoch t =
+  let e = epoch_at t t.round in
+  if e.Epoch.index <> t.active_epoch.Epoch.index then begin
+    t.active_epoch <- e;
+    Rotation.set_members t.rotation (Epoch.members e);
+    incr_c t "epoch_activations";
+    trace t ~category:"epoch" "activate idx=%d members=%d r=%d" e.Epoch.index
+      (Epoch.n e) t.round;
+    obs_instant t ~name:"epoch_activate" ~round:t.round
+      ~args:
+        [ ("epoch", string_of_int e.Epoch.index);
+          ("members", string_of_int (Epoch.n e)) ]
+      ();
+    let recent = recent_proposers t (f_of t) in
+    t.proposer <- Rotation.eligible t.rotation ~round:t.round ~recent t.proposer
+  end
+
+(* Pull one block for round [r] (Req/Reply) and append it if it
+   extends the tip — the per-round tail of a joiner's catch-up, used
+   when the gap is too small for [maybe_catch_up]. Returns true on
+   progress. *)
+let pull_round t ~r ~timeout =
+  (match Hashtbl.find_opt t.fetched r with
+  | Some _ -> ()
+  | None ->
+      bcast t (Msg.Req { round = r });
+      let deadline = now t + timeout in
+      let rec wait () =
+        if (not (Hashtbl.mem t.fetched r)) && wait_pulse t ~deadline ~abort:None
+        then wait ()
+      in
+      wait ());
+  match Hashtbl.find_opt t.fetched r with
+  | Some (sh, txs)
+    when String.equal sh.Types.header.Header.prev_hash
+           (Store.last_hash t.store)
+         && sh.Types.header.Header.tx_count = Array.length txs
+         && String.equal (Block.body_hash txs) sh.Types.header.Header.body_hash
+         && t.valid { Block.header = sh.Types.header; txs } ->
+      Hashtbl.remove t.fetched r;
+      charge_verify t;
+      charge_hash t ~bytes:(body_bytes txs);
+      accept_block t { Types.sh; body = None } txs ~header_at:(now t);
+      true
+  | found ->
+      if found <> None then Hashtbl.remove t.fetched r;
+      false
+
 let round_step t =
   maybe_catch_up t;
+  refresh_epoch t;
+  (* A member that entered the round after its OBBC instance already
+     completed among the others — a joiner at its activation round —
+     can never finish the round by consensus (the peers' per-round
+     state is spent) and a one-round gap is far below the catch-up
+     trigger. The watchdog diagnoses the wedge (no progress while the
+     stash holds a signed later-round proposal) and aborts the parked
+     wait; here we pull the missed block instead of re-entering it.
+     The pulled block is tentative like any other, so rescind and
+     recovery still apply. The watchdog only arms this after a
+     reconfiguration, so with reconfiguration unused the behaviour
+     (and the pinned observability fingerprints) is untouched. *)
+  if t.wedged then begin
+    t.wedged <- false;
+    if max_stash_round t > t.round then
+      ignore
+        (pull_round t ~r:t.round
+           ~timeout:(min (Timer.current t.timer) (Time.ms 100)))
+  end;
   (* lines b1–b3: skip proposers of the last f tentative blocks *)
   let recent = recent_proposers t (f_of t) in
   let chosen =
@@ -1243,11 +1590,228 @@ let round_step t =
             nil_path t ~k
       end
 
+(* ---------- outside the membership: joiners and leavers ---------- *)
+
+(* A leaving node's last act as a pool holder: ship every pending
+   client transaction (queued and in-flight in unproposed bodies) to
+   the lowest-id surviving member, at original fee priority — the
+   tx-conservation oracle must hold across membership changes. *)
+let do_handoff t =
+  let e = epoch_at t t.round in
+  let dst =
+    Array.fold_left
+      (fun acc m -> if m <> me t && acc < 0 then m else acc)
+      (-1) (Epoch.members e)
+  in
+  if dst >= 0 then begin
+    let pending = ref [] in
+    let qd = Mempool.take_batch_prio t.mempool ~max:max_int in
+    Array.iter (fun p -> pending := p :: !pending) qd;
+    Hashtbl.iter
+      (fun _ batch -> Array.iter (fun p -> pending := p :: !pending) batch)
+      t.pool_txs;
+    Hashtbl.reset t.pool_txs;
+    match !pending with
+    | [] -> ()
+    | l ->
+        let arr = Array.of_list l in
+        let txs = Array.map fst arr and fees = Array.map snd arr in
+        Fl_metrics.Recorder.add (recorder t) "txs_handoff_out"
+          (Array.length arr);
+        trace t ~category:"epoch" "leave handoff %d txs -> %d"
+          (Array.length arr) dst;
+        obs_instant t ~name:"leave_handoff" ~round:t.round
+          ~args:
+            [ ("dst", string_of_int dst);
+              ("txs", string_of_int (Array.length arr)) ]
+          ();
+        send t ~dst (Msg.Tx_handoff { txs; fees })
+  end
+
+(* Seed this (empty, joining) instance from a transferred snapshot —
+   the network twin of [adopt_recovered]. Signed headers are unknown
+   (snapshots carry no signatures); the joiner re-collects them as it
+   follows live rounds. If a durability layer is attached, the adopted
+   prefix is fed through it (application replay + a durable snapshot)
+   so a later cold restart recovers locally. *)
+let adopt_snapshot t (snap : Fl_persist.Snapshot.t) chain =
+  let body_bytes_total = ref 0 in
+  for i = 0 to Store.length chain - 1 do
+    match Store.get chain i with
+    | Some b -> (
+        body_bytes_total := !body_bytes_total + b.Block.header.Header.body_size;
+        match Store.append ~check_body:false t.store b with
+        | Ok () -> ()
+        | Error e ->
+            Fmt.failwith "instance %d: transferred append round %d: %a" (me t)
+              i Store.pp_error e)
+    | None -> ()
+  done;
+  if Store.pruned_below chain > 0 then
+    Store.prune t.store ~keep_from:(Store.pruned_below chain);
+  charge_hash t ~bytes:!body_bytes_total;
+  t.definite_upto <-
+    min snap.Fl_persist.Snapshot.upto (Store.length t.store - 1);
+  t.era <- snap.Fl_persist.Snapshot.era;
+  t.round <- Store.length t.store;
+  t.attempt <- 0;
+  t.full_mode <- true;
+  rebuild_epochs t;
+  let recent = recent_proposers t (f_of t) in
+  let candidate =
+    match Store.last t.store with
+    | Some b ->
+        Rotation.successor t.rotation ~round:t.round
+          b.Block.header.Header.proposer
+    | None -> 0
+  in
+  t.proposer <- Rotation.eligible t.rotation ~round:t.round ~recent candidate;
+  (match t.persist with
+  | Some per ->
+      for r = 0 to t.definite_upto do
+        match Store.get t.store r with
+        | Some b -> Fl_persist.Node.log_definite per ~upto:r ~era:t.era b
+        | None -> ()
+      done;
+      Fl_persist.Node.take_snapshot per ~store:t.store ~upto:t.definite_upto
+        ~era:t.era
+  | None -> ());
+  trace t ~category:"epoch" "adopted snapshot upto=%d era=%d round=%d"
+    t.definite_upto t.era t.round
+
+(* Joiner state transfer: ask a donor for the chunked snapshot, with
+   bounded exponential backoff on silence and donor rotation on
+   retry. Chunks are accumulated per stream id — a donor crash
+   mid-transfer resumes from the last verified (contiguously held)
+   chunk against the next donor; a stream id mismatch (the chain moved
+   on) restarts cleanly. The assembled snapshot is CRC-checked by
+   {!Fl_persist.Snapshot.decode} (fail closed: any corruption discards
+   everything — never a half-applied prefix). *)
+let state_transfer t =
+  incr_c t "state_transfers";
+  let start = now t in
+  let box = Hub.box t.env.Env.hub "snap" in
+  let chunks : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let sid = ref (-1) in
+  let total = ref (-1) in
+  let retries = ref 0 in
+  let backoff = ref (Time.ms 50) in
+  let max_backoff = Time.ms 1600 in
+  let result = ref None in
+  let contiguous () =
+    let rec go i = if Hashtbl.mem chunks i then go (i + 1) else i in
+    go 0
+  in
+  let complete () = !total > 0 && contiguous () >= !total in
+  while !result = None && not t.stopped do
+    let e = epoch_at t t.round in
+    let donors =
+      Array.to_list (Epoch.members e) |> List.filter (fun m -> m <> me t)
+    in
+    match donors with
+    | [] -> Fiber.sleep (engine t) !backoff
+    | _ -> (
+        let donor = List.nth donors (!retries mod List.length donors) in
+        send t ~dst:donor (Msg.Snap_req { from_chunk = contiguous () });
+        let deadline = ref (now t + !backoff) in
+        let progressed = ref false in
+        while (not (complete ())) && now t < !deadline do
+          match Mailbox.recv_timeout box ~timeout:(!deadline - now t) with
+          | Some (_src, Msg.Snap_chunk { sid = s; seq; total = tot; data })
+            when tot > 0 ->
+              if s <> !sid then begin
+                (* a different (newer) snapshot stream: restart *)
+                Hashtbl.reset chunks;
+                sid := s;
+                total := tot
+              end;
+              if not (Hashtbl.mem chunks seq) then begin
+                Hashtbl.replace chunks seq data;
+                progressed := true;
+                (* progress re-arms the quiet deadline *)
+                deadline := now t + !backoff
+              end
+          | Some _ | None -> ()
+        done;
+        if complete () then begin
+          let buf = Buffer.create (!total * snap_chunk_bytes) in
+          for i = 0 to !total - 1 do
+            Buffer.add_string buf (Hashtbl.find chunks i)
+          done;
+          let encoded = Buffer.contents buf in
+          charge_hash t ~bytes:(String.length encoded);
+          let fail why =
+            incr_c t "transfer_decode_failures";
+            trace t ~category:"epoch" "transfer rejected: %s" why;
+            Hashtbl.reset chunks;
+            sid := -1;
+            total := -1
+          in
+          match Fl_persist.Snapshot.decode encoded with
+          | Error e -> fail e
+          | Ok snap -> (
+              match Fl_persist.Snapshot.restore_chain snap with
+              | Error e -> fail e
+              | Ok chain -> result := Some (snap, chain))
+        end
+        else begin
+          incr retries;
+          incr_c t "transfer_retries";
+          if not !progressed then backoff := min (2 * !backoff) max_backoff
+        end)
+  done;
+  match !result with
+  | None -> ()
+  | Some (snap, chain) ->
+      let nchunks = !total in
+      adopt_snapshot t snap chain;
+      obs_span t ~name:"state_transfer" ~round:t.round
+        ~args:
+          [ ("upto", string_of_int snap.Fl_persist.Snapshot.upto);
+            ("chunks", string_of_int nchunks);
+            ("retries", string_of_int !retries) ]
+        ~t_begin:start ~t_end:(now t) ();
+      t.output.on_transfer ~upto:snap.Fl_persist.Snapshot.upto ~chunks:nchunks
+        ~retries:!retries
+
+(* One scheduling step of a node outside the active membership.
+   Joiners: state-transfer once, then follow the chain (pull blocks
+   round by round) until the epoch that includes them activates.
+   Leavers: hand pending txs to a survivor, then park — service
+   fibers keep answering pulls, the main fiber stays quiet. *)
+let observer_step t =
+  if t.was_member then begin
+    if not t.handoff_done then begin
+      t.handoff_done <- true;
+      do_handoff t
+    end;
+    Fiber.sleep (engine t) (Time.ms 100)
+  end
+  else if t.definite_upto < 0 && Store.length t.store = 0 then begin
+    state_transfer t;
+    if t.definite_upto < 0 then Fiber.sleep (engine t) (Time.ms 20)
+  end
+  else begin
+    maybe_catch_up t;
+    if not (pull_round t ~r:t.round ~timeout:(min (Timer.current t.timer) (Time.ms 100)))
+    then Fiber.sleep (engine t) (Time.ms 10)
+  end
+
 let main_loop t =
   while not t.stopped do
-    match round_step t with
-    | () -> ()
-    | exception Race.Aborted -> handle_panics t
+    if Epoch.is_member (epoch_at t t.round) (me t) then begin
+      t.was_member <- true;
+      match round_step t with
+      | () -> ()
+      | exception Race.Aborted -> handle_panics t
+    end
+    else
+      match observer_step t with
+      | () -> ()
+      | exception Race.Aborted ->
+          (* the watchdog's staleness abort is a member-path signal;
+             outside the membership just re-arm and keep following *)
+          t.abort <- Ivar.create (engine t)
   done
 
 (* ---------- service fibers ---------- *)
@@ -1375,6 +1939,7 @@ let adopt_recovered t (r : Fl_persist.Recovery.recovered) =
   t.round <- Store.length t.store;
   t.attempt <- 0;
   t.full_mode <- true;
+  rebuild_epochs t;
   let recent = recent_proposers t (f_of t) in
   let candidate =
     match Store.last t.store with
@@ -1391,9 +1956,14 @@ let adopt_recovered t (r : Fl_persist.Recovery.recovered) =
     (Store.length t.store) t.definite_upto t.era
 
 let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ?persist
-    ?halves ~output () =
+    ?halves ?epoch ~output () =
   Config.validate config;
   let engine = env.Env.engine in
+  let genesis_epoch =
+    match epoch with
+    | Some e -> e
+    | None -> Epoch.genesis ~universe:config.Config.n ()
+  in
   let halves =
     match halves with
     | Some h -> h
@@ -1450,9 +2020,19 @@ let create env ~config ?(behavior = Honest) ?(valid = fun _ -> true) ?persist
       next_tx_id = 0;
       halves;
       stopped = false;
+      genesis_epoch;
+      epochs = [ genesis_epoch ];
+      active_epoch = genesis_epoch;
+      was_member = Epoch.is_member genesis_epoch env.Env.me;
+      handoff_done = false;
+      reconfig_fibers = false;
+      wedged = false;
+      snap_cache = None;
       persist;
       boot_delay = 0 }
   in
+  if Epoch.n genesis_epoch < config.Config.n then
+    Rotation.set_members t.rotation (Epoch.members genesis_epoch);
   (match persist with
   | None -> ()
   | Some per ->
@@ -1522,16 +2102,45 @@ let start t =
   spawn_body_fiber t;
   spawn_reply_fiber t;
   spawn_service_fiber t;
+  (* Reconfigurable clusters (partial genesis membership, or a
+     schedule restored from disk) need the state-transfer/handoff
+     fibers; fully static clusters skip them entirely. *)
+  if Epoch.n t.genesis_epoch < n_of t || List.length t.epochs > 1 then
+    ensure_reconfig_fibers t;
   (* Staleness watchdog: the main fiber may be parked in a round the
      rest of the cluster abandoned long ago (e.g. after a long
      isolation) — no quorum will ever form there. When stashed signed
      proposals show the cluster far ahead, abort the wait so the loop
-     falls into the catch-up sync. *)
+     falls into the catch-up sync. Post-reconfiguration a second,
+     slower trip covers the one-round wedge: a joiner that became a
+     member after its first round's OBBC already completed among the
+     veterans waits for votes that can never come, and with exactly
+     n - f live members the rest of the cluster cannot outrun it to
+     arm the far-ahead trip. A signed proposal for any later round
+     plus a full second without progress is proof enough; the main
+     loop then pulls the missed block instead of waiting. *)
   Fiber.spawn engine (fun () ->
+      let stuck_at = ref (-1) and stuck_ticks = ref 0 in
       while not t.stopped do
         Fiber.sleep engine (Time.ms 250);
         if max_stash_round t - (f_of t + 2) >= t.round + f_of t + 4 then
           ignore (Ivar.try_fill t.abort ())
+        else begin
+          if t.round = !stuck_at then incr stuck_ticks
+          else begin
+            stuck_at := t.round;
+            stuck_ticks := 0
+          end;
+          if
+            t.active_epoch.Epoch.index > 0
+            && !stuck_ticks >= 4
+            && max_stash_round t > t.round
+          then begin
+            t.wedged <- true;
+            stuck_ticks := 0;
+            ignore (Ivar.try_fill t.abort ())
+          end
+        end
       done);
   (match t.persist with
   | Some per -> Fl_persist.Node.maybe_start_flusher per
@@ -1571,6 +2180,13 @@ let definite_upto t = t.definite_upto
 let recoveries t = Fl_metrics.Recorder.counter (recorder t) "recoveries"
 let era t = t.era
 let persist t = t.persist
+let active_epoch t = t.active_epoch
+let epoch_of_round t ~round = epoch_at t round
+let epochs_scheduled t = List.length t.epochs - 1
+let is_member t = Epoch.is_member (epoch_at t t.round) (me t)
+
+let submit_reconfig t change =
+  ignore (Mempool.admit t.mempool (Epoch.reconfig_tx change) ~fee:max_int)
 
 let evidence t = Hashtbl.fold (fun _ ev acc -> ev :: acc) t.evidence_log []
 
@@ -1595,4 +2211,12 @@ let tee_output a b =
     on_evidence =
       (fun ev ->
         a.on_evidence ev;
-        b.on_evidence ev) }
+        b.on_evidence ev);
+    on_epoch =
+      (fun e ->
+        a.on_epoch e;
+        b.on_epoch e);
+    on_transfer =
+      (fun ~upto ~chunks ~retries ->
+        a.on_transfer ~upto ~chunks ~retries;
+        b.on_transfer ~upto ~chunks ~retries) }

@@ -40,6 +40,14 @@ type output = {
       (** fires once per distinct evidence object this node collects —
           whether it detected the conflict itself or received the
           evidence by reliable broadcast *)
+  on_epoch : Epoch.t -> unit;
+      (** a successor epoch was scheduled from a definite block; fires
+          with identical epochs in identical order on every correct
+          node (it is a pure function of the definite chain prefix) *)
+  on_transfer : upto:int -> chunks:int -> retries:int -> unit;
+      (** this node adopted a state-transfer snapshot covering rounds
+          0..[upto], assembled from [chunks] wire chunks after
+          [retries] re-requests *)
 }
 
 val null_output : output
@@ -53,6 +61,7 @@ val create :
   ?valid:(Block.t -> bool) ->
   ?persist:Fl_persist.Node.t ->
   ?halves:int list * int list ->
+  ?epoch:Epoch.t ->
   output:output ->
   unit ->
   t
@@ -66,7 +75,11 @@ val create :
     a power failure the instance boots from it — chain, signed
     headers, definite watermark and era restored — before its first
     round, charging the media scan plus per-block hashing as a boot
-    delay. *)
+    delay. [epoch] is the genesis membership epoch (default: the whole
+    universe [0, n)); a node outside it boots as a joiner — it
+    state-transfers a snapshot from a member, catches up over the
+    wire, and starts voting at the activation round of the epoch that
+    admits it. *)
 
 val start : t -> unit
 (** Spawn the instance's fibers (main loop, dissemination and service
@@ -101,6 +114,23 @@ val era : t -> int
 
 val persist : t -> Fl_persist.Node.t option
 (** The durability layer this instance logs to, if any. *)
+
+val active_epoch : t -> Epoch.t
+(** The epoch governing the current round. *)
+
+val epoch_of_round : t -> round:int -> Epoch.t
+(** The epoch governing an arbitrary round (genesis for rounds before
+    any scheduled activation). *)
+
+val epochs_scheduled : t -> int
+(** Successor epochs scheduled from definite blocks so far. *)
+
+val is_member : t -> bool
+(** Is this node inside the membership governing its current round? *)
+
+val submit_reconfig : t -> Epoch.change -> unit
+(** Admit a reconfiguration transaction into this node's mempool at
+    maximal fee priority — it rides the chain like any client tx. *)
 
 val evidence : t -> Types.evidence list
 (** Every distinct equivocation-evidence object collected so far

@@ -24,6 +24,17 @@ type t =
       (** recovery versions (Algorithm 3) *)
   | Evd of Types.evidence Fl_broadcast.Bracha.msg
       (** fork-accountability evidence dissemination *)
+  | Snap_req of { from_chunk : int }
+      (** joiner asks a donor for state transfer, resuming at the
+          first chunk it does not yet hold *)
+  | Snap_chunk of { sid : int; seq : int; total : int; data : string }
+      (** one chunk of an encoded {!Fl_persist.Snapshot}; [sid] is
+          [definite_upto + 1] at build time (so 0 = "nothing durable
+          yet", signalled with [total = 0]) — a joiner resumes only
+          chunks of a matching [sid] *)
+  | Tx_handoff of { txs : Tx.t array; fees : int array }
+      (** a leaving node hands its pending mempool txs to a surviving
+          member so admitted transactions are conserved *)
 
 and ob_payload = Types.proposal
 (** OBBC piggyback: the next round's proposal (§5.1). *)
@@ -48,6 +59,9 @@ let key = function
   | Rb _ -> "rb"
   | Ab _ -> "ab"
   | Evd _ -> "evd"
+  | Snap_req _ -> "snapreq"
+  | Snap_chunk _ -> "snap"
+  | Tx_handoff _ -> "handoff"
 
 (* One codec from protocol structs to NIC bytes: every constructor is
    an envelope tag; sub-protocol messages (OBBC, Bracha, PBFT) are
@@ -86,6 +100,18 @@ let encode = function
   | Evd m ->
       Envelope.seal ~tag:7 (fun w ->
           Fl_broadcast.Bracha.write_msg Types.write_evidence w m)
+  | Snap_req { from_chunk } ->
+      Envelope.seal ~tag:8 (fun w -> Codec.Writer.varint w from_chunk)
+  | Snap_chunk { sid; seq; total; data } ->
+      Envelope.seal ~tag:9 (fun w ->
+          Codec.Writer.varint w sid;
+          Codec.Writer.varint w seq;
+          Codec.Writer.varint w total;
+          Codec.Writer.bytes w data)
+  | Tx_handoff { txs; fees } ->
+      Envelope.seal ~tag:10 (fun w ->
+          Serial.encode_txs w txs;
+          Array.iter (fun fee -> Codec.Writer.varint w fee) fees)
 
 let read tag r =
   match tag with
@@ -110,6 +136,19 @@ let read tag r =
   | 5 -> Rb (Fl_broadcast.Bracha.read_msg Types.read_proof r)
   | 6 -> Ab (Pbft.read_msg Types.read_version r)
   | 7 -> Evd (Fl_broadcast.Bracha.read_msg Types.read_evidence r)
+  | 8 -> Snap_req { from_chunk = Codec.Reader.varint r }
+  | 9 ->
+      let sid = Codec.Reader.varint r in
+      let seq = Codec.Reader.varint r in
+      let total = Codec.Reader.varint r in
+      let data = Codec.Reader.bytes r in
+      if seq >= total && total > 0 then
+        raise (Codec.Malformed "snap_chunk: seq out of range");
+      Snap_chunk { sid; seq; total; data }
+  | 10 ->
+      let txs = Serial.decode_txs r in
+      let fees = Array.map (fun _ -> Codec.Reader.varint r) txs in
+      Tx_handoff { txs; fees }
   | t -> raise (Codec.Malformed (Printf.sprintf "msg: tag %d" t))
 
 let decode s = Msg_codec.decode_frame read s

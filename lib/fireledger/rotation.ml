@@ -1,26 +1,49 @@
 open Fl_sim
 
 type t = {
-  n : int;
   permute : bool;
   period : int;
   seed : int;
-  mutable cache : (int * int array * int array) option;
-      (* epoch, permutation, inverse *)
+  mutable members : int array;  (* sorted ascending *)
+  mutable stamp : int;  (* bumped by set_members; invalidates cache *)
+  mutable cache : (int * int * int array * int array) option;
+      (* stamp, epoch, permutation, inverse — over member positions *)
 }
 
 let create (config : Config.t) ~seed =
-  { n = config.Config.n;
-    permute = config.Config.permute_proposers;
+  { permute = config.Config.permute_proposers;
     period = config.Config.permute_period;
     seed;
+    members = Array.init config.Config.n Fun.id;
+    stamp = 0;
     cache = None }
+
+let members t = t.members
+
+let set_members t members =
+  let members = Array.copy members in
+  Array.sort compare members;
+  if members <> t.members then begin
+    t.members <- members;
+    t.stamp <- t.stamp + 1;
+    t.cache <- None
+  end
+
+(* Position of [x] in the member array, or [None] for a non-member. *)
+let pos_of t x =
+  let m = Array.length t.members in
+  let rec go i = if i >= m then None
+    else if t.members.(i) = x then Some i
+    else go (i + 1)
+  in
+  go 0
 
 let tables t epoch =
   match t.cache with
-  | Some (e, perm, inv) when e = epoch -> (perm, inv)
+  | Some (s, e, perm, inv) when s = t.stamp && e = epoch -> (perm, inv)
   | _ ->
-      let perm = Array.init t.n Fun.id in
+      let m = Array.length t.members in
+      let perm = Array.init m Fun.id in
       if t.permute && epoch > 0 then begin
         (* All nodes derive the same permutation from shared seed
            material (standing in for the paper's VRF over a definite
@@ -28,19 +51,37 @@ let tables t epoch =
         let rng = Rng.create ((t.seed * 1_000_003) + epoch) in
         Rng.shuffle rng perm
       end;
-      let inv = Array.make t.n 0 in
+      let inv = Array.make m 0 in
       Array.iteri (fun i x -> inv.(x) <- i) perm;
-      t.cache <- Some (epoch, perm, inv);
+      t.cache <- Some (t.stamp, epoch, perm, inv);
       (perm, inv)
 
 let successor t ~round x =
+  let m = Array.length t.members in
   let epoch = if t.permute then round / t.period else 0 in
   let perm, inv = tables t epoch in
-  perm.((inv.(x) + 1) mod t.n)
+  match pos_of t x with
+  | Some p -> t.members.(perm.((inv.(p) + 1) mod m))
+  | None ->
+      (* [x] left the membership (or never joined): re-seat
+         deterministically on the first member above it in id order,
+         cyclically — every node computes the same re-entry point. *)
+      let rec seek i = if i >= m then t.members.(0)
+        else if t.members.(i) > x then t.members.(i)
+        else seek (i + 1)
+      in
+      seek 0
 
 let eligible t ~round ~recent candidate =
+  let m = Array.length t.members in
+  (* A candidate outside the membership first maps onto it. *)
+  let candidate =
+    match pos_of t candidate with
+    | Some _ -> candidate
+    | None -> successor t ~round candidate
+  in
   let rec go c steps =
-    if steps >= t.n then c (* degenerate: everyone recent; keep c *)
+    if steps >= m then c (* degenerate: everyone recent; keep c *)
     else if List.mem c recent then go (successor t ~round c) (steps + 1)
     else c
   in

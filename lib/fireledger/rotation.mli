@@ -12,6 +12,15 @@
 type t
 
 val create : Config.t -> seed:int -> t
+(** Rotation over the full universe [0, n). Call {!set_members} when
+    an epoch with a different membership activates. *)
+
+val set_members : t -> int array -> unit
+(** Install the active epoch's member set (copied, sorted). The
+    rotation then walks exactly these members; permutations are
+    re-derived over member positions. No-op when unchanged. *)
+
+val members : t -> int array
 
 val successor : t -> round:int -> int -> int
 (** Next node after the given one in the rotation order in effect at

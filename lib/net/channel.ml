@@ -11,20 +11,34 @@ type 'a t = {
   close : unit -> unit;
 }
 
-let of_hub hub ~key ~net ~self ~f ~encode ~inj ~prj =
+let of_hub ?n ?accept hub ~key ~net ~self ~f ~encode ~inj ~prj =
   let box () = Hub.box hub key in
+  let accepted src =
+    match accept with None -> true | Some ok -> ok src
+  in
   { self;
-    n = Net.n net;
+    n = (match n with Some n -> n | None -> Net.n net);
     f;
     bcast = (fun m -> Net.broadcast net ~src:self (encode (inj m)));
     send = (fun ~dst m -> Net.send net ~src:self ~dst (encode (inj m)));
     recv =
       (fun () ->
-        let src, w = Mailbox.recv (box ()) in
-        (src, prj w));
+        let rec go () =
+          let src, w = Mailbox.recv (box ()) in
+          if accepted src then (src, prj w) else go ()
+        in
+        go ());
     recv_timeout =
       (fun ~timeout ->
-        match Mailbox.recv_timeout (box ()) ~timeout with
-        | None -> None
-        | Some (src, w) -> Some (src, prj w));
+        (* A rejected frame re-arms the same timeout rather than
+           tracking the original deadline: the extension is bounded by
+           the number of stale frames already queued, and keeps this
+           layer free of any clock dependency. *)
+        let rec go () =
+          match Mailbox.recv_timeout (box ()) ~timeout with
+          | None -> None
+          | Some (src, w) when accepted src -> Some (src, prj w)
+          | Some _ -> go ()
+        in
+        go ());
     close = (fun () -> Hub.remove hub key) }

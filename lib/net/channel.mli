@@ -24,6 +24,8 @@ type 'a t = {
 }
 
 val of_hub :
+  ?n:int ->
+  ?accept:(int -> bool) ->
   'w Hub.t ->
   key:string ->
   net:Net.t ->
@@ -36,4 +38,12 @@ val of_hub :
 (** Standard wiring: channel [key] of a node's hub, embedding protocol
     messages ['m] into the node wire type ['w] and encoding through
     the node's codec. [prj] may assume it only sees messages routed to
-    [key] (it should raise on others — that would be a routing bug). *)
+    [key] (it should raise on others — that would be a routing bug).
+
+    [?n] overrides the quorum denominator (default: the transport
+    universe [Net.n]) — used when the active membership epoch is a
+    subset of the universe. [?accept src] filters the receive side:
+    frames from rejected sources are dropped before [prj] (gen-guard —
+    a node outside the epoch governing this channel's round can never
+    have a vote counted). Rejected frames under [recv_timeout] re-arm
+    the timeout. *)

@@ -62,5 +62,4 @@ let spawn engine ~rng ~node ~rate_per_s ~tx_size ?(payloads = false)
 let submitted t = t.submitted
 let backpressured t = t.backpressured
 let dropped t = t.dropped
-let rejected t = t.dropped
 let stop t = t.stopped <- true

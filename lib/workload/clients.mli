@@ -42,10 +42,6 @@ val dropped : t -> int
 (** Transactions abandoned after exhausting [max_retries] — actual
     lost work. [submitted + dropped] = transactions generated. *)
 
-val rejected : t -> int
-(** Deprecated alias for {!dropped} (the old counter conflated
-    retried backpressure with losses). *)
-
 val stop : t -> unit
 
 val make_tx : rng:Rng.t -> id:int -> size:int -> payloads:bool -> Tx.t

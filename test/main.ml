@@ -25,5 +25,6 @@ let () =
       ("app", Test_app.suite);
       ("persist", Test_persist.suite);
       ("resilience", Test_resilience.suite);
+      ("reconfig", Test_reconfig.suite);
       ("obs", Test_obs.suite);
       ("prof", Test_prof.suite) ]

@@ -112,7 +112,7 @@ let test_mempool () =
   Alcotest.(check int) "remaining" 1 (Mempool.size pool);
   Alcotest.(check int) "bytes updated" 30 (Mempool.pending_bytes pool);
   Alcotest.(check int) "counters" 3 (Mempool.submitted_total pool);
-  Alcotest.(check int) "rejected" 1 (Mempool.rejected_total pool)
+  Alcotest.(check int) "backpressured" 1 (Mempool.backpressured_total pool)
 
 let test_tx_digest () =
   let a = Tx.create ~id:1 ~size:512 in

@@ -113,6 +113,28 @@ let test_wal_segments_truncate () =
         (Wal.round_of rec_ > 3))
     r.Wal.records
 
+(* Torn tail exactly on a segment boundary: with [segment_bytes = 1]
+   every Append frame seals its own segment, so the durable watermark
+   falls exactly on a sealed-segment boundary and the torn fragment is
+   the first frame of a fresh segment — the cursor position a sloppy
+   replay loop trips over. *)
+let test_wal_torn_on_segment_boundary () =
+  let blocks = mk_blocks 5 in
+  let wal = Wal.create ~segment_bytes:1 in
+  List.iteri
+    (fun i b ->
+      ignore (Wal.append wal (Wal.Append { block = b; signature = sig_of i })))
+    blocks;
+  Wal.mark_durable_upto wal 4;
+  Alcotest.(check int) "one segment per frame" 6 (Wal.segments wal);
+  let media = Wal.power_fail_image wal ~torn:true in
+  let r = Wal.replay_media media in
+  Alcotest.(check bool) "torn detected" true r.Wal.torn;
+  Alcotest.(check int) "durable prefix only" 4 (List.length r.Wal.records);
+  List.iteri
+    (fun i rec_ -> Alcotest.(check int) "round order" i (Wal.round_of rec_))
+    r.Wal.records
+
 (* ---- Snapshot ---- *)
 
 let test_snapshot_roundtrip () =
@@ -155,6 +177,31 @@ let test_snapshot_roundtrip () =
   match Snapshot.decode (String.sub enc 0 (String.length enc - 5)) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated snapshot must not decode"
+
+(* The state-transfer donor streams a snapshot as fixed-size chunks; a
+   receiver that loses any suffix of the final chunk must get a decode
+   error — checked for every possible cut, not just lucky ones. *)
+let test_snapshot_truncated_chunk_fails_closed () =
+  let store = Test_chain.chain_of_blocks [ 0; 1; 2; 3 ] in
+  let snap =
+    match Snapshot.build ~store ~upto:3 ~era:1 ~app:"state" ~app_hash:"h" with
+    | Some s -> Snapshot.encode s
+    | None -> Alcotest.fail "snapshot build"
+  in
+  let chunk = 64 in
+  let len = String.length snap in
+  let total = (len + chunk - 1) / chunk in
+  Alcotest.(check bool) "multiple chunks" true (total > 1);
+  let last_off = (total - 1) * chunk in
+  for keep = 0 to len - last_off - 1 do
+    match Snapshot.decode (String.sub snap 0 (last_off + keep)) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncated final chunk (keep=%d) decoded" keep
+  done;
+  (* The intact reassembly still decodes. *)
+  match Snapshot.decode snap with
+  | Ok s -> Alcotest.(check int) "upto" 3 s.Snapshot.upto
+  | Error e -> Alcotest.failf "intact decode: %s" e
 
 (* ---- Recovery ---- *)
 
@@ -395,6 +442,10 @@ let suite =
   [ Alcotest.test_case "wal record roundtrip" `Quick test_wal_record_roundtrip;
     Alcotest.test_case "wal replay durable prefix" `Quick test_wal_replay_prefix;
     Alcotest.test_case "wal corrupt frame" `Quick test_wal_corrupt_frame;
+    Alcotest.test_case "wal torn tail on segment boundary" `Quick
+      test_wal_torn_on_segment_boundary;
+    Alcotest.test_case "snapshot truncated final chunk" `Quick
+      test_snapshot_truncated_chunk_fails_closed;
     Alcotest.test_case "wal segments + truncate" `Quick
       test_wal_segments_truncate;
     Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;

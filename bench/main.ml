@@ -101,6 +101,13 @@ let codec_msg =
 
 let codec_msg_bytes = Fl_fireledger.Msg.encode codec_msg
 
+(* The same frame embedded mid-buffer: the view-decode kernel reads it
+   in place ([Msg.decode_sub]) where the copy path would first
+   [String.sub] it out. *)
+let codec_framed_buf = "\x00batch-prefix\x00" ^ codec_msg_bytes ^ "\x00tail"
+let codec_framed_pos = 14
+let codec_framed_len = String.length codec_msg_bytes
+
 let wal_record =
   let txs = Array.init 100 (fun i -> Fl_chain.Tx.create ~id:i ~size:128) in
   let block =
@@ -108,6 +115,24 @@ let wal_record =
       ~prev_hash:Fl_chain.Block.genesis_hash txs
   in
   Fl_persist.Wal.Append { block; signature = String.make 32 's' }
+
+(* A live log for the scratch-buffer framing kernel: [Wal.build_frame]
+   seals into the log's reusable writer (vs. the allocating
+   [frame (encode_record r)] pair the plain kernel measures). *)
+let bench_wal = Fl_persist.Wal.create ~segment_bytes:(1 lsl 20)
+
+(* Sweep kernel: fixed work (4 shards x 2000-event engine drain)
+   through the domain map at this host's recommended width — measures
+   shard dispatch + spawn/join overhead against the same work run
+   sequentially when only one core is available. *)
+let sweep_jobs = min 4 (max 1 (Domain.recommended_domain_count ()))
+
+let sweep_shard _ =
+  let e = Fl_sim.Engine.create () in
+  for i = 0 to 1_999 do
+    ignore (Fl_sim.Engine.schedule e ~delay:(i * 7 mod 1000) ignore)
+  done;
+  Fl_sim.Engine.run e
 
 (* Traffic-tier hot paths: the Zipfian account draw sits on every
    generated transaction; admit-with-eviction is the mempool's
@@ -163,7 +188,8 @@ let reconfig_genesis =
 (* The explicit, ordered kernel registry: areas in fixed order, kernels
    in fixed order within each area, so text and JSON output are
    deterministic (no Hashtbl iteration order). *)
-let areas = [ "crypto"; "codec"; "substrate"; "kernels"; "load"; "reconfig" ]
+let areas =
+  [ "crypto"; "codec"; "substrate"; "sweep"; "kernels"; "load"; "reconfig" ]
 
 let kernels : (string * string * (unit -> unit)) list =
   [ (* Figure 5 calibration: the real crypto kernels. *)
@@ -189,6 +215,12 @@ let kernels : (string * string * (unit -> unit)) list =
       "codec/decode-body-100tx",
       fun () -> ignore (Fl_fireledger.Msg.decode codec_msg_bytes) );
     ( "codec",
+      "codec/decode-frame-view",
+      fun () ->
+        ignore
+          (Fl_fireledger.Msg.decode_sub codec_framed_buf
+             ~pos:codec_framed_pos ~len:codec_framed_len) );
+    ( "codec",
       "codec/ob-key-concat",
       fun () -> ignore (Fl_fireledger.Msg.ob_key ~era:3 ~round:12345 ~attempt:2)
     );
@@ -213,6 +245,14 @@ let kernels : (string * string * (unit -> unit)) list =
       fun () ->
         ignore (Fl_persist.Wal.frame (Fl_persist.Wal.encode_record wal_record))
     );
+    ( "substrate",
+      "substrate/wal-frame-append-reuse",
+      fun () -> ignore (Fl_persist.Wal.build_frame bench_wal wal_record) );
+    (* Parallel-sweep substrate: same shard work as event-queue, fanned
+       through the domain map. *)
+    ( "sweep",
+      "sweep/domains-scaling",
+      fun () -> ignore (Fl_sim.Par.map ~jobs:sweep_jobs 4 sweep_shard) );
     (* One miniature kernel per simulated table/figure. *)
     ( "kernels",
       "table1/fireledger-round-kernel",
@@ -265,7 +305,8 @@ let kernels : (string * string * (unit -> unit)) list =
         reconfig_chunk_seq := (seq + 1) mod total;
         let off = seq * reconfig_chunk_bytes in
         let data =
-          String.sub reconfig_snap_enc off (min reconfig_chunk_bytes (len - off))
+          Fl_wire.Codec.Slice.of_sub reconfig_snap_enc ~pos:off
+            ~len:(min reconfig_chunk_bytes (len - off))
         in
         ignore
           (Fl_fireledger.Msg.encode

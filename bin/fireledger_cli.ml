@@ -28,7 +28,17 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,list)), or 'all'.")
   in
-  let run mode id =
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard experiment sweeps across $(docv) domains (default 1, \
+             or \\$FL_JOBS). Tables are filled from results merged in \
+             sweep order, so the output is byte-identical for any value.")
+  in
+  let run mode jobs id =
+    Fl_harness.Parsweep.set_default_jobs (Fl_sim.Par.resolve_jobs ?cli:jobs ());
     if String.equal id "all" then begin
       Fl_harness.Experiments.run_all mode;
       `Ok ()
@@ -38,7 +48,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Reproduce one table/figure (or 'all').")
-    Term.(ret (const run $ mode_term $ id))
+    Term.(ret (const run $ mode_term $ jobs $ id))
 
 let custom_cmd =
   let open Arg in

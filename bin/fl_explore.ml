@@ -87,8 +87,9 @@ let summarise (s : Explorer.summary) =
     s.Explorer.reports;
   print_string (Fl_harness.Table.render tbl)
 
-let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
-    surge reconfig no_shrink verbose =
+let run seeds base_seed budget_ms n jobs replay plan_str inject_fork disk
+    corrupt surge reconfig no_shrink verbose =
+  let jobs = Fl_sim.Par.resolve_jobs ?cli:jobs () in
   let n = if n = 0 then None else Some n in
   let inject_fork = if inject_fork then Some true else None in
   let with_disk_faults = if disk then Some true else None in
@@ -137,7 +138,7 @@ let run seeds base_seed budget_ms n replay plan_str inject_fork disk corrupt
           let s =
             Explorer.explore ?inject_fork ?with_disk_faults
               ?with_corrupt_faults ?with_surge_faults ?with_reconfig_faults
-              ?persist ?n ~seeds ~base_seed ~budget_ms ()
+              ?persist ?n ~jobs ~seeds ~base_seed ~budget_ms ()
           in
           if verbose || List.length s.Explorer.reports <= 40 then summarise s;
           Printf.printf
@@ -183,6 +184,16 @@ let cmd =
     Arg.(
       value & opt int 0
       & info [ "n" ] ~doc:"Pin the cluster size (0 = seed-derived from {4,7}).")
+  in
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the seed sweep across $(docv) domains (default 1, or \
+             \\$FL_JOBS). Output — table, fingerprint, exit status — is \
+             byte-identical for any value; parallelism is only a \
+             wall-clock knob.")
   in
   let replay =
     Arg.(
@@ -260,7 +271,7 @@ let cmd =
          "Deterministic adversarial schedule explorer with safety/liveness \
           oracles, seed replay and shrinking.")
     Term.(
-      const run $ seeds $ base_seed $ budget_ms $ n $ replay $ plan
+      const run $ seeds $ base_seed $ budget_ms $ n $ jobs $ replay $ plan
       $ inject_fork $ disk $ corrupt $ surge $ reconfig $ no_shrink $ verbose)
 
 let () = exit (Cmd.eval' cmd)

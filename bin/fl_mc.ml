@@ -45,15 +45,41 @@ let check label ok =
   Printf.printf "  %-42s %s\n" label (if ok then "ok" else "FAIL");
   ok
 
-let drill ~depth ~max_schedules =
+let drill ~jobs ~depth ~max_schedules =
   let ok = ref true in
   let assert_ label v = ok := check label v && !ok in
 
-  Printf.printf "== honest sweep: n=4 f=1 rounds=2 ==\n";
+  (* The four enumerations (honest dpor, honest naive, drop sweep,
+     fork drill) are independent explorations with no shared state —
+     run them on [jobs] domains, then print and check in the fixed
+     phase order so the transcript is byte-identical for any [jobs]. *)
   let sc = Mc.scenario ~n:4 ~rounds:2 ~depth ~max_schedules () in
-  let dpor = Mc.enumerate Mc.Dpor sc in
+  let scd = Mc.scenario ~n:4 ~rounds:2 ~drops:1 ~depth ~max_schedules () in
+  (* Two equivocators (> f) with a pinned audience split that puts the
+     two halves of the cluster on different forks; safety is void, the
+     accountability obligations are what's checked. Longer horizon so
+     the proposal turns of both equivocators fall inside the explored
+     window; rounds high enough that both get a turn. *)
+  let scf =
+    Mc.scenario ~n:4 ~rounds:5 ~equivocators:[ 1; 2 ]
+      ~splits:[ Some ([ 0; 1 ], [ 2; 3 ]); Some ([ 0; 2 ], [ 1; 3 ]) ]
+      ~depth:(min depth 4) ~budget_ms:800 ~max_schedules ()
+  in
+  let phases =
+    [| (Mc.Dpor, sc); (Mc.Naive, sc); (Mc.Dpor, scd); (Mc.Dpor, scf) |]
+  in
+  let results =
+    Fl_sim.Par.map ~jobs (Array.length phases) (fun i ->
+        let mode, scenario = phases.(i) in
+        Mc.enumerate mode scenario)
+  in
+  let dpor = results.(0)
+  and naive = results.(1)
+  and drops = results.(2)
+  and fork = results.(3) in
+
+  Printf.printf "== honest sweep: n=4 f=1 rounds=2 ==\n";
   pp_stats dpor;
-  let naive = Mc.enumerate Mc.Naive sc in
   pp_stats naive;
   assert_ "safety oracles pass on every interleaving"
     ((not (Mc.failed dpor)) && not (Mc.failed naive));
@@ -72,24 +98,11 @@ let drill ~depth ~max_schedules =
        naive.Mc.final_states);
 
   Printf.printf "== drop sweep: n=4 f=1 rounds=2 drops=1 (dpor) ==\n";
-  let scd = Mc.scenario ~n:4 ~rounds:2 ~drops:1 ~depth ~max_schedules () in
-  let drops = Mc.enumerate Mc.Dpor scd in
   pp_stats drops;
   assert_ "safety holds under per-schedule message loss"
     (not (Mc.failed drops));
 
   Printf.printf "== fork drill: n=4 f=1 equivocators=[1;2] ==\n";
-  (* Two equivocators (> f) with a pinned audience split that puts the
-     two halves of the cluster on different forks; safety is void, the
-     accountability obligations are what's checked. Longer horizon so
-     the proposal turns of both equivocators fall inside the explored
-     window; rounds high enough that both get a turn. *)
-  let scf =
-    Mc.scenario ~n:4 ~rounds:5 ~equivocators:[ 1; 2 ]
-      ~splits:[ Some ([ 0; 1 ], [ 2; 3 ]); Some ([ 0; 2 ], [ 1; 3 ]) ]
-      ~depth:(min depth 4) ~budget_ms:800 ~max_schedules ()
-  in
-  let fork = Mc.enumerate Mc.Dpor scf in
   pp_stats fork;
   assert_ "zero false accusations"
     (List.for_all (fun a -> List.mem a [ 1; 2 ]) fork.Mc.accused
@@ -102,8 +115,9 @@ let drill ~depth ~max_schedules =
   !ok
 
 let run n f rounds equivocators drops depth horizon budget max_schedules
-    mode_str full =
-  if full || n = 0 then if drill ~depth ~max_schedules then 0 else 1
+    mode_str full jobs =
+  let jobs = Fl_sim.Par.resolve_jobs ?cli:jobs () in
+  if full || n = 0 then if drill ~jobs ~depth ~max_schedules then 0 else 1
   else
     match
       Mc.scenario ~f ~equivocators ~drops ~depth ~horizon_us:horizon
@@ -160,6 +174,11 @@ let cmd =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the acceptance drill \
       (default when --n is not given).")
   in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N"
+      ~doc:"Run the drill's independent phases on $(docv) domains \
+        (default 1, or \\$FL_JOBS); output is identical for any value.")
+  in
   Cmd.v
     (Cmd.info "fl_mc" ~version:"1.0.0"
        ~doc:
@@ -169,6 +188,6 @@ let cmd =
           DPOR-style partial-order reduction.")
     Term.(
       const run $ n $ f $ rounds $ equivocators $ drops $ depth $ horizon
-      $ budget $ max_schedules $ mode $ full)
+      $ budget $ max_schedules $ mode $ full $ jobs)
 
 let () = exit (Cmd.eval' cmd)

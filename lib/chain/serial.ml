@@ -116,9 +116,9 @@ let decode_chain s =
   match
     let tag, r = Envelope.open_ s in
     if tag <> 0 then Error "chain: bad tag"
-    else if not (String.equal (Codec.Reader.raw r 8) magic) then
-      Error "bad magic"
     else begin
+      (* in-place magic check: no 8-byte copy per decode *)
+      Codec.Reader.expect_raw r magic;
       let len = Codec.Reader.varint r in
       let pruned_below = Codec.Reader.varint r in
       let store = Store.create () in

@@ -373,13 +373,18 @@ type summary = {
 }
 
 let explore ?inject_fork ?with_disk_faults ?with_corrupt_faults
-    ?with_surge_faults ?with_reconfig_faults ?persist ?n ~seeds ~base_seed
-    ~budget_ms () =
+    ?with_surge_faults ?with_reconfig_faults ?persist ?n ?(jobs = 1) ~seeds
+    ~base_seed ~budget_ms () =
+  (* Each seed is a self-contained simulation (own engine, cluster,
+     RNG stream; no mutable globals on the run path), so the sweep
+     shards across domains and merges by seed index: reports, failures
+     and the fingerprint are byte-identical for any [jobs]. *)
   let reports =
-    List.init seeds (fun k ->
-        run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults
-          ?with_surge_faults ?with_reconfig_faults ?persist ?n ~budget_ms
-          (base_seed + k))
+    Array.to_list
+      (Fl_sim.Par.map ~jobs seeds (fun k ->
+           run_seed ?inject_fork ?with_disk_faults ?with_corrupt_faults
+             ?with_surge_faults ?with_reconfig_faults ?persist ?n ~budget_ms
+             (base_seed + k)))
   in
   { seeds;
     base_seed;

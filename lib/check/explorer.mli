@@ -92,9 +92,12 @@ type summary = {
 val explore :
   ?inject_fork:bool -> ?with_disk_faults:bool -> ?with_corrupt_faults:bool ->
   ?with_surge_faults:bool -> ?with_reconfig_faults:bool ->
-  ?persist:Fl_persist.Node.config -> ?n:int ->
+  ?persist:Fl_persist.Node.config -> ?n:int -> ?jobs:int ->
   seeds:int -> base_seed:int -> budget_ms:int -> unit -> summary
-(** Run seeds [base_seed .. base_seed + seeds - 1]. *)
+(** Run seeds [base_seed .. base_seed + seeds - 1]. [jobs] (default 1)
+    shards the seeds across that many domains ({!Fl_sim.Par.map});
+    every seed is a self-contained simulation, so the summary — reports,
+    failures, {!fingerprint} — is byte-identical for any [jobs]. *)
 
 val fingerprint : summary -> string
 (** Order-sensitive digest of every report (violations, progress,

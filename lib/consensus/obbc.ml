@@ -5,7 +5,9 @@ open Fl_wire
 type 'p msg =
   | Vote of { value : bool; pgd : 'p option }
   | Ev_req
-  | Ev of string option
+  | Ev of Codec.Slice.t option
+      (** evidence blob as a borrowed view of the received frame —
+          validated in place, copied only if retained *)
   | Fallback of Bbc.msg
   | Close
 
@@ -27,7 +29,7 @@ let write_msg write_pgd w = function
       | None -> Codec.Writer.bool w false
       | Some ev ->
           Codec.Writer.bool w true;
-          Codec.Writer.bytes w ev)
+          Codec.Writer.slice w ev)
   | Fallback b ->
       Codec.Writer.u8 w 3;
       Bbc.write_msg w b
@@ -43,7 +45,9 @@ let read_msg read_pgd r =
       Vote { value; pgd }
   | 1 -> Ev_req
   | 2 ->
-      Ev (if Codec.Reader.bool r then Some (Codec.Reader.bytes r) else None)
+      Ev
+        (if Codec.Reader.bool r then Some (Codec.Reader.view_bytes r)
+         else None)
   | 3 -> Fallback (Bbc.read_msg r)
   | 4 -> Close
   | t -> raise (Codec.Malformed (Printf.sprintf "obbc: tag %d" t))
@@ -53,7 +57,7 @@ type 'p t = {
   recorder : Fl_metrics.Recorder.t;
   coin : Coin.t;
   channel : 'p msg Channel.t;
-  validate_evidence : string -> bool;
+  validate_evidence : Codec.Slice.t -> bool;
   my_evidence : unit -> string option;
   on_pgd : src:int -> 'p -> unit;
   votes : (int, bool) Hashtbl.t;
@@ -150,13 +154,16 @@ let handle t (src, msg) =
         end
       end
   | Ev_req ->
-      t.channel.Channel.send ~dst:src (Ev (t.my_evidence ()))
+      t.channel.Channel.send ~dst:src
+        (Ev (Option.map Codec.Slice.of_string (t.my_evidence ())))
   | Ev e ->
       if not (Hashtbl.mem t.evidences src) then begin
         Hashtbl.add t.evidences src ();
         (match e with
         | Some ev when t.valid_evidence = None && t.validate_evidence ev ->
-            t.valid_evidence <- Some ev
+            (* copy-on-retain: the slice borrows the received frame,
+               the stored evidence must outlive it *)
+            t.valid_evidence <- Some (Codec.Slice.to_string ev)
         | _ -> ());
         let quorum = t.channel.Channel.n - t.channel.Channel.f in
         if Hashtbl.length t.evidences >= quorum then

@@ -21,7 +21,10 @@ open Fl_net
 type 'p msg =
   | Vote of { value : bool; pgd : 'p option }
   | Ev_req
-  | Ev of string option
+  | Ev of Fl_wire.Codec.Slice.t option
+      (** evidence blob as a borrowed view of the frame it was decoded
+          from (zero-copy) — validated in place, copied only on
+          retention *)
   | Fallback of Bbc.msg
   | Close  (** local control: tear the instance down; never on wire *)
 
@@ -45,7 +48,7 @@ val create :
   recorder:Fl_metrics.Recorder.t ->
   coin:Coin.t ->
   channel:'p msg Channel.t ->
-  validate_evidence:(string -> bool) ->
+  validate_evidence:(Fl_wire.Codec.Slice.t -> bool) ->
   my_evidence:(unit -> string option) ->
   on_pgd:(src:int -> 'p -> unit) ->
   ?obs:Fl_obs.Obs.t ->

@@ -103,16 +103,13 @@ let encode_change change =
   Codec.Writer.contents w
 
 let change_of_payload payload =
-  let ml = String.length magic in
-  if
-    String.length payload <= ml
-    || not (String.equal (String.sub payload 0 ml) magic)
-  then None
+  if String.length payload <= String.length magic then None
   else
     match
-      let r = Codec.Reader.of_substring payload ~pos:ml
-          ~len:(String.length payload - ml)
-      in
+      let r = Codec.Reader.of_string payload in
+      (* in-place prefix check: ordinary payloads diverge on the first
+         bytes and reject without allocating *)
+      Codec.Reader.expect_raw r magic;
       let kind = Codec.Reader.u8 r in
       let id = Codec.Reader.varint r in
       if not (Codec.Reader.at_end r) then None

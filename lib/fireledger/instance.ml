@@ -600,7 +600,7 @@ let obbc_for t ~r ~attempt ~k =
       let o =
         Obbc.create (engine t) ~recorder:(recorder t) ~coin ~channel
           ~validate_evidence:(fun ev ->
-            match Types.decode_signed_header ev with
+            match Types.decode_signed_header_slice ev with
             | Some sh ->
                 sh.Types.header.Header.round = r
                 && sh.Types.header.Header.proposer = k
@@ -755,7 +755,11 @@ let spawn_snap_server t =
               (* nothing durable yet: an explicit empty reply beats
                  silence — the joiner backs off instead of timing out *)
               send t ~dst:src
-                (Msg.Snap_chunk { sid = 0; seq = 0; total = 0; data = "" })
+                (Msg.Snap_chunk
+                   { sid = 0;
+                     seq = 0;
+                     total = 0;
+                     data = Fl_wire.Codec.Slice.of_string "" })
             else
               let sid = t.definite_upto + 1 in
               let encoded =
@@ -781,8 +785,11 @@ let spawn_snap_server t =
                   incr_c t "snap_requests_served";
                   for seq = max 0 from_chunk to total - 1 do
                     let off = seq * snap_chunk_bytes in
+                    (* borrowed view of the cached encoding: the chunk
+                       bytes are blitted once, straight into the frame *)
                     let data =
-                      String.sub enc off (min snap_chunk_bytes (len - off))
+                      Fl_wire.Codec.Slice.of_sub enc ~pos:off
+                        ~len:(min snap_chunk_bytes (len - off))
                     in
                     send t ~dst:src (Msg.Snap_chunk { sid; seq; total; data })
                   done)
@@ -1726,7 +1733,9 @@ let state_transfer t =
                 total := tot
               end;
               if not (Hashtbl.mem chunks seq) then begin
-                Hashtbl.replace chunks seq data;
+                (* copy-on-retain: the chunk view borrows the delivered
+                   frame; what we accumulate must outlive it *)
+                Hashtbl.replace chunks seq (Fl_wire.Codec.Slice.to_string data);
                 progressed := true;
                 (* progress re-arms the quiet deadline *)
                 deadline := now t + !backoff

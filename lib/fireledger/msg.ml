@@ -27,11 +27,13 @@ type t =
   | Snap_req of { from_chunk : int }
       (** joiner asks a donor for state transfer, resuming at the
           first chunk it does not yet hold *)
-  | Snap_chunk of { sid : int; seq : int; total : int; data : string }
+  | Snap_chunk of { sid : int; seq : int; total : int; data : Codec.Slice.t }
       (** one chunk of an encoded {!Fl_persist.Snapshot}; [sid] is
           [definite_upto + 1] at build time (so 0 = "nothing durable
           yet", signalled with [total = 0]) — a joiner resumes only
-          chunks of a matching [sid] *)
+          chunks of a matching [sid]. [data] is a borrowed view: on
+          send, of the donor's cached snapshot encoding; on receive,
+          of the delivered frame — the joiner copies what it keeps *)
   | Tx_handoff of { txs : Tx.t array; fees : int array }
       (** a leaving node hands its pending mempool txs to a surviving
           member so admitted transactions are conserved *)
@@ -107,7 +109,7 @@ let encode = function
           Codec.Writer.varint w sid;
           Codec.Writer.varint w seq;
           Codec.Writer.varint w total;
-          Codec.Writer.bytes w data)
+          Codec.Writer.slice w data)
   | Tx_handoff { txs; fees } ->
       Envelope.seal ~tag:10 (fun w ->
           Serial.encode_txs w txs;
@@ -141,7 +143,7 @@ let read tag r =
       let sid = Codec.Reader.varint r in
       let seq = Codec.Reader.varint r in
       let total = Codec.Reader.varint r in
-      let data = Codec.Reader.bytes r in
+      let data = Codec.Reader.view_bytes r in
       if seq >= total && total > 0 then
         raise (Codec.Malformed "snap_chunk: seq out of range");
       Snap_chunk { sid; seq; total; data }
@@ -152,6 +154,11 @@ let read tag r =
   | t -> raise (Codec.Malformed (Printf.sprintf "msg: tag %d" t))
 
 let decode s = Msg_codec.decode_frame read s
+
+let decode_sub s ~pos ~len = Msg_codec.decode_frame_sub read s ~pos ~len
+(* Observationally [decode (String.sub s pos len)] without the copy —
+   the receive path decoding one frame out of a batched buffer. Any
+   [Slice.t] payload in the result borrows [s]. *)
 
 let size m = String.length (encode m)
 (* Wire bytes of a message — by construction, [encode]'s length. *)

@@ -41,14 +41,23 @@ let encode_signed_header sh =
   write_signed_header w sh;
   Codec.Writer.contents w
 
-let decode_signed_header s =
+let decode_signed_header_reader r =
   match
-    let r = Codec.Reader.of_string s in
     let sh = read_signed_header r in
     if Codec.Reader.at_end r then Some sh else None
   with
   | result -> result
   | exception (Codec.Reader.Underflow | Codec.Malformed _) -> None
+
+let decode_signed_header s =
+  decode_signed_header_reader (Codec.Reader.of_string s)
+
+(* Decode straight out of a borrowed view — the evidence-validation
+   path, where the blob still lives in the received frame. The decoded
+   header copies what it keeps (hashes, signature), so it does not
+   borrow from the slice. *)
+let decode_signed_header_slice s =
+  decode_signed_header_reader (Codec.Reader.of_slice s)
 
 type proposal = { sh : signed_header; body : Tx.t array option }
 

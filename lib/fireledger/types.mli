@@ -29,6 +29,11 @@ val encode_signed_header : signed_header -> string
 
 val decode_signed_header : string -> signed_header option
 
+val decode_signed_header_slice :
+  Fl_wire.Codec.Slice.t -> signed_header option
+(** Decode straight out of a borrowed view of a received frame — no
+    copy of the blob. The result borrows nothing from the slice. *)
+
 type proposal = { sh : signed_header; body : Tx.t array option }
 (** What WRB carries for a round: the signed header, plus the body
     inline when block/header separation is disabled (ablation). *)

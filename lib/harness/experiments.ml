@@ -107,20 +107,30 @@ let fig6 mode =
     Table.create ~title:"Figure 6: FLO blocks/s, single DC (header-only load)"
       ~columns:[ "workers"; "n=4"; "n=7"; "n=10" ]
   in
-  List.iter
-    (fun w ->
-      let cell n =
-        let r = Settings.run_flo (base mode ~n ~workers:w ~batch:1 ~tx_size:1) in
-        Table.cell_f r.Settings.bps
-      in
-      Table.add_row t
-        [ Table.cell_i w; cell 4; cell 7; cell 10 ])
-    (omega_sweep mode);
+  (* Build the whole grid up front and run it through the parallel
+     sweep; rows are filled from the results array in sweep order, so
+     the table is identical for any job count. *)
+  let ws = omega_sweep mode in
+  let ns = [ 4; 7; 10 ] in
+  let settings =
+    Array.of_list
+      (List.concat_map
+         (fun w ->
+           List.map (fun n -> base mode ~n ~workers:w ~batch:1 ~tx_size:1) ns)
+         ws)
+  in
+  let results = Parsweep.run_settings settings in
+  List.iteri
+    (fun i w ->
+      let cell j = Table.cell_f results.((i * 3) + j).Settings.bps in
+      Table.add_row t [ Table.cell_i w; cell 0; cell 1; cell 2 ])
+    ws;
   Table.print t
 
 (* ---------- Figure 7: single-DC tps grid ---------- *)
 
 let tps_grid mode ~title ~net =
+  let sigmas = [ 512; 1024; 4096 ] in
   List.iter
     (fun n ->
       List.iter
@@ -130,19 +140,28 @@ let tps_grid mode ~title ~net =
               ~title:(Printf.sprintf "%s  n=%d beta=%d" title n beta)
               ~columns:[ "workers"; "sigma=512"; "sigma=1K"; "sigma=4K" ]
           in
-          List.iter
-            (fun w ->
-              let cell sigma =
-                let r =
-                  Settings.run_flo
-                    { (base mode ~n ~workers:w ~batch:beta ~tx_size:sigma) with
-                      Settings.net }
-                in
-                Table.cell_f (ktps r)
-              in
+          (* One parallel sweep per table; rows filled from the results
+             array in sweep order (identical for any job count). *)
+          let ws = omega_sweep mode in
+          let settings =
+            Array.of_list
+              (List.concat_map
+                 (fun w ->
+                   List.map
+                     (fun sigma ->
+                       { (base mode ~n ~workers:w ~batch:beta
+                            ~tx_size:sigma)
+                         with Settings.net })
+                     sigmas)
+                 ws)
+          in
+          let results = Parsweep.run_settings settings in
+          List.iteri
+            (fun i w ->
+              let cell j = Table.cell_f (ktps results.((i * 3) + j)) in
               Table.add_row t
-                [ Table.cell_i w; cell 512; cell 1024; cell 4096 ])
-            (omega_sweep mode);
+                [ Table.cell_i w; cell 0; cell 1; cell 2 ])
+            ws;
           Table.print t)
         batches)
     clusters

@@ -118,6 +118,7 @@ type result = {
 
 let default_obs : Fl_obs.Obs.t option ref = ref None
 let set_default_obs o = default_obs := o
+let default_obs_installed () = !default_obs <> None
 
 (* ---------- sim-rate accounting ----------
 
@@ -135,22 +136,35 @@ type run_stats = {
   rs_runs : int;
 }
 
-let zero_stats = { rs_host_ns = 0; rs_sim_ns = 0; rs_events = 0; rs_runs = 0 }
-let stats = ref zero_stats
+(* Kept as independent atomic counters, not a record behind a ref:
+   [account] runs concurrently on sweep domains (Parsweep), and a
+   read-modify-write of a shared record would silently drop counts. *)
+let acc_host_ns = Atomic.make 0
+let acc_sim_ns = Atomic.make 0
+let acc_events = Atomic.make 0
+let acc_runs = Atomic.make 0
 
-let run_stats () = !stats
-let reset_run_stats () = stats := zero_stats
+let run_stats () =
+  { rs_host_ns = Atomic.get acc_host_ns;
+    rs_sim_ns = Atomic.get acc_sim_ns;
+    rs_events = Atomic.get acc_events;
+    rs_runs = Atomic.get acc_runs }
+
+let reset_run_stats () =
+  Atomic.set acc_host_ns 0;
+  Atomic.set acc_sim_ns 0;
+  Atomic.set acc_events 0;
+  Atomic.set acc_runs 0
 
 let account ~engine f =
   let t0 = Fl_prof.Clock.now_ns_int () in
   let sim0 = Engine.now engine and ev0 = Engine.processed engine in
   let r = f () in
-  let s = !stats in
-  stats :=
-    { rs_host_ns = s.rs_host_ns + (Fl_prof.Clock.now_ns_int () - t0);
-      rs_sim_ns = s.rs_sim_ns + (Engine.now engine - sim0);
-      rs_events = s.rs_events + (Engine.processed engine - ev0);
-      rs_runs = s.rs_runs + 1 };
+  ignore
+    (Atomic.fetch_and_add acc_host_ns (Fl_prof.Clock.now_ns_int () - t0));
+  ignore (Atomic.fetch_and_add acc_sim_ns (Engine.now engine - sim0));
+  ignore (Atomic.fetch_and_add acc_events (Engine.processed engine - ev0));
+  ignore (Atomic.fetch_and_add acc_runs 1);
   r
 
 let sim_rate_line delta =

@@ -65,9 +65,9 @@ let decode s =
   match
     let tag, r = Envelope.open_ s in
     if tag <> 0 then Error "snapshot: bad tag"
-    else if not (String.equal (Codec.Reader.raw r 8) magic) then
-      Error "snapshot: bad magic"
     else begin
+      (* in-place magic check: no 8-byte copy per decode *)
+      Codec.Reader.expect_raw r magic;
       let upto = Codec.Reader.varint r in
       let era = Codec.Reader.varint r in
       let app = Codec.Reader.bytes r in

@@ -34,21 +34,21 @@ let round_of = function
 
 (* A record is a sealed envelope: record kind = envelope tag, CRC
    protection comes with the envelope. *)
-let encode_record r =
-  match r with
+let record_tag = function Append _ -> 1 | Truncate _ -> 2 | Definite _ -> 3
+
+let write_record w = function
   | Append { block; signature } ->
-      Envelope.seal ~tag:1 (fun w ->
-          Codec.Writer.bytes w signature;
-          Serial.encode_block w block)
-  | Truncate { from } ->
-      Envelope.seal ~tag:2 (fun w -> Codec.Writer.varint w from)
+      Codec.Writer.bytes w signature;
+      Serial.encode_block w block
+  | Truncate { from } -> Codec.Writer.varint w from
   | Definite { upto; era } ->
-      Envelope.seal ~tag:3 (fun w ->
-          (* [upto] is −1 until the first block becomes definite (a
-             bare era watermark) — shift by one for the unsigned
-             varint *)
-          Codec.Writer.varint w (upto + 1);
-          Codec.Writer.varint w era)
+      (* [upto] is −1 until the first block becomes definite (a bare
+         era watermark) — shift by one for the unsigned varint *)
+      Codec.Writer.varint w (upto + 1);
+      Codec.Writer.varint w era
+
+let encode_record r =
+  Envelope.seal ~tag:(record_tag r) (fun w -> write_record w r)
 
 let read_record tag r =
   match tag with
@@ -97,6 +97,11 @@ type t = {
   mutable total_bytes : int;
   mutable appends : int;
   mutable truncated_segments : int;
+  scratch : Codec.Writer.t;
+      (* per-log grow-only build buffer: every record frame is
+         assembled here in place — length prefix reserved, envelope
+         sealed directly behind it, length patched — so an append
+         allocates only the final frame string *)
 }
 
 let fresh_segment () = { frames = []; bytes = 0; max_round = -1 }
@@ -110,24 +115,41 @@ let create ~segment_bytes =
     durable_frames = 0;
     total_bytes = 0;
     appends = 0;
-    truncated_segments = 0 }
+    truncated_segments = 0;
+    scratch = Codec.Writer.create ~capacity:4096 () }
+
+(* Build one record's framed bytes — [u32 length | sealed envelope] —
+   in the log's scratch buffer, one pass, no intermediate strings.
+   Byte-identical to [frame (encode_record record)]. *)
+let build_frame_impl t record =
+  let w = t.scratch in
+  Codec.Writer.clear w;
+  let len_off = Codec.Writer.reserve w 4 in
+  Envelope.seal_into w ~tag:(record_tag record) (fun w ->
+      write_record w record);
+  Codec.Writer.patch_u32 w len_off (Codec.Writer.length w - 4);
+  Codec.Writer.contents w
 
 (* Self-profiling bracket (Fl_prof): record encode + length framing —
    the WAL's share of host time, with the nested envelope seal
    re-attributed to codec_encode by the frame stack. *)
-let build_frame record =
+let build_frame t record =
   if !Fl_prof.Prof.on then begin
     Fl_prof.Prof.enter Fl_prof.Prof.wal;
-    let fr = frame (encode_record record) in
-    Fl_prof.Prof.leave ();
-    fr
+    match build_frame_impl t record with
+    | fr ->
+        Fl_prof.Prof.leave ();
+        fr
+    | exception e ->
+        Fl_prof.Prof.leave ();
+        raise e
   end
-  else frame (encode_record record)
+  else build_frame_impl t record
 
 (* Append one record; returns the framed byte count (the disk write
    the caller must account for). *)
 let append t record =
-  let fr = build_frame record in
+  let fr = build_frame t record in
   let seg = t.active in
   seg.frames <- fr :: seg.frames;
   seg.bytes <- seg.bytes + String.length fr;

@@ -6,13 +6,48 @@
     cross the simulated network, whose [String.length] is what the NIC
     bandwidth model charges; (iii) the durable framing of the WAL and
     snapshots. Integers are little-endian fixed width; variable-length
-    fields are length-prefixed. *)
+    fields are length-prefixed.
+
+    Ownership rule for zero-copy decode: {!Slice.t} and {!Reader.t}
+    values {e borrow} the frame they were decoded from. Any component
+    that retains a payload past the frame's lifetime (a stash, the
+    WAL, a snapshot cache) must copy first ({!Slice.to_string}) —
+    everything else stays a view. *)
 
 exception Malformed of string
 (** Structurally invalid input: bad tag, checksum mismatch,
     implausible count. Together with {!Reader.Underflow} these are the
     only exceptions a well-formed decoder may raise; [decode]
     boundaries catch both and return [None]. *)
+
+module Slice : sig
+  type t = private { base : string; off : int; len : int }
+  (** A borrowed [off, off+len) view of an immutable string. The
+      fields are readable (the CRC/blit fast paths want them) but only
+      the smart constructors can build one, so the bounds invariant
+      holds everywhere. *)
+
+  val of_string : string -> t
+  (** Whole-string view — no copy, ever. *)
+
+  val of_sub : string -> pos:int -> len:int -> t
+  (** View of a trusted range; raises [Invalid_argument] out of
+      range. *)
+
+  val sub : t -> pos:int -> len:int -> t
+  (** Narrow a view — still no copy. *)
+
+  val length : t -> int
+  val get : t -> int -> char
+
+  val to_string : t -> string
+  (** The copy-on-retain boundary. A whole-string view returns its
+      backing string (retaining it retains exactly those bytes); a
+      narrower view is copied out. *)
+
+  val equal : t -> t -> bool
+  (** Content equality, no allocation. *)
+end
 
 module Writer : sig
   type t
@@ -32,6 +67,13 @@ module Writer : sig
   val raw : t -> string -> unit
   (** Raw bytes, no prefix — for fixed-size fields like digests. *)
 
+  val slice : t -> Slice.t -> unit
+  (** Length-prefixed (varint) slice — [bytes] without materialising
+      the payload as a string first. *)
+
+  val raw_slice : t -> Slice.t -> unit
+  (** Raw slice bytes, no prefix. *)
+
   val pad : t -> int -> unit
   (** [n] zero bytes — simulated payload that must occupy real frame
       bytes. Amortised: no per-call string allocation. *)
@@ -39,6 +81,25 @@ module Writer : sig
   val bool : t -> bool -> unit
   val length : t -> int
   val contents : t -> string
+
+  val sub_string : t -> pos:int -> len:int -> string
+  (** Copy out a range of the written bytes. *)
+
+  val reserve : t -> int -> int
+  (** Append [n] zero bytes and return their offset — a header slot
+      to patch once trailing content (length, checksum) is known, so
+      frames build front-to-back in one pass. *)
+
+  val patch_u32 : t -> int -> int -> unit
+  (** [patch_u32 t off v] overwrites 4 already-written bytes at
+      [off] with little-endian [v]. *)
+
+  val patch_u8 : t -> int -> int -> unit
+
+  val unsafe_bytes : t -> Bytes.t
+  (** The writer's live storage; valid bytes are [0, length t).
+      Read-only borrow for in-place checksumming — never mutate, and
+      never hold across a write (growth swaps the buffer). *)
 
   val clear : t -> unit
   (** Empty the writer, keeping its internal storage (pooling). *)
@@ -60,6 +121,9 @@ module Reader : sig
       [Invalid_argument] on an out-of-range window — callers pass
       trusted bounds; untrusted bounds go through {!sub}. *)
 
+  val of_slice : Slice.t -> t
+  (** Zero-copy reader over a slice's window. *)
+
   val u8 : t -> int
   val u16 : t -> int
   val u32 : t -> int
@@ -67,6 +131,18 @@ module Reader : sig
   val varint : t -> int
   val bytes : t -> string
   val raw : t -> int -> string
+
+  val view : t -> int -> Slice.t
+  (** Zero-copy {!raw}: borrow the next [n] bytes as a slice of the
+      backing buffer. The borrow rules of {!Slice} apply. *)
+
+  val view_bytes : t -> Slice.t
+  (** Length-prefixed (varint) {!view}. *)
+
+  val expect_raw : t -> string -> unit
+  (** Compare the next bytes against a fixed string in place (magic
+      numbers, format tags) — no allocation. Raises {!Malformed} on
+      mismatch, {!Reader.Underflow} if too short. *)
 
   val skip : t -> int -> unit
   (** Advance past [n] bytes without materialising them. *)

@@ -32,6 +32,31 @@ let decode_frame_impl read s =
   | m -> Some m
   | exception (Codec.Reader.Underflow | Codec.Malformed _) -> None
 
+(* Total decode of a frame living at [pos, pos+len) of an embedding
+   buffer (a receive buffer, a WAL segment) — the view path: the body
+   reader is a window over [s], nothing is copied out first. Exactly
+   [decode_frame read (String.sub s pos len)] observationally, which
+   the qcheck equivalence suite pins for every registered codec. *)
+let decode_frame_sub_impl read s ~pos ~len =
+  match
+    let tag, r = Envelope.open_sub s ~pos ~len in
+    let m = read tag r in
+    if not (Codec.Reader.at_end r) then
+      raise (Codec.Malformed "trailing bytes");
+    m
+  with
+  | m -> Some m
+  | exception (Codec.Reader.Underflow | Codec.Malformed _) -> None
+
+let decode_frame_sub read s ~pos ~len =
+  if !Fl_prof.Prof.on then begin
+    Fl_prof.Prof.enter Fl_prof.Prof.codec_decode;
+    let r = decode_frame_sub_impl read s ~pos ~len in
+    Fl_prof.Prof.leave ();
+    r
+  end
+  else decode_frame_sub_impl read s ~pos ~len
+
 (* Self-profiling bracket (Fl_prof): the whole frame decode — envelope
    open (a nested frame of the same subsystem) plus body parse. Total
    by construction, so a plain leave suffices. *)

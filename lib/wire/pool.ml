@@ -1,16 +1,20 @@
 (* Pooled writers — the per-message encode fast path.
 
    Every wire message is encoded exactly once; a naive fresh
-   [Buffer.create] per encode makes the allocator the hot path at
+   [Writer.create] per encode makes the allocator the hot path at
    high message rates. [with_writer] hands out a cleared writer from a
    small free list and returns it afterwards, so steady-state encoding
    allocates only the final [contents] string (plus buffer growth on
    the occasional outsized message, which is released again on
-   return). Purely deterministic: no RNG, single-threaded simulator,
-   and nesting is safe because the pool is a stack. *)
+   return). Deterministic (no RNG, a pooled writer is always handed
+   out cleared) and domain-safe: the free list is domain-local state
+   ([Domain.DLS]), so parallel sweep shards never share a writer or
+   contend on the pool. Nesting within a domain is safe because the
+   pool is a stack. *)
 
-let pool : Codec.Writer.t list ref = ref []
-let pooled = ref 0
+type pool = { mutable free : Codec.Writer.t list; mutable count : int }
+
+let key = Domain.DLS.new_key (fun () -> { free = []; count = 0 })
 let max_pooled = 8
 
 (* A message much larger than this (a full block body) would pin its
@@ -18,19 +22,21 @@ let max_pooled = 8
 let retain_bytes = 1 lsl 16
 
 let acquire () =
-  match !pool with
+  let p = Domain.DLS.get key in
+  match p.free with
   | [] -> Codec.Writer.create ~capacity:512 ()
   | w :: rest ->
-      pool := rest;
-      decr pooled;
+      p.free <- rest;
+      p.count <- p.count - 1;
       w
 
 let release w =
-  if !pooled < max_pooled then begin
+  let p = Domain.DLS.get key in
+  if p.count < max_pooled then begin
     if Codec.Writer.length w > retain_bytes then Codec.Writer.reset w
     else Codec.Writer.clear w;
-    pool := w :: !pool;
-    incr pooled
+    p.free <- w :: p.free;
+    p.count <- p.count + 1
   end
 
 let with_writer f =

@@ -106,7 +106,8 @@ let test_obbc_forged_evidence () =
           let inst =
             Obbc.create w.World.engine ~recorder:w.World.recorder ~coin
               ~channel
-              ~validate_evidence:(String.equal "REAL")
+              ~validate_evidence:(fun ev ->
+                Codec.Slice.equal ev (Codec.Slice.of_string "REAL"))
               ~my_evidence:(fun () -> None)
               ~on_pgd:(fun ~src:_ _ -> ())
               ()
@@ -121,7 +122,8 @@ let test_obbc_forged_evidence () =
       for _ = 0 to 30 do
         Fiber.sleep w.World.engine (Time.ms 5);
         Net.broadcast w.World.net ~src:3
-          (ob_encode (Obbc.Ev (Some "FORGED") : ob_msg))
+          (ob_encode
+             (Obbc.Ev (Some (Codec.Slice.of_string "FORGED")) : ob_msg))
       done);
   World.run ~until:(Time.s 30) w;
   Array.iter
@@ -145,7 +147,8 @@ let test_obbc_byzantine_cannot_fake_fast_path () =
           let inst =
             Obbc.create w.World.engine ~recorder:w.World.recorder ~coin
               ~channel
-              ~validate_evidence:(String.equal "REAL")
+              ~validate_evidence:(fun ev ->
+                Codec.Slice.equal ev (Codec.Slice.of_string "REAL"))
               ~my_evidence:(fun () -> if i = 0 then Some "REAL" else None)
               ~on_pgd:(fun ~src:_ _ -> ())
               ()

@@ -19,6 +19,26 @@ let test_explorer_smoke () =
   Alcotest.(check int) "no failing seeds" 0 (List.length a.Explorer.failures);
   Alcotest.(check bool) "work happened" true (a.Explorer.total_events > 10_000)
 
+(* The sweep-sharding acceptance check: exploring the same seed range
+   on 1 domain and on 4 must be indistinguishable — same fingerprint,
+   same per-seed reports in the same order, same totals. Parallelism
+   may only change wall-clock time. *)
+let test_explorer_jobs_determinism () =
+  let go jobs =
+    Explorer.explore ~jobs ~seeds:6 ~base_seed:3 ~budget_ms:400 ()
+  in
+  let seq = go 1 in
+  let par = go 4 in
+  Alcotest.(check string)
+    "fingerprint identical across domain counts"
+    (Explorer.fingerprint seq) (Explorer.fingerprint par);
+  Alcotest.(check int) "same total events" seq.Explorer.total_events
+    par.Explorer.total_events;
+  Alcotest.(check (list int))
+    "reports in seed order either way"
+    (List.map (fun r -> r.Explorer.plan.Plan.seed) seq.Explorer.reports)
+    (List.map (fun r -> r.Explorer.plan.Plan.seed) par.Explorer.reports)
+
 (* A deliberately planted safety bug — one node's definite stream
    forked from round 3 on — must be caught, shrunk to a plan that
    still fails, and reported as a replayable invocation. *)
@@ -189,6 +209,8 @@ let test_accountability () =
 let suite =
   [ Alcotest.test_case "explorer smoke (25 seeds, deterministic)" `Slow
       test_explorer_smoke;
+    Alcotest.test_case "explore --jobs 4 = --jobs 1 (fingerprint)" `Quick
+      test_explorer_jobs_determinism;
     Alcotest.test_case "injected fork caught, shrunk, replayable" `Slow
       test_injected_fork;
     Alcotest.test_case "equivocation yields exact evidence" `Quick

@@ -98,7 +98,7 @@ let gen_obbc =
          Vote { value; pgd });
         return Ev_req;
         (let+ e = option (string_size (int_range 0 32)) in
-         Ev e);
+         Ev (Option.map Codec.Slice.of_string e));
         (let+ b = gen_bbc in
          Fallback b);
         return Close ])
@@ -184,7 +184,17 @@ let gen_msg =
          let+ payload = gen_proof in
          Msg.Rb (Fl_broadcast.Bracha.Send { origin; tag; payload }));
         (let+ v = gen_version in
-         Msg.Ab (Fl_consensus.Pbft.Submit v)) ])
+         Msg.Ab (Fl_consensus.Pbft.Submit v));
+        (let+ from_chunk = int_range 0 20 in
+         Msg.Snap_req { from_chunk });
+        (let* sid = int_range 0 5 in
+         let* total = int_range 1 4 in
+         let* seq = int_range 0 (total - 1) in
+         let+ data = string_size (int_range 0 64) in
+         Msg.Snap_chunk
+           { sid; seq; total; data = Codec.Slice.of_string data });
+        (let+ txs = gen_txs in
+         Msg.Tx_handoff { txs; fees = Array.mapi (fun i _ -> i) txs }) ])
 
 let gen_wal_record =
   QCheck.Gen.(
@@ -214,15 +224,36 @@ let arb_msg =
 (* Write through a plain writer, read back, and require both equality
    and full consumption — an in-body codec that leaves trailing bytes
    would corrupt whatever the carrier writes next. *)
-let inbody_roundtrip write read x =
+let inbody_roundtrip ?(eq = ( = )) write read x =
   let w = Codec.Writer.create () in
   write w x;
   let r = Codec.Reader.of_string (Codec.Writer.contents w) in
   let y = read r in
-  x = y && Codec.Reader.at_end r
+  eq x y && Codec.Reader.at_end r
 
-let prop_inbody name gen write read =
-  QCheck.Test.make ~name ~count:200 (arb_of gen) (inbody_roundtrip write read)
+let prop_inbody ?eq name gen write read =
+  QCheck.Test.make ~name ~count:200 (arb_of gen)
+    (inbody_roundtrip ?eq write read)
+
+(* Slices decode as borrowed views of the frame, so their [base]/[off]
+   never match a freshly built message structurally — canonicalize
+   before comparing (content equality is what the codec promises). *)
+let norm_slice s = Codec.Slice.of_string (Codec.Slice.to_string s)
+
+let norm_obbc = function
+  | Fl_consensus.Obbc.Ev (Some s) ->
+      Fl_consensus.Obbc.Ev (Some (norm_slice s))
+  | m -> m
+
+let norm_msg = function
+  | Msg.Ob { era; round; attempt; m } ->
+      Msg.Ob { era; round; attempt; m = norm_obbc m }
+  | Msg.Snap_chunk { sid; seq; total; data } ->
+      Msg.Snap_chunk { sid; seq; total; data = norm_slice data }
+  | m -> m
+
+let obbc_eq a b = norm_obbc a = norm_obbc b
+let msg_eq a b = norm_msg a = norm_msg b
 
 let prop_tx_roundtrip =
   prop_inbody "codecs: tx roundtrip" gen_tx Serial.encode_tx Serial.decode_tx
@@ -260,7 +291,7 @@ let prop_bbc_roundtrip =
     Fl_consensus.Bbc.read_msg
 
 let prop_obbc_roundtrip =
-  prop_inbody "codecs: obbc roundtrip" gen_obbc
+  prop_inbody ~eq:obbc_eq "codecs: obbc roundtrip" gen_obbc
     (Fl_consensus.Obbc.write_msg Types.write_proposal)
     (Fl_consensus.Obbc.read_msg Types.read_proposal)
 
@@ -283,7 +314,101 @@ let prop_block_string_roundtrip =
 
 let prop_msg_roundtrip =
   QCheck.Test.make ~name:"codecs: fireledger msg roundtrip" ~count:300 arb_msg
-    (fun m -> Msg.decode (Msg.encode m) = Some m)
+    (fun m ->
+      match Msg.decode (Msg.encode m) with
+      | Some m' -> msg_eq m m'
+      | None -> false)
+
+let flip s off =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x41));
+  Bytes.to_string b
+
+(* View decode ≡ copy decode: [Msg.decode_sub] on a frame embedded at
+   an arbitrary offset of a larger buffer must agree with [Msg.decode]
+   on the copied-out substring — over every message constructor (which
+   transitively exercises every registered in-body codec: serial
+   txs/blocks, signed headers, proposals, proofs, versions, bbc, obbc,
+   bracha, pbft, snap chunks). Also under damage: a truncated or
+   bit-flipped window must be rejected identically by both paths. *)
+let prop_view_decode_equals_copy_decode =
+  QCheck.Test.make ~name:"codecs: decode_sub = decode . String.sub"
+    ~count:300
+    QCheck.(
+      triple arb_msg
+        (string_of_size Gen.(int_range 0 24))
+        (string_of_size Gen.(int_range 0 24)))
+    (fun (m, prefix, suffix) ->
+      let frame = Msg.encode m in
+      let buf = prefix ^ frame ^ suffix in
+      let pos = String.length prefix and len = String.length frame in
+      let via_view = Msg.decode_sub buf ~pos ~len in
+      let via_copy = Msg.decode (String.sub buf pos len) in
+      match (via_view, via_copy) with
+      | Some a, Some b -> msg_eq a b && msg_eq a m
+      | None, None -> true
+      | _ -> false)
+
+let prop_view_decode_damage_parity =
+  QCheck.Test.make
+    ~name:"codecs: damaged views reject exactly like damaged copies"
+    ~count:300
+    QCheck.(pair arb_msg (QCheck.make Gen.(int_range 0 20_000)))
+    (fun (m, seed) ->
+      let frame = Msg.encode m in
+      let buf = "pfx" ^ frame ^ "sfx" in
+      let flen = String.length frame in
+      (* alternate between truncating the window and flipping a byte *)
+      let pos = 3 in
+      let buf, len =
+        if seed land 1 = 0 then (buf, seed / 2 mod flen)
+        else (flip buf (pos + (seed / 2 mod flen)), flen)
+      in
+      let via_view = Msg.decode_sub buf ~pos ~len in
+      let via_copy = Msg.decode (String.sub buf pos len) in
+      match (via_view, via_copy) with
+      | None, None -> true
+      | Some a, Some b -> msg_eq a b
+      | _ -> false)
+
+(* Aliasing safety: a decoded [Slice.t] borrows the frame buffer. The
+   ownership rule says anything retained past the frame's lifetime
+   must be copied ([Slice.to_string]); this pins both halves — the
+   borrow really does alias the buffer (mutating it changes the view),
+   and the copy-on-retain really detaches (the retained string is
+   unaffected). *)
+let test_slice_aliasing_safety () =
+  let payload = String.init 48 (fun i -> Char.chr (0x40 + (i land 31))) in
+  let m =
+    Msg.Snap_chunk
+      { sid = 2; seq = 1; total = 3; data = Codec.Slice.of_string payload }
+  in
+  let frame = Msg.encode m in
+  (* the receive buffer: a mutable Bytes the frame sits inside *)
+  let buf = Bytes.of_string ("hdr!" ^ frame ^ "!trl") in
+  let s = Bytes.unsafe_to_string buf in
+  match Msg.decode_sub s ~pos:4 ~len:(String.length frame) with
+  | Some (Msg.Snap_chunk { data; _ }) ->
+      let retained = Codec.Slice.to_string data in
+      Alcotest.(check string) "decoded payload" payload retained;
+      (* clobber the receive buffer, as a reusing transport would *)
+      Bytes.fill buf 0 (Bytes.length buf) '\xff';
+      Alcotest.(check string) "retained copy is detached" payload retained;
+      Alcotest.(check bool) "borrowed view aliases the buffer" true
+        (String.for_all (fun c -> c = '\xff') (Codec.Slice.to_string data))
+  | _ -> Alcotest.fail "snap_chunk did not decode"
+
+(* Same discipline one layer down: a Writer whose [contents] was taken
+   can be cleared and reused without disturbing the taken string. *)
+let test_writer_reuse_detached () =
+  let w = Codec.Writer.create ~capacity:32 () in
+  Codec.Writer.raw w "first-record";
+  let first = Codec.Writer.contents w in
+  Codec.Writer.clear w;
+  Codec.Writer.raw w "SECOND-RECORD-LONGER";
+  Alcotest.(check string) "first contents survive reuse" "first-record" first;
+  Alcotest.(check string) "second contents correct" "SECOND-RECORD-LONGER"
+    (Codec.Writer.contents w)
 
 let prop_msg_size_is_wire_length =
   QCheck.Test.make ~name:"codecs: Msg.size = String.length (encode)"
@@ -321,11 +446,6 @@ let prop_random_bytes_rejected =
             QCheck.Test.fail_reportf "%s decoder raised %s" name
               (Printexc.to_string e))
         decoders)
-
-let flip s off =
-  let b = Bytes.of_string s in
-  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x41));
-  Bytes.to_string b
 
 let test_overflowing_count_rejected () =
   (* Regression: a 9-byte varint whose top bits overflow the 63-bit
@@ -483,6 +603,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_pbft_roundtrip;
     QCheck_alcotest.to_alcotest prop_block_string_roundtrip;
     QCheck_alcotest.to_alcotest prop_msg_roundtrip;
+    QCheck_alcotest.to_alcotest prop_view_decode_equals_copy_decode;
+    QCheck_alcotest.to_alcotest prop_view_decode_damage_parity;
+    Alcotest.test_case "slice aliasing safety (copy-on-retain)" `Quick
+      test_slice_aliasing_safety;
+    Alcotest.test_case "writer reuse detaches taken contents" `Quick
+      test_writer_reuse_detached;
     QCheck_alcotest.to_alcotest prop_msg_size_is_wire_length;
     QCheck_alcotest.to_alcotest prop_wal_record_roundtrip;
     QCheck_alcotest.to_alcotest prop_random_bytes_rejected;

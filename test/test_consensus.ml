@@ -114,7 +114,8 @@ let run_obbc ?(seed = 5) ~n votes =
         let channel = World.channel w ~node:i ~key:"obbc" in
         let inst =
           Obbc.create w.World.engine ~recorder:w.World.recorder ~coin ~channel
-            ~validate_evidence:(String.equal evidence_blob)
+            ~validate_evidence:(fun ev ->
+              Codec.Slice.equal ev (Codec.Slice.of_string evidence_blob))
             ~my_evidence:(fun () ->
               if votes.(i) then Some evidence_blob else None)
             ~on_pgd:(fun ~src p -> pgds.(i) <- (src, p) :: pgds.(i))

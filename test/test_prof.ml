@@ -262,9 +262,12 @@ let test_measure_smoke () =
 (* Committed allocation pin: decoding a 100-tx body frame. The decode
    path allocates the tx array and per-tx records in the minor heap —
    a regression that starts copying payloads (or boxing readers) shows
-   up here long before it shows up as time. Measured ~250 minor w/run,
-   ~1 major w/run; bounds leave ~3x headroom. *)
-let decode_minor_words_bound = 800.0
+   up here long before it shows up as time. Measured ~516 minor w/run
+   on the zero-copy reader (the tx array and per-tx records; the frame
+   body itself is read in place), ~1 major w/run; the minor bound
+   leaves ~15% headroom so any reintroduced per-frame copy (~1750
+   words for this 14 KB frame) trips it immediately. *)
+let decode_minor_words_bound = 600.0
 let decode_major_words_bound = 64.0
 
 let test_decode_alloc_pin () =

@@ -346,6 +346,58 @@ let test_time_pp () =
   Alcotest.(check string) "us" "2.500us" (s 2500);
   Alcotest.(check string) "s" "1.500s" (s (Time.ms 1500))
 
+(* ---------- Par: the domain-parallel sweep map ---------- *)
+
+let test_par_matches_sequential () =
+  let f i = (i * i) + 1 in
+  let seq = Fl_sim.Par.map ~jobs:1 40 f in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d merges in index order" jobs)
+        seq
+        (Fl_sim.Par.map ~jobs 40 f))
+    [ 2; 3; 8; 64 ]
+
+let test_par_edge_sizes () =
+  Alcotest.(check (array int)) "n=0" [||] (Fl_sim.Par.map ~jobs:4 0 Fun.id);
+  Alcotest.(check (array int)) "n=1" [| 0 |] (Fl_sim.Par.map ~jobs:4 1 Fun.id);
+  (* more jobs than items: extra domains just find no work *)
+  Alcotest.(check (array int))
+    "jobs > n" [| 0; 1; 2 |]
+    (Fl_sim.Par.map ~jobs:16 3 Fun.id);
+  Alcotest.check_raises "negative n" (Invalid_argument "Par.map: negative length")
+    (fun () -> ignore (Fl_sim.Par.map ~jobs:2 (-1) Fun.id))
+
+exception Boom of int
+
+let test_par_propagates_exception () =
+  List.iter
+    (fun jobs ->
+      match Fl_sim.Par.map ~jobs 20 (fun i -> if i = 13 then raise (Boom i) else i) with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Boom 13 -> ())
+    [ 1; 4 ]
+
+let test_par_sequential_while_profiling () =
+  (* The profiler's accumulation state is global, so an active profile
+     must force the sequential path (observable: worker domains would
+     each see [Prof.on] false-shared state — here we just require the
+     map still to be correct and the profiler to stay consistent). *)
+  Fl_prof.Prof.enable ();
+  let r = Fl_sim.Par.map ~jobs:4 8 (fun i -> i * 2) in
+  Fl_prof.Prof.disable ();
+  Alcotest.(check (array int)) "profiled map correct"
+    (Array.init 8 (fun i -> i * 2))
+    r
+
+let test_par_resolve_jobs () =
+  Alcotest.(check int) "cli wins" 3 (Fl_sim.Par.resolve_jobs ~cli:3 ());
+  match Sys.getenv_opt "FL_JOBS" with
+  | Some _ -> () (* the environment already chose; nothing to pin *)
+  | None ->
+      Alcotest.(check int) "default 1" 1 (Fl_sim.Par.resolve_jobs ())
+
 let suite =
   [ Alcotest.test_case "heap orders" `Quick test_heap_orders;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
@@ -371,4 +423,12 @@ let suite =
     Alcotest.test_case "trace ring buffer" `Quick test_trace_ring_buffer;
     Alcotest.test_case "trace capacity validated" `Quick
       test_trace_capacity_validated;
-    Alcotest.test_case "time pp" `Quick test_time_pp ]
+    Alcotest.test_case "time pp" `Quick test_time_pp;
+    Alcotest.test_case "par map = sequential map" `Quick
+      test_par_matches_sequential;
+    Alcotest.test_case "par edge sizes" `Quick test_par_edge_sizes;
+    Alcotest.test_case "par propagates exceptions" `Quick
+      test_par_propagates_exception;
+    Alcotest.test_case "par sequential while profiling" `Quick
+      test_par_sequential_while_profiling;
+    Alcotest.test_case "par resolve_jobs" `Quick test_par_resolve_jobs ]
